@@ -1,0 +1,37 @@
+"""Ablation A: the query-tree reservation pass.
+
+The integrated system scans each query tree before evaluation and pins
+already-resident objects ("potentially avoiding a bad replacement
+choice").  Expected shape: with reservations on, the large buffer's hit
+rate and the file-access count are no worse than with reservations off,
+and terms repeated within a query benefit.
+"""
+
+from collections import defaultdict
+
+from conftest import once
+
+from repro.bench import emit, render_table, reservation_ablation
+
+
+def test_reservation_ablation(benchmark, runner, results_dir):
+    rows = once(benchmark, lambda: reservation_ablation(runner, "legal-s"))
+    emit(
+        render_table(
+            "Ablation A: reservation pass on vs off (Legal)",
+            ("Query Set", "Variant", "Large hit rate", "System+I/O (s)", "File accesses"),
+            [(qs, variant, round(rate, 3), round(sysio, 2), accesses)
+             for qs, variant, rate, sysio, accesses in rows],
+        ),
+        artifact="ablation_reservation.txt",
+        results_dir=results_dir,
+    )
+    by_set = defaultdict(dict)
+    for qs, variant, rate, sysio, accesses in rows:
+        by_set[qs][variant] = (rate, sysio, accesses)
+    for qs, variants in by_set.items():
+        reserve = variants["reserve"]
+        no_reserve = variants["no-reserve"]
+        # Reservations never hurt, and never cost extra file accesses.
+        assert reserve[0] >= no_reserve[0] - 1e-9, qs
+        assert reserve[2] <= no_reserve[2], qs

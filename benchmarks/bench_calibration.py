@@ -1,0 +1,61 @@
+"""Workload calibration: the synthetic collections match the paper's shapes.
+
+Not a table in the paper, but the precondition for all of them: every
+substituted collection must exhibit the informetric characteristics the
+paper's design decisions depend on.  Expected shape: Zipf-Mandelbrot
+fits near the generation parameters, roughly half the records at or
+below the 12-byte small object threshold, a heavy top-percentile token
+mass, and sublinear (Heaps) vocabulary growth.
+"""
+
+from conftest import once
+
+from repro.bench import DISPLAY_NAMES, PROFILE_ORDER, emit, render_table
+from repro.synth import partition_report, profile_collection, suggest_small_threshold
+
+
+def calibration_rows(runner):
+    rows = []
+    for profile_name in PROFILE_ORDER:
+        workload = runner.workload(profile_name)
+        collection = workload.prepared.collection
+        profile = profile_collection(collection)
+        sizes = workload.prepared.stats.record_sizes
+        partition = partition_report(sizes, 12, 4096)
+        rows.append((
+            DISPLAY_NAMES[profile_name],
+            round(profile.zipf_s, 2),
+            round(profile.doubleton_fraction, 2),
+            round(profile.top_percent_mass, 2),
+            round(profile.heaps_beta, 2),
+            round(partition["small"]["record_share"], 2),
+            round(partition["small"]["byte_share"], 3),
+            suggest_small_threshold(sizes),
+        ))
+    return rows
+
+
+def test_calibration(benchmark, runner, results_dir):
+    rows = once(benchmark, lambda: calibration_rows(runner))
+    emit(
+        render_table(
+            "Workload calibration: informetric shape of the synthetic collections",
+            ("Collection", "Zipf s", "<=2 occ", "top-1% mass", "Heaps beta",
+             "records <=12B", "bytes <=12B", "50th pct size"),
+            rows,
+            note="Paper anchors: ~50% of records <= 12 bytes holding <= 5% of "
+                 "file bytes; Zipfian head; sublinear vocabulary growth.",
+        ),
+        artifact="calibration.txt",
+        results_dir=results_dir,
+    )
+    for row in rows:
+        _name, zipf_s, doubleton, top_mass, heaps_beta, small_share, small_bytes, pct50 = row
+        assert 0.85 <= zipf_s <= 1.4
+        assert 0.35 <= doubleton <= 0.8     # "nearly half ... one or two occurrences"
+        assert top_mass >= 0.3               # heavy head
+        assert 0.4 <= heaps_beta <= 0.95     # sublinear growth
+        assert 0.35 <= small_share <= 0.75   # ~half the records are small...
+        assert small_bytes <= 0.25           # ...in a small slice of the bytes
+        assert small_bytes < small_share / 2.5
+        assert 4 <= pct50 <= 32              # the 12 B threshold is data-driven

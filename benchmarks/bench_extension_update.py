@@ -1,0 +1,35 @@
+"""Extension: inverted list update through linked objects.
+
+The paper's future work: "Inter-object references allow structures such
+as linked lists to be used to break large objects into more manageable
+pieces.  This could provide better support for inverted list updates."
+Expected shape: appending to a large contiguous object relocates the
+whole object each time (write traffic quadratic in total size), while a
+linked object writes only the new chunk and a tail-header rewrite
+(write traffic linear), so the linked variant wins by a wide factor.
+"""
+
+from conftest import once
+
+from repro.bench import emit, render_table, update_extension_experiment
+
+
+def test_update_extension(benchmark, runner, results_dir):
+    results = once(benchmark, update_extension_experiment)
+    emit(
+        render_table(
+            "Extension: growing a 256 KB inverted list by 24 appends",
+            ("Variant", "Appends", "Bytes written", "Blocks written", "Simulated ms"),
+            [(r.variant, r.appends, r.bytes_written, r.blocks_written, round(r.wall_ms))
+             for r in results],
+        ),
+        artifact="extension_update.txt",
+        results_dir=results_dir,
+    )
+    by_variant = {r.variant: r for r in results}
+    contiguous = by_variant["contiguous"]
+    linked = by_variant["linked"]
+    # Linked objects make update cost proportional to the appended data.
+    assert linked.bytes_written < contiguous.bytes_written / 3
+    assert linked.blocks_written < contiguous.blocks_written
+    assert linked.wall_ms < contiguous.wall_ms

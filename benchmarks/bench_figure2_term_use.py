@@ -1,0 +1,40 @@
+"""Figure 2: frequency of use of different inverted list sizes.
+
+Expected shape (paper, Legal Query Set 2): query terms almost never
+touch the tiny records — "the small inverted lists are accessed
+rarely" — and the bulk of uses lands on lists of thousands of bytes and
+up.
+"""
+
+from conftest import once
+
+from repro.bench import emit, figure2_term_use, render_plot
+
+
+def test_figure2_term_use_by_list_size(benchmark, runner, results_dir):
+    workload = runner.workload("legal-s")
+    query_set = workload.query_sets[1]  # Legal Query Set 2, as in the paper
+
+    points = once(benchmark, lambda: figure2_term_use(workload.prepared, query_set))
+    xs = [float(size) for size, _uses in points]
+    ys = [float(uses) for _size, uses in points]
+    emit(
+        render_plot(
+            "Figure 2: Frequency of use of inverted list sizes (Legal QS2)",
+            xs,
+            {"uses": ys},
+            x_label="Inverted list record size (bytes)",
+            y_label="Number of uses",
+            log_x=True,
+        ),
+        artifact="figure2.txt",
+        results_dir=results_dir,
+    )
+    assert points
+    uses_small = sum(uses for size, uses in points if size <= 12)
+    uses_total = sum(uses for _size, uses in points)
+    # Small records are rarely accessed.
+    assert uses_small <= 0.02 * uses_total
+    # The majority of uses hit lists of at least 1 KB.
+    uses_big = sum(uses for size, uses in points if size >= 1024)
+    assert uses_big >= 0.6 * uses_total

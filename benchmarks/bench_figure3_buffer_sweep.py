@@ -1,0 +1,39 @@
+"""Figure 3: large-buffer hit rate over a range of buffer sizes.
+
+Expected shape (paper, TIPSTER Query Set 1): hit rate rises with buffer
+size with gradually diminishing returns; "the knee of the curve can be
+used to guide buffer allocation."
+"""
+
+from conftest import once
+
+from repro.bench import emit, figure3_buffer_sweep, render_plot
+
+
+def test_figure3_large_buffer_sweep(benchmark, runner, results_dir):
+    sizes, rates = once(benchmark, lambda: figure3_buffer_sweep(runner, "tipster-s"))
+    emit(
+        render_plot(
+            "Figure 3: Large object buffer hit rate vs buffer size (TIPSTER QS1)",
+            [s / 1e6 for s in sizes],
+            {"hit rate": rates},
+            x_label="Buffer size (millions of bytes)",
+            y_label="Hit rate",
+        ),
+        artifact="figure3.txt",
+        results_dir=results_dir,
+    )
+    assert len(sizes) == len(rates) >= 6
+    # Non-decreasing hit rate with more buffer space (deterministic LRU).
+    assert all(a <= b + 0.02 for a, b in zip(rates, rates[1:]))
+    assert rates[-1] > rates[0]
+    # Diminishing returns: per-byte gain at the top of the curve is far
+    # below the peak per-byte gain (the knee the paper points at).
+    slopes = [
+        (r2 - r1) / (s2 - s1)
+        for (s1, r1), (s2, r2) in zip(zip(sizes, rates), zip(sizes[1:], rates[1:]))
+    ]
+    assert slopes[-1] <= 0.5 * max(slopes)
+    # A meaningful fraction of references hit at the Table 2 size (3x).
+    table2_index = sizes.index(3.0 * runner.workload("tipster-s").prepared.largest_record)
+    assert rates[table2_index] > 0.3

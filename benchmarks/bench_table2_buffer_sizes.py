@@ -1,0 +1,31 @@
+"""Table 2: Mneme buffer sizes from the paper's sizing heuristics.
+
+Expected shape: small buffer constant (3 segments); medium buffer at
+the 3-segment floor for CACM and 9% of the large buffer elsewhere;
+large buffer = 3 x the largest inverted list, growing with collection
+size.
+"""
+
+from conftest import once
+
+from repro.bench import emit, render_table, table2_buffers
+
+
+def test_table2_buffer_sizes(benchmark, runner, results_dir):
+    headers, rows = once(benchmark, lambda: table2_buffers(runner))
+    emit(
+        render_table("Table 2: Mneme buffer sizes (KB)", headers, rows),
+        artifact="table2.txt",
+        results_dir=results_dir,
+    )
+    assert len(rows) == 4
+    small = [row[1] for row in rows]
+    assert len(set(small)) == 1  # 3 small segments for every collection
+    assert small[0] == 12.0
+    large = [row[3] for row in rows]
+    assert large == sorted(large)  # grows with the largest record
+    assert rows[0][2] == 24.0  # CACM medium buffer floored at 3 segments
+    # Larger collections: medium = 9% of large.
+    for row in rows[1:]:
+        if row[3] * 0.09 > 24.0:
+            assert abs(row[2] - 0.09 * row[3]) / row[3] < 0.01

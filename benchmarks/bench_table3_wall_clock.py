@@ -1,0 +1,34 @@
+"""Table 3: wall-clock time per query set and configuration.
+
+Expected shape (paper): Mneme without caching already beats the B-tree;
+caching helps further; improvements are a single- to low-double-digit
+percentage of wall-clock time because user CPU (identical across
+configurations) increasingly dominates as collections grow.
+"""
+
+from conftest import once
+
+from repro.bench import emit, render_table, table3_wall_clock
+
+
+def test_table3_wall_clock(benchmark, runner, results_dir):
+    # This is the heavy benchmark: it measures the full grid (every
+    # query set x every configuration, cold-started) on first use.
+    headers, rows = once(benchmark, lambda: table3_wall_clock(runner))
+    emit(
+        render_table(
+            "Table 3: Wall-clock times (simulated seconds)",
+            headers,
+            rows,
+            note="Improvement = (B-tree - Mneme cache) / B-tree, as in the paper.",
+        ),
+        artifact="table3.txt",
+        results_dir=results_dir,
+    )
+    assert len(rows) == 7  # seven query sets, as in the paper
+    for row in rows:
+        btree, nocache, cache = row[2], row[3], row[4]
+        assert nocache <= btree, row
+        assert cache <= nocache, row
+        improvement = float(row[5].rstrip("%"))
+        assert 0 <= improvement <= 40

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark suite.
+
+One :class:`~repro.bench.BenchRunner` is shared by every benchmark file
+so deterministic heavy work (collection preparation, system builds,
+measured grids) happens once per ``pytest benchmarks/`` session.  Each
+bench prints its reproduced table or figure and writes it under
+``benchmarks/results/``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import BenchRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return BenchRunner()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    return Path(__file__).parent / "results"
+
+
+def once(benchmark, fn):
+    """Run a deterministic experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Buffer tuning: find the knee of the hit-rate curve (Figure 3).
+
+The paper sizes the large object buffer at 3x the largest inverted list
+and shows (Figure 3) that growing the buffer yields diminishing
+returns.  This example sweeps the large buffer over a range of sizes on
+the scaled Legal collection and prints the hit-rate curve with the
+Table 2 operating point marked.
+
+Run:  python examples/buffer_tuning.py
+"""
+
+from repro.core import cold_start, load_workload, materialize, config_by_name, table2_buffer_sizes
+from repro.inquery import BufferSizes, RetrievalEngine
+
+MULTIPLIERS = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 9.0)
+
+
+def main() -> None:
+    workload = load_workload("legal-s")
+    system = materialize(workload.prepared, config_by_name("mneme-cache"))
+    store = system.index.store
+    query_set = workload.query_sets[1]
+    base = table2_buffer_sizes(workload.prepared.largest_record)
+    largest = workload.prepared.largest_record
+    print(f"Largest inverted list: {largest / 1024:.1f} KB; "
+          f"Table 2 operating point = 3x = {3 * largest / 1024:.1f} KB\n")
+    print(f"{'multiplier':>10s} {'buffer KB':>10s} {'refs':>6s} {'hits':>6s} {'hit rate':>9s}")
+
+    previous_rate = None
+    for multiplier in MULTIPLIERS:
+        large = max(int(multiplier * largest), 1)
+        store.attach_buffers(
+            BufferSizes(small=base.small, medium=base.medium, large=large)
+        )
+        cold_start(system)
+        before = store.buffer_stats()["large"].copy()
+        RetrievalEngine(system.index).run_batch(query_set.queries)
+        delta = store.buffer_stats()["large"] - before
+        marker = "  <- Table 2 heuristic" if multiplier == 3.0 else ""
+        gain = "" if previous_rate is None else f"  (+{delta.hit_rate - previous_rate:.3f})"
+        print(f"{multiplier:>10.1f} {large / 1024:>10.1f} {delta.refs:>6d} "
+              f"{delta.hits:>6d} {delta.hit_rate:>9.3f}{gain}{marker}")
+        previous_rate = delta.hit_rate
+
+    print("\nDiminishing returns past the knee: the marginal hit-rate gain per")
+    print("doubling shrinks, which is how the paper guides buffer allocation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Informetric file design: measuring a collection before building files.
+
+The paper takes Wolfram's advice that "the informetric characteristics
+of document databases should be taken into consideration when designing
+the files used by an IR system".  This example does exactly that, in
+order: profile a collection's term distribution, derive the object-pool
+partition from the measured record sizes, and check the derived design
+against the paper's fixed 12 B / 4 KB thresholds.
+
+Run:  python examples/informetric_design.py
+"""
+
+from repro.core import prepare_collection
+from repro.synth import (
+    CollectionProfile,
+    SyntheticCollection,
+    partition_report,
+    profile_collection,
+    suggest_small_threshold,
+)
+
+
+def main() -> None:
+    collection = SyntheticCollection(CollectionProfile(
+        name="design-study", models="a Legal-like collection",
+        documents=2000, mean_doc_length=200, doc_length_sigma=0.6,
+        vocab_size=50000, seed=77,
+    ))
+
+    print("Step 1: informetric profile of the collection")
+    profile = profile_collection(collection)
+    print(f"  tokens:              {profile.tokens:,}")
+    print(f"  vocabulary:          {profile.vocabulary:,}")
+    print(f"  singleton terms:     {profile.singleton_fraction:.0%}")
+    print(f"  terms with <= 2 occ: {profile.doubleton_fraction:.0%}"
+          "   <- the paper's 'nearly half of the terms'")
+    print(f"  top 1% of terms hold {profile.top_percent_mass:.0%} of all tokens")
+    print(f"  Zipf-Mandelbrot fit: s={profile.zipf_s:.2f}, q={profile.zipf_q:.1f}")
+    print(f"  Heaps' law fit:      V = {profile.heaps_k:.1f} * N^{profile.heaps_beta:.2f}")
+
+    print("\nStep 2: index the collection and measure its record sizes")
+    prepared = prepare_collection(collection)
+    sizes = prepared.stats.record_sizes
+    print(f"  {len(sizes):,} inverted list records, "
+          f"{min(sizes)}-{max(sizes):,} bytes, "
+          f"compression {prepared.stats.compression_rate:.0%}")
+
+    print("\nStep 3: derive the small-object boundary from the data")
+    suggested = suggest_small_threshold(sizes, target_fraction=0.5)
+    print(f"  50th percentile of record sizes: {suggested} bytes")
+    print(f"  the paper's fixed threshold:     12 bytes")
+
+    print("\nStep 4: audit the paper's 12 B / 4 KB partition on this data")
+    report = partition_report(sizes, small_max=12, medium_max=4096)
+    print(f"  {'pool':8s} {'records':>9s} {'share':>7s} {'bytes':>11s} {'share':>7s}")
+    for name, row in report.items():
+        print(f"  {name:8s} {row['records']:>9,d} {row['record_share']:>6.0%} "
+              f"{row['bytes']:>11,d} {row['byte_share']:>6.0%}")
+    print("\nThe small pool holds around half the records in a sliver of the")
+    print("bytes — the fact the 255-objects-per-4KB-segment design exploits.")
+
+
+if __name__ == "__main__":
+    main()

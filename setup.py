@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so pip cannot perform a
+PEP 660 editable install.  This shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` fall back to ``setup.py develop``.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""Series builders for Figures 1-3 of the paper."""
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import PreparedCollection, cold_start, table2_buffer_sizes
+from ..inquery import BufferSizes, RetrievalEngine
+from ..synth import QuerySet
+from .runner import BenchRunner
+
+
+def figure1_size_distribution(
+    prepared: PreparedCollection, points: int = 40
+) -> Tuple[List[float], Dict[str, List[float]]]:
+    """Figure 1: cumulative distribution of inverted list record sizes.
+
+    Returns log-spaced record sizes (x) with two cumulative-percentage
+    series: fraction of records at or below each size, and fraction of
+    total file bytes contributed by those records.
+    """
+    sizes = sorted(prepared.stats.record_sizes)
+    total_records = len(sizes)
+    total_bytes = sum(sizes)
+    lo, hi = math.log10(max(sizes[0], 1)), math.log10(sizes[-1])
+    xs = [10 ** (lo + (hi - lo) * i / (points - 1)) for i in range(points)]
+    xs[-1] = float(sizes[-1])  # guard against float round-off at the top end
+    pct_records: List[float] = []
+    pct_bytes: List[float] = []
+    cumulative_bytes = 0
+    index = 0
+    for x in xs:
+        while index < total_records and sizes[index] <= x:
+            cumulative_bytes += sizes[index]
+            index += 1
+        pct_records.append(100.0 * index / total_records)
+        pct_bytes.append(100.0 * cumulative_bytes / total_bytes)
+    return xs, {"% of Records": pct_records, "% of File Size": pct_bytes}
+
+
+def figure2_term_use(
+    prepared: PreparedCollection, query_set: QuerySet
+) -> List[Tuple[int, int]]:
+    """Figure 2: (record size, number of uses) per query-set term.
+
+    Every appearance of a term in the query set counts as one use of its
+    inverted list, exactly as the query processor would look it up.
+    """
+    uses: Dict[int, int] = {}
+    for ranks in query_set.term_ranks:
+        for rank in ranks:
+            uses[rank] = uses.get(rank, 0) + 1
+    points = [
+        (prepared.record_size_of_rank(rank), count)
+        for rank, count in uses.items()
+        if prepared.record_size_of_rank(rank) > 0
+    ]
+    return sorted(points)
+
+
+#: Large-buffer sizes for the Figure 3 sweep, as multiples of the
+#: largest inverted list (the Table 2 heuristic sits at 3.0).  The top
+#: of the range is large enough to reach the curve's plateau.
+FIGURE3_MULTIPLIERS = (0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 18.0, 27.0)
+
+
+def figure3_buffer_sweep(
+    runner: BenchRunner,
+    profile: str = "tipster-s",
+    multipliers: Sequence[float] = FIGURE3_MULTIPLIERS,
+) -> Tuple[List[float], List[float]]:
+    """Figure 3: large-buffer hit rate as a function of buffer size.
+
+    The small and medium buffers stay at their Table 2 sizes; only the
+    large buffer varies.  Each point is a cold-started batch run of the
+    collection's query set.
+    """
+    workload = runner.workload(profile)
+    system = runner.systems(profile)["mneme-cache"]
+    query_set = workload.query_sets[0]
+    base = table2_buffer_sizes(workload.prepared.largest_record)
+    sizes_bytes: List[float] = []
+    hit_rates: List[float] = []
+    store = system.index.store
+    for multiplier in multipliers:
+        large = int(multiplier * workload.prepared.largest_record)
+        store.attach_buffers(
+            BufferSizes(small=base.small, medium=base.medium, large=max(large, 1))
+        )
+        cold_start(system)
+        before = store.buffer_stats()["large"].copy()
+        engine = RetrievalEngine(system.index)
+        engine.run_batch(query_set.queries)
+        delta = store.buffer_stats()["large"] - before
+        sizes_bytes.append(large)
+        hit_rates.append(delta.hit_rate)
+    # Restore the standard Table 2 buffers for later benchmark files.
+    store.attach_buffers(base)
+    return sizes_bytes, hit_rates

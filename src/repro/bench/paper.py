@@ -1,0 +1,80 @@
+"""One-shot regeneration of the paper's whole evaluation section."""
+
+from pathlib import Path
+from typing import Optional
+
+from .figures import (
+    figure1_size_distribution,
+    figure2_term_use,
+    figure3_buffer_sweep,
+)
+from .report import render_plot, render_table
+from .runner import BenchRunner
+from .tables import (
+    table1_collections,
+    table2_buffers,
+    table3_wall_clock,
+    table4_system_io,
+    table5_io_stats,
+    table6_hit_rates,
+)
+
+
+def write_full_report(
+    runner: Optional[BenchRunner] = None,
+    path: Optional[Path] = None,
+    include_figure3: bool = True,
+) -> str:
+    """Regenerate every table and figure into one text report.
+
+    ``include_figure3`` gates the buffer-size sweep, the slowest piece
+    (ten cold-started TIPSTER runs).  The report string is returned and,
+    if ``path`` is given, also written there.
+    """
+    runner = runner or BenchRunner()
+    sections = [
+        "Reproduction report: Brown, Callan, Moss & Croft (EDBT 1994)",
+        "=" * 62,
+        "",
+        "All quantities are simulated and scaled; compare shapes, not",
+        "absolute values (see EXPERIMENTS.md).",
+        "",
+    ]
+
+    for number, title, builder in (
+        (1, "Table 1: Document collection statistics (KB)", table1_collections),
+        (2, "Table 2: Mneme buffer sizes (KB)", table2_buffers),
+        (3, "Table 3: Wall-clock times (simulated seconds)", table3_wall_clock),
+        (4, "Table 4: System CPU plus I/O times (simulated seconds)", table4_system_io),
+        (5, "Table 5: I/O statistics (I, A, B)", table5_io_stats),
+        (6, "Table 6: Buffer hit rates", table6_hit_rates),
+    ):
+        headers, rows = builder(runner)
+        sections.append(render_table(title, headers, rows))
+
+    legal = runner.workload("legal-s")
+    xs, series = figure1_size_distribution(legal.prepared)
+    sections.append(render_plot(
+        "Figure 1: Cumulative distribution of inverted list sizes (Legal)",
+        xs, series, x_label="record size (bytes)", y_label="cumulative %",
+        log_x=True,
+    ))
+    points = figure2_term_use(legal.prepared, legal.query_sets[1])
+    sections.append(render_plot(
+        "Figure 2: Frequency of use of inverted list sizes (Legal QS2)",
+        [float(s) for s, _u in points],
+        {"uses": [float(u) for _s, u in points]},
+        x_label="record size (bytes)", y_label="uses", log_x=True,
+    ))
+    if include_figure3:
+        sizes, rates = figure3_buffer_sweep(runner, "tipster-s")
+        sections.append(render_plot(
+            "Figure 3: Large buffer hit rate vs buffer size (TIPSTER QS1)",
+            [s / 1e6 for s in sizes], {"hit rate": rates},
+            x_label="buffer size (millions of bytes)", y_label="hit rate",
+        ))
+
+    report = "\n".join(sections)
+    if path is not None:
+        Path(path).write_text(report)
+    return report

@@ -1,0 +1,103 @@
+"""Plain-text rendering of tables and figures.
+
+The benchmark suite prints each reproduced table in the paper's layout
+and each figure as an ASCII plot, and writes the same text under
+``benchmarks/results/`` so the artifacts survive the pytest run.
+"""
+
+import math
+from pathlib import Path
+from typing import Optional, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Align a table as monospaced text."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in cells)) if cells
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = [title, "=" * len(title), ""]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if note:
+        lines.extend(["", note])
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_plot(
+    title: str,
+    xs: Sequence[float],
+    series: "dict[str, Sequence[float]]",
+    x_label: str = "",
+    y_label: str = "",
+    log_x: bool = False,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """An ASCII scatter/line plot of one or more series."""
+    if not xs:
+        return f"{title}\n(no data)\n"
+    xt = [math.log10(max(x, 1e-12)) for x in xs] if log_x else list(xs)
+    lo_x, hi_x = min(xt), max(xt)
+    all_y = [y for ys in series.values() for y in ys]
+    lo_y, hi_y = min(all_y), max(all_y)
+    if hi_x == lo_x:
+        hi_x += 1.0
+    if hi_y == lo_y:
+        hi_y += 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "*+ox#@"
+    for index, (name, ys) in enumerate(series.items()):
+        mark = marks[index % len(marks)]
+        for x, y in zip(xt, ys):
+            col = round((x - lo_x) / (hi_x - lo_x) * (width - 1))
+            row = round((y - lo_y) / (hi_y - lo_y) * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = [title, "=" * len(title), ""]
+    if y_label:
+        lines.append(y_label)
+    for r, row in enumerate(grid):
+        y_value = hi_y - (hi_y - lo_y) * r / (height - 1)
+        lines.append(f"{y_value:>10.2f} |" + "".join(row))
+    x_lo = 10 ** lo_x if log_x else lo_x
+    x_hi = 10 ** hi_x if log_x else hi_x
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 12 + f"{_fmt(x_lo)}{' ' * max(1, width - len(_fmt(x_lo)) - len(_fmt(x_hi)))}{_fmt(x_hi)}"
+    )
+    if x_label:
+        lines.append(" " * 12 + x_label + ("  [log scale]" if log_x else ""))
+    legend = "   ".join(
+        f"{marks[i % len(marks)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.extend(["", legend])
+    return "\n".join(lines) + "\n"
+
+
+def emit(text: str, artifact: Optional[str] = None, results_dir: Optional[Path] = None) -> str:
+    """Print report text and optionally persist it under results/."""
+    print()
+    print(text)
+    if artifact and results_dir is not None:
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / artifact).write_text(text)
+    return text

@@ -1,0 +1,131 @@
+"""Row builders for Tables 1-6 of the paper."""
+
+from typing import List, Sequence, Tuple
+
+from ..core import improvement, table2_buffer_sizes
+from .runner import DISPLAY_NAMES, PROFILE_ORDER, SET_NUMBERS, BenchRunner
+
+Rows = Tuple[Sequence[str], List[Sequence[object]]]
+
+#: Approximate bytes of raw text per synthetic token (term + separator),
+#: used to report a "collection size" comparable to Table 1's.
+BYTES_PER_TOKEN = 6
+
+
+def table1_collections(runner: BenchRunner) -> Rows:
+    """Table 1: document collection statistics and index file sizes."""
+    headers = (
+        "Collection", "Documents", "Size (KB)",
+        "Records", "B-Tree Size (KB)", "Mneme Size (KB)",
+    )
+    rows = []
+    for profile in PROFILE_ORDER:
+        prepared = runner.workload(profile).prepared
+        systems = runner.systems(profile)
+        rows.append((
+            DISPLAY_NAMES[profile],
+            len(prepared.collection),
+            prepared.collection.total_tokens * BYTES_PER_TOKEN // 1024,
+            prepared.record_count,
+            systems["btree"].index.store.file_size // 1024,
+            systems["mneme-cache"].index.store.file_size // 1024,
+        ))
+    return headers, rows
+
+
+def table2_buffers(runner: BenchRunner) -> Rows:
+    """Table 2: Mneme buffer sizes derived by the paper's heuristics."""
+    headers = ("Collection", "Small (KB)", "Medium (KB)", "Large (KB)")
+    rows = []
+    for profile in PROFILE_ORDER:
+        prepared = runner.workload(profile).prepared
+        sizes = table2_buffer_sizes(prepared.largest_record)
+        rows.append((
+            DISPLAY_NAMES[profile],
+            round(sizes.small / 1024, 1),
+            round(sizes.medium / 1024, 1),
+            round(sizes.large / 1024, 1),
+        ))
+    return headers, rows
+
+
+def _time_rows(runner: BenchRunner, attribute: str) -> Rows:
+    headers = (
+        "Collection", "Query Set", "B-Tree",
+        "Mneme, No Cache", "Mneme, Cache", "Improvement",
+    )
+    rows = []
+    for profile in PROFILE_ORDER:
+        grid = runner.grid(profile)
+        for set_name, cells in grid.cells.items():
+            btree = getattr(cells["btree"], attribute)
+            nocache = getattr(cells["mneme-nocache"], attribute)
+            cache = getattr(cells["mneme-cache"], attribute)
+            rows.append((
+                DISPLAY_NAMES[profile],
+                SET_NUMBERS.get(set_name, set_name),
+                round(btree, 2),
+                round(nocache, 2),
+                round(cache, 2),
+                f"{improvement(btree, cache):.0%}",
+            ))
+    return headers, rows
+
+
+def table3_wall_clock(runner: BenchRunner) -> Rows:
+    """Table 3: wall-clock seconds per query set and configuration."""
+    return _time_rows(runner, "wall_s")
+
+
+def table4_system_io(runner: BenchRunner) -> Rows:
+    """Table 4: system CPU plus I/O wait seconds."""
+    return _time_rows(runner, "system_io_s")
+
+
+def table5_io_stats(runner: BenchRunner) -> Rows:
+    """Table 5: I = disk block inputs, A = accesses/lookup, B = KB read."""
+    headers = (
+        "Collection", "Set",
+        "I b-tree", "A b-tree", "B b-tree",
+        "I no-cache", "A no-cache", "B no-cache",
+        "I cache", "A cache", "B cache",
+    )
+    rows = []
+    for profile in PROFILE_ORDER:
+        grid = runner.grid(profile)
+        for set_name, cells in grid.cells.items():
+            row = [DISPLAY_NAMES[profile], SET_NUMBERS.get(set_name, set_name)]
+            for config in ("btree", "mneme-nocache", "mneme-cache"):
+                metrics = cells[config]
+                row.extend((
+                    metrics.io_inputs,
+                    round(metrics.accesses_per_lookup, 2),
+                    round(metrics.kbytes_from_file),
+                ))
+            rows.append(tuple(row))
+    return headers, rows
+
+
+def table6_hit_rates(runner: BenchRunner) -> Rows:
+    """Table 6: per-pool buffer references, hits, and hit rates."""
+    headers = (
+        "Collection", "Set",
+        "Small refs", "Small hits", "Small rate",
+        "Medium refs", "Medium hits", "Medium rate",
+        "Large refs", "Large hits", "Large rate",
+    )
+    rows = []
+    for profile in PROFILE_ORDER:
+        grid = runner.grid(profile)
+        for set_name, cells in grid.cells.items():
+            stats = cells["mneme-cache"].buffer_stats
+            row = [DISPLAY_NAMES[profile], SET_NUMBERS.get(set_name, set_name)]
+            for pool in ("small", "medium", "large"):
+                pool_stats = stats[pool]
+                row.extend((
+                    pool_stats.refs,
+                    pool_stats.hits,
+                    round(pool_stats.hit_rate, 2),
+                ))
+            rows.append(tuple(row))
+    return headers, rows

@@ -1,0 +1,21 @@
+"""The custom B-tree keyed file package — the paper's baseline.
+
+A disk-page B+-tree mapping term ids to variable-size inverted list
+records, reproducing the properties the paper attributes to INQUERY's
+original storage layer: root-only node caching and a file layout that is
+not matched to the 8 KB device transfer block.
+"""
+
+from .btree import BTreeKeyedFile
+from .node import INLINE_MAX, InteriorNode, LeafNode, parse_node
+from .page import NODE_PAGE_SIZE, PageAllocator
+
+__all__ = [
+    "BTreeKeyedFile",
+    "INLINE_MAX",
+    "InteriorNode",
+    "LeafNode",
+    "NODE_PAGE_SIZE",
+    "PageAllocator",
+    "parse_node",
+]

@@ -1,0 +1,80 @@
+"""Node-page allocation for the B-tree keyed file.
+
+The custom B-tree package the paper replaced stored its index nodes in
+pages whose size was *not* matched to the file system's 8 KB transfer
+block — one of the two deficiencies (with unsophisticated node caching)
+the paper blames for its extra disk traffic.  We reproduce that: node
+pages default to 4 KB, so one FS block read drags in a neighbouring node
+and node boundaries straddle transfer blocks as the file grows.
+
+Pages and the record heap share one simulated file.  A page is addressed
+by its byte offset; :meth:`PageAllocator.allocate` aligns each new page to
+the page size, wasting the tail of any unaligned heap data before it —
+the kind of layout slack a from-scratch package accumulates.
+"""
+
+from ..simdisk import SimFile
+
+#: Default size of one B-tree node page, in bytes.
+NODE_PAGE_SIZE = 4096
+
+
+class PageAllocator:
+    """Allocates page-aligned regions and raw heap space in one file."""
+
+    def __init__(self, file: SimFile, page_size: int = NODE_PAGE_SIZE):
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self._file = file
+        self.page_size = page_size
+
+    @property
+    def file(self) -> SimFile:
+        return self._file
+
+    def allocate_page(self) -> int:
+        """Reserve one page-aligned region at EOF, returning its offset."""
+        end = self._file.size
+        aligned = -(-end // self.page_size) * self.page_size
+        if aligned > end:
+            # Zero-fill the alignment gap so the offset really exists.
+            self._file.write(end, b"\x00" * (aligned - end))
+        self._file.write(aligned, b"\x00" * self.page_size)
+        return aligned
+
+    def write_page(self, offset: int, data: bytes) -> None:
+        """Store one serialized node into its page."""
+        if len(data) > self.page_size:
+            raise ValueError(
+                f"node of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        if offset % self.page_size != 0:
+            raise ValueError(f"offset {offset} is not page-aligned")
+        if len(data) < self.page_size:
+            data = data + b"\x00" * (self.page_size - len(data))
+        self._file.write(offset, data)
+
+    def read_page(self, offset: int) -> bytes:
+        """Fetch one node page: one file access of ``page_size`` bytes."""
+        if offset % self.page_size != 0:
+            raise ValueError(f"offset {offset} is not page-aligned")
+        return self._file.read(offset, self.page_size)
+
+    def heap_append(self, data: bytes) -> int:
+        """Append one record to the heap, returning its data offset.
+
+        The heap allocator writes a 4-byte length header before the
+        record and rounds each allocation up to an 8-byte boundary —
+        ordinary keyed-file bookkeeping, and the reason the B-tree's
+        record region is a little less dense than Mneme's packed
+        segments (visible in Table 1's file sizes and Table 5's raw
+        block transfers).
+        """
+        header = len(data).to_bytes(4, "little")
+        pad = -(len(data) + 4) % 8
+        offset = self._file.append(header + data + b"\x00" * pad)
+        return offset + 4
+
+    def heap_read(self, offset: int, length: int) -> bytes:
+        """Fetch record bytes: one file access of exactly the record."""
+        return self._file.read(offset, length)

@@ -1,0 +1,61 @@
+"""The integrated system: the paper's contribution, assembled.
+
+Pool partitioning thresholds, Table 2 buffer-sizing heuristics, system
+materialization (disk -> FS -> store -> inverted file -> engine), and
+cold-start measurement of the paper's metrics.
+"""
+
+from .config import (
+    CONFIG_NAMES,
+    SystemConfig,
+    config_by_name,
+    table2_buffer_sizes,
+)
+from .experiment import (
+    ExperimentGrid,
+    QUERY_SET_PROFILES,
+    Workload,
+    build_systems,
+    load_workload,
+    run_grid,
+)
+from .metrics import RunMetrics, cold_start, improvement, measure_run
+from .prepared import (
+    IRSystem,
+    PreparedCollection,
+    materialize,
+    prepare_collection,
+)
+from .validate import (
+    ValidationIssue,
+    ValidationReport,
+    check_index,
+    check_store,
+    check_system,
+)
+
+__all__ = [
+    "CONFIG_NAMES",
+    "ExperimentGrid",
+    "IRSystem",
+    "PreparedCollection",
+    "QUERY_SET_PROFILES",
+    "RunMetrics",
+    "ValidationIssue",
+    "ValidationReport",
+    "SystemConfig",
+    "Workload",
+    "build_systems",
+    "check_index",
+    "check_store",
+    "check_system",
+    "cold_start",
+    "config_by_name",
+    "improvement",
+    "load_workload",
+    "materialize",
+    "measure_run",
+    "prepare_collection",
+    "run_grid",
+    "table2_buffer_sizes",
+]

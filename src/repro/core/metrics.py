@@ -1,0 +1,125 @@
+"""Per-run measurement: the quantities behind Tables 3-6.
+
+A measured run reproduces the paper's methodology:
+
+* a **cold start** — the OS file cache is purged (the 32 MB chill file)
+  and every user-space cache is dropped (fresh INQUERY process);
+* timing begins *after* open/initialization and covers only query
+  processing;
+* the reported statistics are
+  - wall-clock time (Table 3),
+  - system CPU + I/O wait (Table 4),
+  - ``I`` = 8 KB blocks actually read from disk,
+    ``A`` = file accesses per record lookup,
+    ``B`` = Kbytes read from the inverted file (Table 5),
+  - per-pool buffer references / hits / rate (Table 6).
+
+The simulation is deterministic, so a single run replaces the paper's
+mean over six runs (their runs differed by <1% anyway).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..inquery import MnemeInvertedFile, QueryResult, RetrievalEngine
+from ..mneme import BufferStats
+from .prepared import IRSystem
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured in one batch run of a query set."""
+
+    system: str
+    query_set: str
+    queries: int
+    wall_s: float
+    user_s: float
+    system_io_s: float
+    io_inputs: int            #: "I": 8 KB blocks read from disk
+    file_accesses: int
+    record_lookups: int
+    bytes_from_file: int
+    buffer_stats: Dict[str, BufferStats] = field(default_factory=dict)
+    results: List[QueryResult] = field(default_factory=list)
+
+    @property
+    def accesses_per_lookup(self) -> float:
+        """"A": average file accesses per inverted list record lookup."""
+        if not self.record_lookups:
+            return 0.0
+        return self.file_accesses / self.record_lookups
+
+    @property
+    def kbytes_from_file(self) -> float:
+        """"B": total Kbytes read from the inverted file."""
+        return self.bytes_from_file / 1024.0
+
+
+def cold_start(system: IRSystem) -> None:
+    """Purge every cache and zero the clock, as each paper run began."""
+    store = system.index.store
+    if isinstance(store, MnemeInvertedFile):
+        store.mfile.drop_user_caches()
+    else:
+        store.tree.drop_user_caches()
+    system.fs.chill()
+    system.clock.reset()
+
+
+def measure_run(
+    system: IRSystem,
+    queries: List[str],
+    query_set_name: str = "",
+    top_k: int = 50,
+    cold: bool = True,
+    keep_results: bool = True,
+) -> RunMetrics:
+    """Run a query set against a system and collect the paper's metrics."""
+    if cold:
+        cold_start(system)
+    store = system.index.store
+    clock_start = system.clock.snapshot()
+    disk_start = system.fs.disk.stats.copy()
+    file_starts = [(f, f.stats.copy()) for f in store.files]
+    lookups_start = store.record_lookups
+    buffers_start: Dict[str, BufferStats] = {}
+    if isinstance(store, MnemeInvertedFile):
+        buffers_start = {k: s.copy() for k, s in store.buffer_stats().items()}
+
+    engine = RetrievalEngine(
+        system.index, top_k=top_k, use_reservation=system.config.use_reservation
+    )
+    results = engine.run_batch(queries)
+
+    elapsed = system.clock.since(clock_start)
+    disk_delta = system.fs.disk.stats - disk_start
+    accesses = sum((f.stats - start).read_calls for f, start in file_starts)
+    bytes_read = sum((f.stats - start).bytes_delivered for f, start in file_starts)
+    buffer_stats: Dict[str, BufferStats] = {}
+    if isinstance(store, MnemeInvertedFile):
+        buffer_stats = {
+            name: stats - buffers_start[name]
+            for name, stats in store.buffer_stats().items()
+        }
+    return RunMetrics(
+        system=system.config.name,
+        query_set=query_set_name,
+        queries=len(queries),
+        wall_s=elapsed.wall_ms / 1000.0,
+        user_s=elapsed.user_ms / 1000.0,
+        system_io_s=elapsed.system_io_ms / 1000.0,
+        io_inputs=disk_delta.blocks_read,
+        file_accesses=accesses,
+        record_lookups=store.record_lookups - lookups_start,
+        bytes_from_file=bytes_read,
+        buffer_stats=buffer_stats,
+        results=results if keep_results else [],
+    )
+
+
+def improvement(baseline: float, measured: float) -> float:
+    """The paper's improvement metric: (B-tree - Mneme) / B-tree."""
+    if baseline <= 0:
+        return 0.0
+    return (baseline - measured) / baseline

@@ -1,0 +1,206 @@
+"""Prepared collections: index once, materialize per backend.
+
+The evaluation builds the *same* inverted file into three storage
+configurations.  Tokenizing and sorting a multi-million-token collection
+three times would triple the (untimed) build cost for no fidelity gain —
+the paper, too, indexed each collection once per storage format from the
+same parsed data.  :class:`PreparedCollection` runs the indexing sort a
+single time (numpy ``lexsort`` over (term, doc, position), the same
+"dominated by a sorting problem" computation as
+:class:`~repro.inquery.IndexBuilder`) and keeps the encoded records;
+:func:`materialize` then bulk-loads them into a fresh simulated machine
+per configuration.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..inquery import (
+    BTreeInvertedFile,
+    CollectionIndex,
+    DocTable,
+    HashDictionary,
+    IndexStats,
+    MnemeInvertedFile,
+    decode_record,
+    encode_record,
+    uncompressed_size,
+)
+from ..simdisk import SimClock, SimDisk, SimFileSystem
+from ..synth import SyntheticCollection, term_string
+from .config import SystemConfig, table2_buffer_sizes
+
+
+@dataclass
+class PreparedCollection:
+    """One collection's index data, independent of storage backend."""
+
+    name: str
+    collection: SyntheticCollection
+    records: List[Tuple[int, bytes]]          #: (term id, encoded record)
+    term_id_of_rank: Dict[int, int]
+    rank_of_term_id: Dict[int, int]
+    df: Dict[int, int]                        #: term id -> document frequency
+    ctf: Dict[int, int]
+    doctable: DocTable
+    stats: IndexStats
+
+    @property
+    def record_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def largest_record(self) -> int:
+        return max(self.stats.record_sizes) if self.stats.record_sizes else 0
+
+    def record_size_of_rank(self, rank: int) -> int:
+        """Inverted list size for a term rank (Figure 2's x axis)."""
+        term_id = self.term_id_of_rank.get(rank)
+        if term_id is None:
+            return 0
+        return self._sizes_by_term_id[term_id]
+
+    def docs_of_rank(self, rank: int) -> Sequence[int]:
+        """Documents containing a term rank (drives relevance synthesis)."""
+        term_id = self.term_id_of_rank.get(rank)
+        if term_id is None:
+            return ()
+        index = self._record_index[term_id]
+        return [doc for doc, _positions in decode_record(self.records[index][1])]
+
+    def __post_init__(self):
+        self._record_index = {tid: i for i, (tid, _r) in enumerate(self.records)}
+        self._sizes_by_term_id = {tid: len(r) for tid, r in self.records}
+
+
+def prepare_collection(collection: SyntheticCollection, name: Optional[str] = None) -> PreparedCollection:
+    """Run the indexing sort and record encoding once for a collection."""
+    ranks, doc_ids, positions = collection.flat_postings()
+    if len(ranks) == 0:
+        raise ConfigError("cannot index an empty collection")
+    order = np.lexsort((positions, doc_ids, ranks))
+    ranks, doc_ids, positions = ranks[order], doc_ids[order], positions[order]
+
+    stats = IndexStats(documents=len(collection), postings=len(ranks))
+    records: List[Tuple[int, bytes]] = []
+    term_id_of_rank: Dict[int, int] = {}
+    df: Dict[int, int] = {}
+    ctf: Dict[int, int] = {}
+
+    distinct_ranks, starts = np.unique(ranks, return_index=True)
+    boundaries = list(starts) + [len(ranks)]
+    # Term ids are assigned in rank order, so records stream out sorted by
+    # term id — the order the B-tree bulk load requires.
+    for i, rank in enumerate(distinct_ranks):
+        term_id = i + 1
+        term_id_of_rank[int(rank)] = term_id
+        lo, hi = boundaries[i], boundaries[i + 1]
+        postings = []
+        docs = doc_ids[lo:hi]
+        poss = positions[lo:hi]
+        doc_breaks = np.nonzero(np.diff(docs))[0] + 1
+        for chunk_docs, chunk_pos in zip(
+            np.split(docs, doc_breaks), np.split(poss, doc_breaks)
+        ):
+            postings.append((int(chunk_docs[0]), tuple(int(p) for p in chunk_pos)))
+        record = encode_record(postings)
+        records.append((term_id, record))
+        df[term_id] = len(postings)
+        ctf[term_id] = hi - lo
+        stats.records += 1
+        stats.compressed_bytes += len(record)
+        stats.uncompressed_bytes += uncompressed_size(postings)
+        stats.record_sizes.append(len(record))
+
+    doctable = DocTable()
+    for doc_index, length in enumerate(collection.doc_lengths):
+        doctable.add(doc_index + 1, int(length))
+
+    return PreparedCollection(
+        name=name or collection.profile.name,
+        collection=collection,
+        records=records,
+        term_id_of_rank=term_id_of_rank,
+        rank_of_term_id={tid: r for r, tid in term_id_of_rank.items()},
+        df=df,
+        ctf=ctf,
+        doctable=doctable,
+        stats=stats,
+    )
+
+
+@dataclass
+class IRSystem:
+    """One materialized system: a simulated machine plus an index."""
+
+    config: SystemConfig
+    fs: SimFileSystem
+    clock: SimClock
+    index: CollectionIndex
+    prepared: PreparedCollection
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+
+def materialize(prepared: PreparedCollection, config: SystemConfig) -> IRSystem:
+    """Build one configuration's system on a fresh simulated machine."""
+    clock = SimClock(cost=config.cost)
+    fs = SimFileSystem(
+        SimDisk(clock),
+        cache_blocks=config.fs_cache_blocks,
+        readahead_blocks=config.readahead_blocks,
+    )
+    if config.backend == "btree":
+        store = BTreeInvertedFile(fs)
+    elif config.backend == "mneme-linked":
+        from ..inquery import LinkedMnemeInvertedFile
+
+        store = LinkedMnemeInvertedFile(
+            fs,
+            medium_segment_bytes=config.medium_segment_bytes,
+            medium_max_bytes=config.medium_max_bytes,
+            chunk_bytes=config.chunk_bytes,
+        )
+    else:
+        store = MnemeInvertedFile(
+            fs,
+            medium_segment_bytes=config.medium_segment_bytes,
+            medium_max_bytes=config.medium_max_bytes,
+        )
+    keys = store.bulk_build(iter(prepared.records))
+    if config.backend.startswith("mneme") and config.cached:
+        store.attach_buffers(
+            table2_buffer_sizes(
+                prepared.largest_record,
+                medium_segment_bytes=config.medium_segment_bytes,
+            )
+        )
+
+    dictionary = HashDictionary(initial_buckets=max(1024, len(prepared.records)))
+    for rank in sorted(prepared.term_id_of_rank):
+        term_id = prepared.term_id_of_rank[rank]
+        entry = dictionary.add(term_string(rank))
+        entry.term_id = term_id
+        entry.df = prepared.df[term_id]
+        entry.ctf = prepared.ctf[term_id]
+        entry.storage_key = keys[term_id]
+
+    doctable = DocTable()
+    for doc_id, length in prepared.doctable.lengths.items():
+        doctable.add(doc_id, length)
+
+    index = CollectionIndex(
+        fs=fs,
+        dictionary=dictionary,
+        doctable=doctable,
+        store=store,
+        stats=prepared.stats,
+        stopwords=frozenset(),
+        stem_fn=str,  # synthetic terms must not be stemmed
+    )
+    return IRSystem(config=config, fs=fs, clock=clock, index=index, prepared=prepared)

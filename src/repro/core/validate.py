@@ -1,0 +1,203 @@
+"""Integrity checking — an ``fsck`` for the index and the store.
+
+A downstream user of a storage system needs a way to audit it.  These
+checks verify every structural invariant the reproduction relies on:
+
+* **Store level** (Mneme): every physical segment referenced by a
+  segment table decodes with a valid CRC; every object-map entry points
+  at a real segment that actually contains the object; logical segments
+  are owned by exactly one pool; live-object counts agree with the
+  tables.
+* **Index level** (any backend): every dictionary entry with a record
+  fetches one that decodes, whose document frequency and collection
+  term frequency match the dictionary statistics, whose postings are
+  strictly ordered, and whose document ids exist in the document table.
+
+Checks never modify anything; they return a report listing each
+violation found.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import ReproError
+from ..inquery import (
+    CollectionIndex,
+    LinkedMnemeInvertedFile,
+    MnemeInvertedFile,
+    decode_record,
+)
+from ..mneme import (
+    DirectorySegment,
+    FixedSlotSegment,
+    MnemeFile,
+    SmallObjectPool,
+    live_oids,
+)
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One violated invariant."""
+
+    where: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.where}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation pass."""
+
+    checks: int = 0
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def problem(self, where: str, message: str) -> None:
+        self.issues.append(ValidationIssue(where, message))
+
+    def merged(self, other: "ValidationReport") -> "ValidationReport":
+        return ValidationReport(
+            checks=self.checks + other.checks, issues=self.issues + other.issues
+        )
+
+
+def check_store(mfile: MnemeFile) -> ValidationReport:
+    """Audit one Mneme file's segments, tables, and ownership maps."""
+    report = ValidationReport()
+    owners = {}
+    for pool in mfile.pools.values():
+        for logseg in pool.logsegs():
+            report.checks += 1
+            if logseg in owners:
+                report.problem(
+                    f"logseg {logseg}",
+                    f"owned by both {owners[logseg]!r} and {pool.name!r}",
+                )
+            owners[logseg] = pool.name
+
+    for pool in mfile.pools.values():
+        codec = FixedSlotSegment if isinstance(pool, SmallObjectPool) else DirectorySegment
+        live_segments = set()
+        for seg_ordinal in range(len(pool._segs)):
+            offset, length = pool._segs.get(seg_ordinal)
+            report.checks += 1
+            if length == 0:
+                continue  # deleted large segment
+            if offset == 0:
+                report.problem(
+                    f"{pool.name} segment {seg_ordinal}",
+                    "table entry was never assigned a file offset",
+                )
+                continue
+            if offset + length > mfile.main.size:
+                report.problem(
+                    f"{pool.name} segment {seg_ordinal}",
+                    f"extent [{offset}, {offset + length}) past EOF {mfile.main.size}",
+                )
+                continue
+            try:
+                codec.from_bytes(mfile.main.read(offset, length))
+                live_segments.add(seg_ordinal)
+            except ReproError as error:
+                report.problem(
+                    f"{pool.name} segment {seg_ordinal}", f"undecodable: {error}"
+                )
+
+        if hasattr(pool, "_omap"):
+            for ordinal in range(len(pool._omap)):
+                report.checks += 1
+                (seg_ordinal,) = pool._omap.get(ordinal)
+                if seg_ordinal == 0xFFFFFFFF:
+                    continue  # tombstone
+                if seg_ordinal >= len(pool._segs):
+                    report.problem(
+                        f"{pool.name} object ordinal {ordinal}",
+                        f"maps to nonexistent segment {seg_ordinal}",
+                    )
+
+        # Every live object must fetch.
+        live = 0
+        for oid in live_oids(pool):
+            report.checks += 1
+            try:
+                pool.fetch(oid)
+                live += 1
+            except ReproError as error:
+                report.problem(f"{pool.name} object {oid}", f"unfetchable: {error}")
+        report.checks += 1
+        if live != pool.live_objects:
+            report.problem(
+                pool.name,
+                f"table shows {live} live objects but pool state says "
+                f"{pool.live_objects}",
+            )
+    return report
+
+
+def check_index(index: CollectionIndex, sample_every: int = 1) -> ValidationReport:
+    """Audit an indexed collection against its dictionary and doc table.
+
+    ``sample_every`` checks one in every N dictionary entries (1 = all),
+    for quick audits of the larger synthetic collections.
+    """
+    report = ValidationReport()
+    if sample_every < 1:
+        sample_every = 1
+    for position, entry in enumerate(index.dictionary.entries()):
+        if position % sample_every:
+            continue
+        where = f"term {entry.term!r}"
+        report.checks += 1
+        if entry.df == 0:
+            continue
+        if entry.storage_key == 0:
+            report.problem(where, "has df > 0 but no storage key")
+            continue
+        try:
+            record = index.store.fetch(entry.storage_key)
+        except ReproError as error:
+            report.problem(where, f"record unfetchable: {error}")
+            continue
+        try:
+            postings = decode_record(record)
+        except ReproError as error:
+            report.problem(where, f"record undecodable: {error}")
+            continue
+        if len(postings) != entry.df:
+            report.problem(
+                where, f"df {entry.df} but record has {len(postings)} postings"
+            )
+        ctf = sum(len(p) for _d, p in postings)
+        if ctf != entry.ctf:
+            report.problem(where, f"ctf {entry.ctf} but record totals {ctf}")
+        last_doc = -1
+        for doc_id, positions in postings:
+            if doc_id <= last_doc:
+                report.problem(where, f"doc ids out of order at {doc_id}")
+                break
+            last_doc = doc_id
+            if doc_id not in index.doctable:
+                report.problem(where, f"posting for unknown document {doc_id}")
+                break
+            if len(positions) > index.doctable.length_of(doc_id):
+                report.problem(
+                    where,
+                    f"tf {len(positions)} exceeds document {doc_id}'s length",
+                )
+                break
+    return report
+
+
+def check_system(index: CollectionIndex, sample_every: int = 1) -> ValidationReport:
+    """Store audit (when the backend is Mneme) plus the index audit."""
+    report = ValidationReport()
+    store = index.store
+    if isinstance(store, (MnemeInvertedFile, LinkedMnemeInvertedFile)):
+        report = report.merged(check_store(store.mfile))
+    return report.merged(check_index(index, sample_every))

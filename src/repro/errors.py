@@ -1,0 +1,85 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class at the public-API boundary.  Subsystems raise the most specific
+subclass that applies; nothing in the library raises bare ``Exception``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the simulated storage substrate."""
+
+
+class DiskFullError(StorageError):
+    """The simulated disk has no free blocks left."""
+
+
+class BadBlockError(StorageError):
+    """A block read failed verification (torn write / corruption)."""
+
+
+class FileSystemError(StorageError):
+    """Errors from the simulated file system layer."""
+
+
+class FileNotFoundInStoreError(FileSystemError):
+    """Named simulated file does not exist."""
+
+
+class BTreeError(ReproError):
+    """Base class for B-tree keyed file errors."""
+
+
+class KeyNotFoundError(BTreeError, KeyError):
+    """Lookup of a key with no record in the keyed file."""
+
+
+class DuplicateKeyError(BTreeError):
+    """Insert of a key that already has a record."""
+
+
+class MnemeError(ReproError):
+    """Base class for Mneme persistent object store errors."""
+
+
+class ObjectNotFoundError(MnemeError, KeyError):
+    """No object with the requested identifier exists."""
+
+
+class InvalidIdentifierError(MnemeError, ValueError):
+    """An object identifier is malformed or out of range."""
+
+
+class PoolError(MnemeError):
+    """An object violates the policies of the pool it was assigned to."""
+
+
+class BufferError_(MnemeError):
+    """Errors from the extensible buffer framework.
+
+    Named with a trailing underscore to avoid shadowing the (obscure)
+    builtin :class:`BufferError`.
+    """
+
+
+class RecoveryError(MnemeError):
+    """The redo log is unusable or inconsistent at restart."""
+
+
+class IndexError_(ReproError):
+    """Errors from inverted file index construction or access.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class QueryError(ReproError):
+    """A structured query could not be parsed or evaluated."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid experiment or system configuration."""

@@ -1,0 +1,134 @@
+"""An INQUERY-style probabilistic full-text retrieval engine.
+
+Tokenizer, stop list, stemmer, open-chaining hash dictionary, compressed
+inverted list records, sort-based indexer, structured query language,
+Bayesian inference network evaluation, and recall/precision metrics.
+The inverted file index is stored through either the custom B-tree
+package or the Mneme persistent object store (:mod:`.invfile`).
+"""
+
+from .daat import DAATResult, DocumentAtATimeEngine
+from .dictionary import HashDictionary, TermEntry
+from .documents import Document, DocTable
+from .engine import QueryResult, RetrievalEngine
+from .evalir import (
+    QueryEvaluation,
+    RECALL_POINTS,
+    SetEvaluation,
+    evaluate_ranking,
+    evaluate_run,
+)
+from .matches import best_window, term_match_positions
+from .indexer import (
+    CollectionIndex,
+    IndexBuilder,
+    IndexStats,
+    add_document_incremental,
+    remove_document_incremental,
+)
+from .invfile import (
+    BTreeInvertedFile,
+    BufferSizes,
+    InvertedFileStore,
+    LARGE_POOL,
+    LinkedMnemeInvertedFile,
+    MEDIUM_MAX_BYTES,
+    MEDIUM_POOL,
+    MnemeInvertedFile,
+    SMALL_MAX_BYTES,
+    SMALL_POOL,
+)
+from .network import BeliefTable, DEFAULT_BELIEF, InferenceNetwork, TermProvider
+from .postings import (
+    Posting,
+    RecordHeader,
+    decode_header,
+    decode_record,
+    encode_record,
+    join_chunk_records,
+    merge_records,
+    remove_document,
+    split_postings,
+    uncompressed_size,
+    vbyte_decode,
+    vbyte_encode,
+    vbyte_length,
+)
+from .query import (
+    OpNode,
+    QueryNode,
+    TermNode,
+    count_nodes,
+    format_query,
+    parse_query,
+    query_terms,
+)
+from .stem import stem
+from .streams import ChunkedRecordStream, PostingStream, WholeRecordStream, merge_streams
+from .stopwords import DEFAULT_STOPWORDS, is_stopword
+from .text import tokenize
+
+__all__ = [
+    "BTreeInvertedFile",
+    "ChunkedRecordStream",
+    "DAATResult",
+    "DocumentAtATimeEngine",
+    "LinkedMnemeInvertedFile",
+    "PostingStream",
+    "WholeRecordStream",
+    "join_chunk_records",
+    "merge_streams",
+    "split_postings",
+    "BeliefTable",
+    "BufferSizes",
+    "CollectionIndex",
+    "DEFAULT_BELIEF",
+    "DEFAULT_STOPWORDS",
+    "DocTable",
+    "Document",
+    "HashDictionary",
+    "IndexBuilder",
+    "IndexStats",
+    "InferenceNetwork",
+    "InvertedFileStore",
+    "LARGE_POOL",
+    "MEDIUM_MAX_BYTES",
+    "MEDIUM_POOL",
+    "MnemeInvertedFile",
+    "OpNode",
+    "Posting",
+    "QueryEvaluation",
+    "QueryNode",
+    "QueryResult",
+    "RECALL_POINTS",
+    "RecordHeader",
+    "RetrievalEngine",
+    "SMALL_MAX_BYTES",
+    "SMALL_POOL",
+    "SetEvaluation",
+    "TermEntry",
+    "TermNode",
+    "TermProvider",
+    "add_document_incremental",
+    "best_window",
+    "count_nodes",
+    "decode_header",
+    "decode_record",
+    "encode_record",
+    "evaluate_ranking",
+    "evaluate_run",
+    "format_query",
+    "is_stopword",
+    "merge_records",
+    "parse_query",
+    "query_terms",
+    "remove_document",
+    "remove_document_incremental",
+    "stem",
+    "term_match_positions",
+    "tokenize",
+    "uncompressed_size",
+    "vbyte_decode",
+    "vbyte_encode",
+    "vbyte_length",
+]

@@ -1,0 +1,146 @@
+"""The open-chaining hash dictionary.
+
+"INQUERY uses an open-chaining hash dictionary to map text strings
+(words) to unique integers called term ids.  The hash dictionary also
+stores summary statistics for each string and resides entirely in main
+memory during query processing."  After the Mneme integration, "the
+Mneme identifier assigned to the object was stored in the INQUERY hash
+dictionary entry for the associated term."
+
+The chains are explicit (an array of buckets of linked entries) rather
+than a Python dict, because the dictionary's growth and collision
+behaviour is part of the system being reproduced; the table doubles when
+the load factor passes 4 chained entries per bucket.
+"""
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..errors import IndexError_
+from ..simdisk import SimFile
+
+
+@dataclass
+class TermEntry:
+    """One dictionary entry: id, collection statistics, storage key."""
+
+    term: str
+    term_id: int
+    df: int = 0         #: document frequency
+    ctf: int = 0        #: collection term frequency
+    storage_key: int = 0  #: B-tree key or Mneme global object id
+    next: Optional["TermEntry"] = None  #: chain link
+
+
+def _hash(term: str) -> int:
+    """FNV-1a over the term bytes; stable across runs (unlike hash())."""
+    h = 0x811C9DC5
+    for byte in term.encode("utf-8"):
+        h = ((h ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return h
+
+
+class HashDictionary:
+    """In-memory open-chaining hash from term string to :class:`TermEntry`."""
+
+    def __init__(self, initial_buckets: int = 1024):
+        if initial_buckets < 1:
+            raise IndexError_("dictionary needs at least one bucket")
+        self._buckets: List[Optional[TermEntry]] = [None] * initial_buckets
+        self._count = 0
+        self._next_id = 1  # term id 0 is reserved
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    def lookup(self, term: str) -> Optional[TermEntry]:
+        """Return the entry for ``term`` or ``None``."""
+        entry = self._buckets[_hash(term) % len(self._buckets)]
+        while entry is not None:
+            if entry.term == term:
+                return entry
+            entry = entry.next
+        return None
+
+    def add(self, term: str) -> TermEntry:
+        """Return the entry for ``term``, creating it with a fresh id."""
+        entry = self.lookup(term)
+        if entry is not None:
+            return entry
+        if self._count >= 4 * len(self._buckets):
+            self._grow()
+        entry = TermEntry(term=term, term_id=self._next_id)
+        self._next_id += 1
+        index = _hash(term) % len(self._buckets)
+        entry.next = self._buckets[index]
+        self._buckets[index] = entry
+        self._count += 1
+        return entry
+
+    def entries(self) -> Iterator[TermEntry]:
+        """Every entry, in no particular order."""
+        for head in self._buckets:
+            entry = head
+            while entry is not None:
+                yield entry
+                entry = entry.next
+
+    def by_id(self) -> dict:
+        """term id -> entry map (built on demand; ids are query-time keys)."""
+        return {entry.term_id: entry for entry in self.entries()}
+
+    def _grow(self) -> None:
+        old = self._buckets
+        self._buckets = [None] * (len(old) * 2)
+        self._count = 0
+        next_id = self._next_id
+        for head in old:
+            entry = head
+            while entry is not None:
+                following = entry.next
+                index = _hash(entry.term) % len(self._buckets)
+                entry.next = self._buckets[index]
+                self._buckets[index] = entry
+                self._count += 1
+                entry = following
+        self._next_id = next_id
+
+    # -- persistence -----------------------------------------------------------
+
+    _REC = struct.Struct("<IIIQH")  # term id, df, ctf, storage key, term length
+
+    def save(self, file: SimFile) -> None:
+        """Serialize to a simulated file (loaded fully at system open)."""
+        parts = [struct.pack("<II", self._count, self._next_id)]
+        for entry in self.entries():
+            raw = entry.term.encode("utf-8")
+            parts.append(
+                self._REC.pack(entry.term_id, entry.df, entry.ctf, entry.storage_key, len(raw))
+            )
+            parts.append(raw)
+        file.truncate(0)
+        file.write(0, b"".join(parts))
+
+    @classmethod
+    def load(cls, file: SimFile) -> "HashDictionary":
+        """Rebuild a dictionary from :meth:`save` output."""
+        raw = file.read(0, file.size)
+        if len(raw) < 8:
+            raise IndexError_("dictionary file truncated")
+        count, next_id = struct.unpack_from("<II", raw, 0)
+        dictionary = cls(initial_buckets=max(1024, count // 2))
+        pos = 8
+        for _ in range(count):
+            term_id, df, ctf, key, term_len = cls._REC.unpack_from(raw, pos)
+            pos += cls._REC.size
+            term = raw[pos:pos + term_len].decode("utf-8")
+            pos += term_len
+            entry = dictionary.add(term)
+            entry.term_id, entry.df, entry.ctf, entry.storage_key = term_id, df, ctf, key
+        dictionary._next_id = next_id
+        return dictionary

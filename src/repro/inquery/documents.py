@@ -1,0 +1,97 @@
+"""Documents and the per-document statistics table."""
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+from ..errors import IndexError_
+from ..simdisk import SimFile
+
+
+@dataclass(frozen=True)
+class Document:
+    """One document handed to the indexer.
+
+    ``tokens`` may be supplied pre-tokenized (synthetic workloads build
+    token streams directly); otherwise the indexer tokenizes ``text``.
+    """
+
+    doc_id: int
+    name: str = ""
+    text: str = ""
+    tokens: Sequence[str] = ()
+
+    def term_stream(self, tokenizer) -> List[str]:
+        """The token sequence to index."""
+        if self.tokens:
+            return list(self.tokens)
+        return tokenizer(self.text)
+
+
+@dataclass
+class DocTable:
+    """Document lengths and names; needed for belief normalization."""
+
+    lengths: Dict[int, int] = field(default_factory=dict)
+    names: Dict[int, str] = field(default_factory=dict)
+
+    def add(self, doc_id: int, length: int, name: str = "") -> None:
+        if doc_id in self.lengths:
+            raise IndexError_(f"duplicate document id {doc_id}")
+        self.lengths[doc_id] = length
+        if name:
+            self.names[doc_id] = name
+
+    def __len__(self) -> int:
+        return len(self.lengths)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self.lengths
+
+    def doc_ids(self) -> Iterator[int]:
+        return iter(self.lengths)
+
+    @property
+    def total_length(self) -> int:
+        return sum(self.lengths.values())
+
+    @property
+    def average_length(self) -> float:
+        return self.total_length / len(self.lengths) if self.lengths else 0.0
+
+    def length_of(self, doc_id: int) -> int:
+        try:
+            return self.lengths[doc_id]
+        except KeyError:
+            raise IndexError_(f"unknown document id {doc_id}") from None
+
+    def remove(self, doc_id: int) -> None:
+        self.lengths.pop(doc_id, None)
+        self.names.pop(doc_id, None)
+
+    # -- persistence -----------------------------------------------------------
+
+    _REC = struct.Struct("<IIH")  # doc id, length, name length
+
+    def save(self, file: SimFile) -> None:
+        parts = [struct.pack("<I", len(self.lengths))]
+        for doc_id in sorted(self.lengths):
+            raw = self.names.get(doc_id, "").encode("utf-8")
+            parts.append(self._REC.pack(doc_id, self.lengths[doc_id], len(raw)))
+            parts.append(raw)
+        file.truncate(0)
+        file.write(0, b"".join(parts))
+
+    @classmethod
+    def load(cls, file: SimFile) -> "DocTable":
+        raw = file.read(0, file.size)
+        (count,) = struct.unpack_from("<I", raw, 0)
+        table = cls()
+        pos = 4
+        for _ in range(count):
+            doc_id, length, name_len = cls._REC.unpack_from(raw, pos)
+            pos += cls._REC.size
+            name = raw[pos:pos + name_len].decode("utf-8")
+            pos += name_len
+            table.add(doc_id, length, name)
+        return table

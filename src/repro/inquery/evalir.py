@@ -1,0 +1,116 @@
+"""Recall / precision evaluation.
+
+"Traditionally, IR system performance has been measured in terms of
+recall and precision.  The portion of the system that determines those
+factors is fixed across the two systems we are comparing."  We still
+implement the metrics: they let the integration tests assert that every
+storage configuration returns *identical* rankings (and therefore
+identical recall/precision), which is the paper's premise.
+
+A relevance file "lists the documents that should have been retrieved
+for each query"; here that is a mapping from query index to a set of
+relevant document ids.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from ..errors import ConfigError
+
+#: The standard 11 recall points for interpolated precision.
+RECALL_POINTS = tuple(i / 10 for i in range(11))
+
+
+@dataclass(frozen=True)
+class QueryEvaluation:
+    """Recall/precision facts for one query's ranking."""
+
+    retrieved: int
+    relevant: int
+    relevant_retrieved: int
+    average_precision: float
+    r_precision: float
+    interpolated: "tuple[float, ...]"  #: precision at the 11 recall points
+
+    @property
+    def recall(self) -> float:
+        return self.relevant_retrieved / self.relevant if self.relevant else 0.0
+
+    @property
+    def precision(self) -> float:
+        return self.relevant_retrieved / self.retrieved if self.retrieved else 0.0
+
+
+def evaluate_ranking(ranking: Sequence[int], relevant: Set[int]) -> QueryEvaluation:
+    """Score one ranked document-id list against its relevance set."""
+    if not relevant:
+        raise ConfigError("relevance set is empty")
+    hits = 0
+    precision_sum = 0.0
+    precision_at_rank: List[float] = []
+    recall_at_rank: List[float] = []
+    r_precision = 0.0
+    for rank, doc_id in enumerate(ranking, start=1):
+        if doc_id in relevant:
+            hits += 1
+            precision_sum += hits / rank
+        precision_at_rank.append(hits / rank)
+        recall_at_rank.append(hits / len(relevant))
+        if rank == len(relevant):
+            r_precision = hits / rank
+    if len(ranking) < len(relevant):
+        r_precision = hits / len(relevant)
+    interpolated = []
+    for point in RECALL_POINTS:
+        best = 0.0
+        for precision, recall in zip(precision_at_rank, recall_at_rank):
+            if recall >= point and precision > best:
+                best = precision
+        interpolated.append(best)
+    return QueryEvaluation(
+        retrieved=len(ranking),
+        relevant=len(relevant),
+        relevant_retrieved=hits,
+        average_precision=precision_sum / len(relevant),
+        r_precision=r_precision,
+        interpolated=tuple(interpolated),
+    )
+
+
+@dataclass(frozen=True)
+class SetEvaluation:
+    """Macro-averaged metrics over a query set."""
+
+    queries: int
+    mean_average_precision: float
+    mean_r_precision: float
+    mean_interpolated: "tuple[float, ...]"
+
+
+def evaluate_run(
+    rankings: Sequence[Sequence[int]], relevance: Dict[int, Set[int]]
+) -> SetEvaluation:
+    """Evaluate a whole batch run against its relevance file.
+
+    ``relevance`` maps query index (position in ``rankings``) to the
+    relevant document ids; queries without judgments are skipped, as
+    standard IR evaluation does.
+    """
+    evaluations = [
+        evaluate_ranking(ranking, relevance[i])
+        for i, ranking in enumerate(rankings)
+        if i in relevance and relevance[i]
+    ]
+    if not evaluations:
+        raise ConfigError("no judged queries in the run")
+    count = len(evaluations)
+    mean_interp = tuple(
+        sum(e.interpolated[j] for e in evaluations) / count
+        for j in range(len(RECALL_POINTS))
+    )
+    return SetEvaluation(
+        queries=count,
+        mean_average_precision=sum(e.average_precision for e in evaluations) / count,
+        mean_r_precision=sum(e.r_precision for e in evaluations) / count,
+        mean_interpolated=mean_interp,
+    )

@@ -1,0 +1,345 @@
+"""Collection indexing: building the inverted file.
+
+"Indexing a large collection can be very expensive because it is
+dominated by a sorting problem, where the inverted list entries for every
+term appearance in the collection are sorted by term identifier and
+document identifier."  :class:`IndexBuilder` implements exactly that:
+term appearances accumulate as (term id, doc id, position) triples,
+spill into sorted runs when the in-memory budget is reached, and a k-way
+merge over the runs streams records (in term-id order) into whichever
+:class:`~repro.inquery.invfile.InvertedFileStore` backs the index.
+
+The result is a :class:`CollectionIndex`: the hash dictionary, document
+table, and storage backend bound together, ready for the retrieval
+engine.
+"""
+
+import heapq
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Tuple
+
+from ..errors import IndexError_
+from ..simdisk import SimFileSystem
+from .dictionary import HashDictionary
+from .documents import Document, DocTable
+from .invfile import InvertedFileStore
+from .postings import Posting, encode_record, merge_records, uncompressed_size
+from .stem import stem as default_stem
+from .text import tokenize
+
+
+@dataclass
+class IndexStats:
+    """Facts gathered while building (feeds Table 1 and Figure 1)."""
+
+    documents: int = 0
+    postings: int = 0
+    records: int = 0
+    compressed_bytes: int = 0
+    uncompressed_bytes: int = 0
+    record_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def compression_rate(self) -> float:
+        """Fraction of space saved by compression (the paper's ~60%)."""
+        if not self.uncompressed_bytes:
+            return 0.0
+        return 1.0 - self.compressed_bytes / self.uncompressed_bytes
+
+
+@dataclass
+class CollectionIndex:
+    """An indexed collection: dictionary + documents + inverted file."""
+
+    fs: SimFileSystem
+    dictionary: HashDictionary
+    doctable: DocTable
+    store: InvertedFileStore
+    stats: IndexStats
+    stopwords: frozenset = frozenset()
+    stem_fn: Callable[[str], str] = default_stem
+
+    def term_entry(self, raw_term: str):
+        """Dictionary entry for a raw (unstemmed) term, or ``None``."""
+        token = raw_term.lower()
+        if token in self.stopwords:
+            return None
+        return self.dictionary.lookup(self.stem_fn(token))
+
+    _STATS = struct.Struct("<QQQQQ")
+
+    def save(self) -> None:
+        """Persist the dictionary, document table, and scalar statistics."""
+        for name, saver in (
+            ("index.dict", self.dictionary.save),
+            ("index.docs", self.doctable.save),
+        ):
+            file = self.fs.open(name) if self.fs.exists(name) else self.fs.create(name)
+            saver(file)
+        stats_name = "index.stats"
+        stats_file = (
+            self.fs.open(stats_name)
+            if self.fs.exists(stats_name)
+            else self.fs.create(stats_name)
+        )
+        stats_file.write(0, self._STATS.pack(
+            self.stats.documents,
+            self.stats.postings,
+            self.stats.records,
+            self.stats.compressed_bytes,
+            self.stats.uncompressed_bytes,
+        ))
+        self.store.flush()
+
+    @classmethod
+    def open(
+        cls,
+        fs: SimFileSystem,
+        store: InvertedFileStore,
+        stopwords: Iterable[str] = (),
+        stem_fn: Callable[[str], str] = default_stem,
+    ) -> "CollectionIndex":
+        """Bind a previously saved index: the fresh-process open path.
+
+        ``store`` must be constructed over the same file system with the
+        same backend configuration the index was built with (backend
+        choice is application configuration, as with Mneme pools).
+        Per-record sizes are not persisted; the restored ``stats`` holds
+        the scalar totals only.
+        """
+        dictionary = HashDictionary.load(fs.open("index.dict"))
+        doctable = DocTable.load(fs.open("index.docs"))
+        stats = IndexStats()
+        if fs.exists("index.stats"):
+            raw = fs.open("index.stats").read(0, cls._STATS.size)
+            (stats.documents, stats.postings, stats.records,
+             stats.compressed_bytes, stats.uncompressed_bytes) = cls._STATS.unpack(raw)
+        return cls(
+            fs=fs,
+            dictionary=dictionary,
+            doctable=doctable,
+            store=store,
+            stats=stats,
+            stopwords=frozenset(stopwords),
+            stem_fn=stem_fn,
+        )
+
+
+class IndexBuilder:
+    """Builds a :class:`CollectionIndex` with an external-sort pipeline.
+
+    Parameters
+    ----------
+    fs, store:
+        The simulated file system and the storage backend to populate.
+    stopwords:
+        Terms to drop.  Synthetic workloads usually pass an empty set.
+    stem_fn:
+        Token normalizer; pass ``str`` (identity) to disable stemming.
+    run_limit:
+        In-memory posting-triple budget before a sorted run is spilled.
+    """
+
+    def __init__(
+        self,
+        fs: SimFileSystem,
+        store: InvertedFileStore,
+        stopwords: Iterable[str] = (),
+        stem_fn: Callable[[str], str] = default_stem,
+        run_limit: int = 500_000,
+    ):
+        if run_limit < 1:
+            raise IndexError_("run_limit must be positive")
+        self._fs = fs
+        self._store = store
+        self._stopwords = frozenset(stopwords)
+        self._stem = stem_fn
+        self._run_limit = run_limit
+        self._dictionary = HashDictionary()
+        self._doctable = DocTable()
+        self._current: List[Tuple[int, int, int]] = []  # (term id, doc, position)
+        self._runs: List[List[Tuple[int, int, int]]] = []
+        self._finalized = False
+
+    def add_document(self, document: Document) -> None:
+        """Tokenize, normalize, and accumulate one document's postings."""
+        if self._finalized:
+            raise IndexError_("builder already finalized")
+        tokens = document.term_stream(tokenize)
+        kept = 0
+        for position, token in enumerate(tokens):
+            if token in self._stopwords:
+                continue
+            entry = self._dictionary.add(self._stem(token))
+            self._current.append((entry.term_id, document.doc_id, position))
+            kept += 1
+        self._doctable.add(document.doc_id, kept, document.name)
+        if len(self._current) >= self._run_limit:
+            self._spill()
+
+    def add_documents(self, documents: Iterable[Document]) -> None:
+        for document in documents:
+            self.add_document(document)
+
+    def _spill(self) -> None:
+        """Close the current run: sort by (term id, doc id, position)."""
+        if self._current:
+            self._current.sort()
+            self._runs.append(self._current)
+            self._current = []
+
+    def _merged_records(self, stats: IndexStats) -> Iterator[Tuple[int, bytes]]:
+        """K-way merge of runs, grouped into one encoded record per term."""
+        merged = heapq.merge(*self._runs)
+        term_id = None
+        postings: List[Posting] = []
+        doc_id = None
+        positions: List[int] = []
+
+        def close_doc():
+            if doc_id is not None:
+                postings.append((doc_id, tuple(positions)))
+
+        def close_term():
+            close_doc()
+            if term_id is not None and postings:
+                record = encode_record(postings)
+                stats.records += 1
+                stats.compressed_bytes += len(record)
+                stats.uncompressed_bytes += uncompressed_size(postings)
+                stats.record_sizes.append(len(record))
+                yield term_id, record
+
+        for tid, doc, position in merged:
+            stats.postings += 1
+            if tid != term_id:
+                yield from close_term()
+                term_id, postings = tid, []
+                doc_id, positions = doc, [position]
+            elif doc != doc_id:
+                close_doc()
+                doc_id, positions = doc, [position]
+            else:
+                positions.append(position)
+        yield from close_term()
+
+    def finalize(self) -> CollectionIndex:
+        """Sort-merge everything into the store and bind the index."""
+        if self._finalized:
+            raise IndexError_("builder already finalized")
+        self._finalized = True
+        self._spill()
+        stats = IndexStats(documents=len(self._doctable))
+        keys = self._store.bulk_build(self._merged_records(stats))
+        by_id = self._dictionary.by_id()
+        # Push per-term statistics back into the dictionary.
+        for entry in self._dictionary.entries():
+            entry.storage_key = keys.get(entry.term_id, 0)
+        self._recount_stats(by_id)
+        index = CollectionIndex(
+            fs=self._fs,
+            dictionary=self._dictionary,
+            doctable=self._doctable,
+            store=self._store,
+            stats=stats,
+            stopwords=self._stopwords,
+            stem_fn=self._stem,
+        )
+        index.save()
+        return index
+
+    def _recount_stats(self, by_id: Dict[int, object]) -> None:
+        """Recompute df/ctf per term from the runs (single pass)."""
+        df: Dict[int, int] = {}
+        ctf: Dict[int, int] = {}
+        last: Dict[int, int] = {}
+        for run in self._runs:
+            for term_id, doc_id, _position in run:
+                ctf[term_id] = ctf.get(term_id, 0) + 1
+                if last.get(term_id) != doc_id:
+                    df[term_id] = df.get(term_id, 0) + 1
+                    last[term_id] = doc_id
+        for term_id, entry in by_id.items():
+            entry.df = df.get(term_id, 0)
+            entry.ctf = ctf.get(term_id, 0)
+
+
+def add_document_incremental(index: CollectionIndex, document: Document) -> None:
+    """Add one document to an existing index, record by record.
+
+    This is the operation the paper says classic INQUERY does *not*
+    support ("addition or deletion of a single document ... requires the
+    entire document collection to be re-indexed") and that a persistent
+    object store makes tractable.  Each touched term's record is fetched,
+    merged, and written back through the storage backend, which may
+    relocate it (pool change) — the dictionary entry is updated when the
+    storage key changes.
+    """
+    if document.doc_id in index.doctable:
+        raise IndexError_(f"document id {document.doc_id} already indexed")
+    tokens = document.term_stream(tokenize)
+    by_term: Dict[str, List[int]] = {}
+    kept = 0
+    for position, token in enumerate(tokens):
+        if token in index.stopwords:
+            continue
+        by_term.setdefault(index.stem_fn(token), []).append(position)
+        kept += 1
+    index.doctable.add(document.doc_id, kept, document.name)
+    for term, positions in sorted(by_term.items()):
+        entry = index.dictionary.add(term)
+        posting = (document.doc_id, tuple(positions))
+        if entry.df == 0 or entry.storage_key == 0:
+            record = encode_record([posting])
+            entry.storage_key = index.store.add_record(entry.term_id, record)
+        else:
+            old = index.store.fetch(entry.storage_key)
+            record = merge_records(old, [posting])
+            entry.storage_key = index.store.update_record(entry.storage_key, record)
+        entry.df += 1
+        entry.ctf += len(positions)
+    index.stats.documents += 1
+    index.stats.postings += kept
+    # Per-document updates are durable: open segments and tables are
+    # written out (through the write-ahead log, when one is attached).
+    index.store.flush()
+
+
+def remove_document_incremental(index: CollectionIndex, doc_id: int) -> int:
+    """Delete one document from every record that mentions it.
+
+    Returns the number of records rewritten.  Record shrinkage "creates
+    holes in the inverted lists" (Section 2); here the pools absorb the
+    slack.  Terms whose record becomes empty keep a zero-df dictionary
+    entry (INQUERY term ids are never reused).
+    """
+    if doc_id not in index.doctable:
+        raise IndexError_(f"unknown document id {doc_id}")
+    rewritten = 0
+    for entry in index.dictionary.entries():
+        if entry.df == 0 or entry.storage_key == 0:
+            continue
+        old = index.store.fetch(entry.storage_key)
+        from .postings import decode_record
+
+        postings = decode_record(old)
+        kept = [(d, p) for d, p in postings if d != doc_id]
+        if len(kept) == len(postings):
+            continue
+        removed_positions = sum(len(p) for d, p in postings if d == doc_id)
+        if kept:
+            entry.storage_key = index.store.update_record(
+                entry.storage_key, encode_record(kept)
+            )
+        else:
+            entry.storage_key = index.store.update_record(
+                entry.storage_key, encode_record([])
+            )
+        entry.df -= 1
+        entry.ctf -= removed_positions
+        rewritten += 1
+    index.doctable.remove(doc_id)
+    index.stats.documents -= 1
+    index.store.flush()
+    return rewritten

@@ -1,0 +1,383 @@
+"""Inverted file storage backends.
+
+The record format is fixed (:mod:`repro.inquery.postings`); what varies
+is the subsystem that stores the records.  :class:`BTreeInvertedFile` is
+the original custom keyed file; :class:`MnemeInvertedFile` is the paper's
+integration, partitioning records into the three pools by size:
+
+* at most 12 bytes            -> small object pool (16-byte slots, 4 KB segments)
+* more than 12 B, at most 4 KB -> medium object pool (8 KB segments)
+* more than 4 KB               -> large object pool (own segment)
+
+and storing the returned Mneme identifier in the term's hash dictionary
+entry.  The "Mneme, Cache" configuration attaches an LRU buffer per pool
+(sized per Table 2); "Mneme, No Cache" leaves the default NullBuffer so
+no inverted list data is retained across record accesses.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..btree import BTreeKeyedFile
+from ..errors import PoolError
+from ..mneme import (
+    ChunkedLargeObjectPool,
+    LargeObjectPool,
+    LRUBuffer,
+    MediumObjectPool,
+    MnemeStore,
+    SmallObjectPool,
+    delete_linked,
+    iter_linked,
+    split_global,
+    write_linked_parts,
+)
+from .postings import (
+    decode_record,
+    encode_record,
+    join_chunk_records,
+    merge_records,
+    split_postings,
+)
+from .streams import ChunkedRecordStream, PostingStream, WholeRecordStream
+from ..simdisk import SimFile, SimFileSystem
+
+#: Pool ids used by the integrated system.
+SMALL_POOL, MEDIUM_POOL, LARGE_POOL = 1, 2, 3
+
+#: Size partition thresholds (bytes), from Section 3.3 of the paper.
+SMALL_MAX_BYTES = 12
+MEDIUM_MAX_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class BufferSizes:
+    """Per-pool buffer budgets in bytes (Table 2 gives them in Kbytes)."""
+
+    small: int
+    medium: int
+    large: int
+
+
+class InvertedFileStore:
+    """Interface both backends implement.
+
+    ``storage_key`` is whatever the backend hands back at record-creation
+    time: the term id itself for the B-tree, a Mneme global object id for
+    the object store.  The dictionary stores it opaquely.
+    """
+
+    #: Number of record lookups performed (denominator of Table 5's "A").
+    record_lookups: int = 0
+
+    def bulk_build(self, records: Iterable[Tuple[int, bytes]]) -> Dict[int, int]:
+        """Store records (term-id order) and return term id -> storage key."""
+        raise NotImplementedError
+
+    def fetch(self, key: int) -> bytes:
+        """Retrieve one record by storage key."""
+        raise NotImplementedError
+
+    def reserve(self, key: int) -> bool:
+        """Pin the record's buffered segment if resident (no-op if unsupported)."""
+        return False
+
+    def release_reservations(self) -> None:
+        return None
+
+    def add_record(self, term_id: int, data: bytes) -> int:
+        """Store a new record, returning its storage key."""
+        raise NotImplementedError
+
+    def update_record(self, key: int, data: bytes) -> int:
+        """Replace a record; returns the (possibly new) storage key."""
+        raise NotImplementedError
+
+    def stream_postings(self, key: int) -> PostingStream:
+        """A sequential posting reader over one record.
+
+        The default transfers the whole record (one lookup) and streams
+        from memory; backends that store records in independently
+        decodable pieces override this to keep only one piece resident —
+        the document-at-a-time enabler.
+        """
+        return WholeRecordStream(self.fetch(key))
+
+    def flush(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def files(self) -> List[SimFile]:
+        """Every simulated file the backend reads during query processing."""
+        raise NotImplementedError
+
+    @property
+    def file_size(self) -> int:
+        """Total index size on disk (Table 1)."""
+        return sum(f.size for f in self.files)
+
+
+class BTreeInvertedFile(InvertedFileStore):
+    """The custom B-tree keyed file backend (the baseline)."""
+
+    def __init__(self, fs: SimFileSystem, name: str = "invfile"):
+        file_name = f"{name}.btree"
+        file = fs.open(file_name) if fs.exists(file_name) else fs.create(file_name)
+        self.tree = BTreeKeyedFile(file)
+        self.record_lookups = 0
+
+    def bulk_build(self, records: Iterable[Tuple[int, bytes]]) -> Dict[int, int]:
+        keys: Dict[int, int] = {}
+
+        def counted():
+            for term_id, data in records:
+                keys[term_id] = term_id
+                yield term_id, data
+
+        self.tree.bulk_load(counted())
+        return keys
+
+    def fetch(self, key: int) -> bytes:
+        self.record_lookups += 1
+        return self.tree.lookup(key)
+
+    def add_record(self, term_id: int, data: bytes) -> int:
+        self.tree.insert(term_id, data)
+        return term_id
+
+    def update_record(self, key: int, data: bytes) -> int:
+        self.tree.replace(key, data)
+        return key
+
+    def flush(self) -> None:
+        self.tree.sync()
+
+    @property
+    def files(self) -> List[SimFile]:
+        return [self.tree._pages.file]
+
+    @property
+    def height(self) -> int:
+        return self.tree.height
+
+
+class MnemeInvertedFile(InvertedFileStore):
+    """The persistent object store backend (the paper's contribution)."""
+
+    #: Pool class used for records above the medium threshold.
+    LARGE_POOL_FACTORY = LargeObjectPool
+
+    def __init__(
+        self,
+        fs: SimFileSystem,
+        name: str = "invfile",
+        buffer_sizes: Optional[BufferSizes] = None,
+        medium_segment_bytes: int = 8192,
+        medium_max_bytes: int = MEDIUM_MAX_BYTES,
+        wal=None,
+    ):
+        self.store = MnemeStore(fs)
+        self.mfile = self.store.open_file(name, wal=wal)
+        self.medium_max_bytes = medium_max_bytes
+        self.small = self.mfile.create_pool(SMALL_POOL, SmallObjectPool)
+        self.medium = self.mfile.create_pool(
+            MEDIUM_POOL,
+            MediumObjectPool,
+            segment_bytes=medium_segment_bytes,
+            max_object_bytes=medium_max_bytes,
+        )
+        self.large = self.mfile.create_pool(LARGE_POOL, self.LARGE_POOL_FACTORY)
+        self.mfile.load()
+        self.record_lookups = 0
+        self.cached = buffer_sizes is not None
+        if buffer_sizes is not None:
+            self.attach_buffers(buffer_sizes)
+
+    def attach_buffers(self, sizes: BufferSizes) -> None:
+        """Attach one LRU buffer per pool, as the integrated system does.
+
+        "Each object pool was attached to a separate buffer, allowing the
+        global buffer space to be divided between the object pools based
+        on expected access patterns and memory requirements."
+        """
+        self.small.attach_buffer(LRUBuffer(sizes.small))
+        self.medium.attach_buffer(LRUBuffer(sizes.medium))
+        self.large.attach_buffer(LRUBuffer(sizes.large))
+        self.cached = True
+
+    def _pool_for(self, data: bytes):
+        if len(data) <= SMALL_MAX_BYTES:
+            return self.small
+        if len(data) <= self.medium_max_bytes:
+            return self.medium
+        return self.large
+
+    def bulk_build(self, records: Iterable[Tuple[int, bytes]]) -> Dict[int, int]:
+        keys: Dict[int, int] = {}
+        for term_id, data in records:
+            oid = self._pool_for(data).create(data)
+            keys[term_id] = self.store.global_id(self.mfile, oid)
+        self.flush()
+        return keys
+
+    def fetch(self, key: int) -> bytes:
+        self.record_lookups += 1
+        return self.store.fetch(key)
+
+    def reserve(self, key: int) -> bool:
+        return self.store.reserve(key)
+
+    def release_reservations(self) -> None:
+        self.store.release_reservations()
+
+    def add_record(self, term_id: int, data: bytes) -> int:
+        oid = self._pool_for(data).create(data)
+        return self.store.global_id(self.mfile, oid)
+
+    def update_record(self, key: int, data: bytes) -> int:
+        """Modify in place when the pool allows it, else re-home the record.
+
+        Growing past a pool's limits relocates the record to the right
+        pool and returns a new key; the old object is deleted (its space
+        management is the pool's concern).
+        """
+        _file_no, oid = split_global(key)
+        old = self.mfile.fetch(oid)
+        same_category = self._pool_for(old) is self._pool_for(data)
+        if same_category:
+            try:
+                self.mfile.modify(oid, data)
+                return key
+            except PoolError:
+                pass  # e.g. grown medium object no longer fits its segment
+        self.mfile.delete(oid)
+        new_oid = self._pool_for(data).create(data)
+        return self.store.global_id(self.mfile, new_oid)
+
+    def flush(self) -> None:
+        self.store.flush()
+
+    @property
+    def files(self) -> List[SimFile]:
+        return self.mfile.files
+
+    def buffer_stats(self) -> Dict[str, "object"]:
+        """Per-pool buffer statistics (Table 6)."""
+        return {
+            "small": self.small.buffer.stats,
+            "medium": self.medium.buffer.stats,
+            "large": self.large.buffer.stats,
+        }
+
+    def pool_object_counts(self) -> Dict[str, int]:
+        return {
+            "small": self.small.objects_created,
+            "medium": self.medium.objects_created,
+            "large": self.large.objects_created,
+        }
+
+
+class LinkedMnemeInvertedFile(MnemeInvertedFile):
+    """Mneme backend storing large records as linked chunk chains.
+
+    The paper's future-work data model, applied to the inverted file:
+    records above the medium threshold are split into self-contained
+    mini-records (:func:`~repro.inquery.postings.split_postings`) and
+    stored as a chain of chunk objects.  Three capabilities follow:
+
+    * :meth:`stream_postings` keeps only one chunk resident at a time,
+      enabling document-at-a-time evaluation
+      (:class:`~repro.inquery.daat.DocumentAtATimeEngine`);
+    * growing a record appends chunks instead of relocating megabytes;
+    * a prefix of a huge record can be retrieved without the rest.
+
+    ``fetch`` remains available (it reassembles the chain), so the
+    term-at-a-time engine runs unchanged on this backend.
+    """
+
+    LARGE_POOL_FACTORY = ChunkedLargeObjectPool
+
+    def __init__(self, *args, chunk_bytes: int = 16384, **kwargs):
+        super().__init__(*args, **kwargs)
+        if chunk_bytes < 64:
+            raise PoolError("chunk_bytes too small for a useful mini-record")
+        self.chunk_bytes = chunk_bytes
+
+    def _create_large(self, data: bytes) -> int:
+        slices = split_postings(decode_record(data), self.chunk_bytes)
+        parts = [encode_record(postings) for postings in slices]
+        return write_linked_parts(self.large, parts)
+
+    def _is_large_key(self, key: int) -> bool:
+        _file_no, oid = split_global(key)
+        from ..mneme import logical_segment
+
+        return self.large.owns_logseg(logical_segment(oid))
+
+    def bulk_build(self, records: Iterable[Tuple[int, bytes]]) -> Dict[int, int]:
+        keys: Dict[int, int] = {}
+        for term_id, data in records:
+            pool = self._pool_for(data)
+            if pool is self.large:
+                oid = self._create_large(data)
+            else:
+                oid = pool.create(data)
+            keys[term_id] = self.store.global_id(self.mfile, oid)
+        self.flush()
+        return keys
+
+    def add_record(self, term_id: int, data: bytes) -> int:
+        pool = self._pool_for(data)
+        oid = self._create_large(data) if pool is self.large else pool.create(data)
+        return self.store.global_id(self.mfile, oid)
+
+    def fetch(self, key: int) -> bytes:
+        if not self._is_large_key(key):
+            return super().fetch(key)
+        self.record_lookups += 1
+        _file_no, oid = split_global(key)
+        return join_chunk_records(list(iter_linked(self.large, oid)))
+
+    def stream_postings(self, key: int) -> PostingStream:
+        if not self._is_large_key(key):
+            return super().stream_postings(key)
+        self.record_lookups += 1
+        _file_no, oid = split_global(key)
+        return ChunkedRecordStream(iter_linked(self.large, oid))
+
+    def update_record(self, key: int, data: bytes) -> int:
+        if not self._is_large_key(key):
+            old = self.mfile.fetch(split_global(key)[1])
+            if self._pool_for(old) is not self.large and self._pool_for(data) is not self.large:
+                return super().update_record(key, data)
+            # Crossing into the large category: re-home as a chain.
+            self.mfile.delete(split_global(key)[1])
+            return self.store.global_id(self.mfile, self._create_large(data))
+        _file_no, oid = split_global(key)
+        delete_linked(self.large, oid)
+        if self._pool_for(data) is self.large:
+            new_oid = self._create_large(data)
+        else:
+            new_oid = self._pool_for(data).create(data)
+        return self.store.global_id(self.mfile, new_oid)
+
+    def append_postings(self, key: int, new_postings) -> int:
+        """Grow a record in place — the cheap-update path.
+
+        For chained records this writes only the new chunks; for small
+        and medium records it falls back to a record rewrite (they are
+        cheap to rewrite by definition).  Returns the (possibly new)
+        storage key.
+        """
+        if not self._is_large_key(key):
+            merged = merge_records(self.fetch(key), new_postings)
+            self.record_lookups -= 1  # internal fetch, not a query lookup
+            return self.update_record(key, merged)
+        from ..mneme import append_linked
+
+        _file_no, oid = split_global(key)
+        slices = split_postings(sorted(new_postings), self.chunk_bytes)
+        for postings in slices:
+            chunk = encode_record(postings)
+            append_linked(self.large, oid, chunk, chunk_bytes=len(chunk))
+        return key

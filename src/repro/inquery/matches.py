@@ -1,0 +1,72 @@
+"""Match positions: where in a document a query matched.
+
+The positional information INQUERY keeps for proximity operators also
+supports result presentation — highlighting and passage selection need
+the within-document positions of each query term.  These helpers decode
+exactly the records a query's terms name and return the matches for one
+document, without touching any other storage.
+"""
+
+from typing import Dict, List, Tuple
+
+from .indexer import CollectionIndex
+from .postings import decode_record
+from .query import parse_query, query_terms
+
+
+def term_match_positions(
+    index: CollectionIndex, query_text: str, doc_id: int
+) -> Dict[str, Tuple[int, ...]]:
+    """Positions of each query term within ``doc_id``.
+
+    Returns a mapping from the (stemmed) term to its positions; terms
+    not present in the document (or collection) are omitted.  Repeated
+    query terms are looked up once.
+    """
+    tree = parse_query(query_text)
+    positions: Dict[str, Tuple[int, ...]] = {}
+    seen = set()
+    for raw_term in query_terms(tree):
+        entry = index.term_entry(raw_term)
+        if entry is None or entry.storage_key == 0 or entry.term in seen:
+            continue
+        seen.add(entry.term)
+        postings = dict(decode_record(index.store.fetch(entry.storage_key)))
+        if doc_id in postings:
+            positions[entry.term] = postings[doc_id]
+    return positions
+
+
+def best_window(
+    index: CollectionIndex, query_text: str, doc_id: int, window: int = 25
+) -> Tuple[int, int, int]:
+    """The ``window``-token span of ``doc_id`` covering the most matches.
+
+    Returns ``(start, end, distinct_terms)`` for the best window — the
+    passage a snippet generator would show.  With no matches, returns
+    ``(0, window, 0)``.
+    """
+    by_term = term_match_positions(index, query_text, doc_id)
+    events: List[Tuple[int, str]] = sorted(
+        (position, term)
+        for term, positions in by_term.items()
+        for position in positions
+    )
+    if not events:
+        return 0, window, 0
+    best = (events[0][0], events[0][0] + window, 1)
+    left = 0
+    inside: Dict[str, int] = {}
+    for right, (position, term) in enumerate(events):
+        inside[term] = inside.get(term, 0) + 1
+        while events[left][0] < position - window + 1:
+            left_term = events[left][1]
+            inside[left_term] -= 1
+            if not inside[left_term]:
+                del inside[left_term]
+            left += 1
+        distinct = len(inside)
+        if distinct > best[2]:
+            start = events[left][0]
+            best = (start, start + window, distinct)
+    return best

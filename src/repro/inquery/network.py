@@ -1,0 +1,263 @@
+"""Bayesian inference network evaluation.
+
+"INQUERY is a probabilistic information retrieval system based upon a
+Bayesian inference network model.  ...  In INQUERY, document ranking is a
+sorting problem, because the Bayesian method of combining belief assigns
+a numeric value to each document."
+
+A node evaluates to a *belief table*: a mapping from document id to
+belief for documents where evidence was observed, plus a default belief
+for all other documents.  Term beliefs use the INQUERY tf.idf form
+(Turtle & Croft): ``0.4 + 0.6 * tf_w * idf_w`` with document-length
+normalized ``tf_w`` and log-scaled ``idf_w``.  Operators combine child
+tables per the probabilistic semantics of the network.
+
+Evaluation is **term-at-a-time**: each term's complete record is read,
+decoded, and merged into the accumulating belief tables before the next
+term is touched — the access pattern whose storage cost the paper
+measures.
+"""
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import QueryError
+from .postings import Posting
+from .query import OpNode, QueryNode, TermNode
+
+#: Belief assigned to a document with no evidence for a term.
+DEFAULT_BELIEF = 0.4
+
+#: A node's evaluation: per-document beliefs plus the default belief.
+BeliefTable = Tuple[Dict[int, float], float]
+
+
+class TermProvider:
+    """What the network needs from the rest of the system.
+
+    The engine implements this over the dictionary and the inverted
+    file; tests implement it over in-memory fixtures.
+    """
+
+    @property
+    def doc_count(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def average_doc_length(self) -> float:
+        raise NotImplementedError
+
+    def doc_length(self, doc_id: int) -> int:
+        raise NotImplementedError
+
+    def postings(self, term: str) -> Optional[List[Posting]]:
+        """Decoded postings for a (raw, unstemmed) query term.
+
+        Returns ``None`` for stop words and unindexed terms.
+        """
+        raise NotImplementedError
+
+    def charge_combine(self, updates: int) -> None:
+        """Charge engine CPU for ``updates`` belief-table operations."""
+        return None
+
+
+class InferenceNetwork:
+    """Evaluates a query tree into a belief table."""
+
+    def __init__(self, provider: TermProvider):
+        self._provider = provider
+
+    def evaluate(self, node: QueryNode) -> BeliefTable:
+        """Evaluate the tree bottom-up, term-at-a-time."""
+        if isinstance(node, TermNode):
+            return self._eval_term(node.term)
+        handler = getattr(self, f"_eval_{node.op}", None)
+        if handler is None:
+            raise QueryError(f"unsupported operator #{node.op}")
+        return handler(node)
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _belief_from_postings(self, postings: List[Posting], df: int) -> BeliefTable:
+        """INQUERY term belief over a posting list."""
+        provider = self._provider
+        n_docs = max(provider.doc_count, 1)
+        avg_len = max(provider.average_doc_length, 1.0)
+        idf_w = math.log((n_docs + 0.5) / max(df, 1)) / math.log(n_docs + 1.0)
+        idf_w = max(idf_w, 0.0)
+        scores: Dict[int, float] = {}
+        for doc_id, positions in postings:
+            tf = len(positions)
+            tf_w = tf / (tf + 0.5 + 1.5 * provider.doc_length(doc_id) / avg_len)
+            scores[doc_id] = DEFAULT_BELIEF + (1.0 - DEFAULT_BELIEF) * tf_w * idf_w
+        provider.charge_combine(len(scores))
+        return scores, DEFAULT_BELIEF
+
+    def _eval_term(self, term: str) -> BeliefTable:
+        postings = self._provider.postings(term)
+        if postings is None or not postings:
+            return {}, DEFAULT_BELIEF
+        return self._belief_from_postings(postings, df=len(postings))
+
+    # -- proximity operators ----------------------------------------------------
+
+    def _eval_phrase(self, node: OpNode) -> BeliefTable:
+        return self._proximity(node, ordered=True, window=1)
+
+    def _eval_uw(self, node: OpNode) -> BeliefTable:
+        return self._proximity(node, ordered=False, window=max(node.window, len(node.children)))
+
+    def _eval_od(self, node: OpNode) -> BeliefTable:
+        """Ordered window: terms in order, successive gaps <= window."""
+        return self._proximity(node, ordered=True, window=max(node.window, 1))
+
+    def _eval_syn(self, node: OpNode) -> BeliefTable:
+        """Synonym group: several surface terms scored as one term.
+
+        The postings of the members are unioned (positions merged per
+        document) and the result is scored like a single term whose
+        document frequency is the union's size.
+        """
+        by_doc: Dict[int, set] = {}
+        for child in node.children:
+            postings = self._provider.postings(child.term)
+            if not postings:
+                continue
+            for doc_id, positions in postings:
+                by_doc.setdefault(doc_id, set()).update(positions)
+        if not by_doc:
+            return {}, DEFAULT_BELIEF
+        merged: List[Posting] = [
+            (doc_id, tuple(sorted(positions)))
+            for doc_id, positions in sorted(by_doc.items())
+        ]
+        self._provider.charge_combine(len(merged))
+        return self._belief_from_postings(merged, df=len(merged))
+
+    def _proximity(self, node: OpNode, ordered: bool, window: int) -> BeliefTable:
+        """Build a virtual term from co-occurrence within a window."""
+        term_postings = []
+        for child in node.children:
+            postings = self._provider.postings(child.term)
+            if postings is None or not postings:
+                return {}, DEFAULT_BELIEF  # a missing word kills the phrase
+            term_postings.append(dict(postings))
+        common = set(term_postings[0])
+        for positions_by_doc in term_postings[1:]:
+            common &= set(positions_by_doc)
+        virtual: List[Posting] = []
+        for doc_id in sorted(common):
+            position_lists = [tp[doc_id] for tp in term_postings]
+            count = _match_count(position_lists, ordered=ordered, window=window)
+            if count > 0:
+                virtual.append((doc_id, tuple(range(count))))
+        self._provider.charge_combine(sum(len(tp) for tp in term_postings))
+        if not virtual:
+            return {}, DEFAULT_BELIEF
+        return self._belief_from_postings(virtual, df=len(virtual))
+
+    # -- combination operators ----------------------------------------------------
+
+    def _children(self, node: OpNode) -> List[BeliefTable]:
+        return [self.evaluate(child) for child in node.children]
+
+    def _union_docs(self, tables: List[BeliefTable]) -> set:
+        docs: set = set()
+        for scores, _default in tables:
+            docs.update(scores)
+        return docs
+
+    def _combine(self, tables: List[BeliefTable], combine_fn) -> BeliefTable:
+        docs = self._union_docs(tables)
+        self._provider.charge_combine(len(docs) * len(tables))
+        scores = {
+            doc: combine_fn([s.get(doc, d) for s, d in tables]) for doc in docs
+        }
+        default = combine_fn([d for _s, d in tables])
+        return scores, default
+
+    def _eval_sum(self, node: OpNode) -> BeliefTable:
+        tables = self._children(node)
+        return self._combine(tables, lambda beliefs: sum(beliefs) / len(beliefs))
+
+    def _eval_wsum(self, node: OpNode) -> BeliefTable:
+        tables = self._children(node)
+        weights = node.weights
+        total = sum(weights)
+        if total <= 0:
+            raise QueryError("#wsum weights must sum to a positive value")
+
+        def weighted(beliefs: List[float]) -> float:
+            return sum(w * b for w, b in zip(weights, beliefs)) / total
+
+        return self._combine(tables, weighted)
+
+    def _eval_and(self, node: OpNode) -> BeliefTable:
+        def product(beliefs: List[float]) -> float:
+            out = 1.0
+            for b in beliefs:
+                out *= b
+            return out
+
+        return self._combine(self._children(node), product)
+
+    def _eval_or(self, node: OpNode) -> BeliefTable:
+        def noisy_or(beliefs: List[float]) -> float:
+            out = 1.0
+            for b in beliefs:
+                out *= 1.0 - b
+            return 1.0 - out
+
+        return self._combine(self._children(node), noisy_or)
+
+    def _eval_not(self, node: OpNode) -> BeliefTable:
+        return self._combine(self._children(node), lambda beliefs: 1.0 - beliefs[0])
+
+    def _eval_max(self, node: OpNode) -> BeliefTable:
+        return self._combine(self._children(node), max)
+
+
+def _match_count(position_lists: List[Tuple[int, ...]], ordered: bool, window: int) -> int:
+    """Co-occurrence matches of several terms within one document.
+
+    Ordered (phrase): positions must be consecutive, in child order.
+    Unordered (#uwN): an occurrence of the first term counts if every
+    other term occurs within ``window`` positions of it.
+    """
+    if ordered and window <= 1:
+        # Exact phrase: strictly adjacent positions, in order.
+        first, rest = set(position_lists[0]), position_lists[1:]
+        count = 0
+        for position in sorted(first):
+            if all((position + offset + 1) in set(positions)
+                   for offset, positions in enumerate(rest)):
+                count += 1
+        return count
+    if ordered:
+        # Ordered window (#odN): increasing positions, each gap <= window.
+        rest = [sorted(positions) for positions in position_lists[1:]]
+        count = 0
+        for position in sorted(position_lists[0]):
+            current = position
+            ok = True
+            for positions in rest:
+                following = next(
+                    (p for p in positions if current < p <= current + window), None
+                )
+                if following is None:
+                    ok = False
+                    break
+                current = following
+            if ok:
+                count += 1
+        return count
+    count = 0
+    others = [set(positions) for positions in position_lists[1:]]
+    for position in position_lists[0]:
+        if all(
+            any(abs(position - p) <= window for p in positions)
+            for positions in others
+        ):
+            count += 1
+    return count

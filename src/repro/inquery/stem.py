@@ -1,0 +1,67 @@
+"""A small deterministic suffix-stripping stemmer.
+
+INQUERY used a conventional English stemmer.  Retrieval-quality nuance
+is irrelevant to the storage comparison (recall/precision are "fixed
+across the two systems we are comparing"), so this is a compact two-step
+Porter-style stripper: a plural step, then one derivational suffix, each
+guarded by a minimum stem length.  The two-step design keeps it
+*consistent* (``managements`` and ``management`` conflate) and
+*idempotent* (stemming a stem is a no-op).
+"""
+
+#: Derivational (suffix, replacement) pairs, tried longest first.
+_SUFFIXES = (
+    ("ational", "ate"),
+    ("ization", "ize"),
+    ("fulness", "ful"),
+    ("ousness", "ous"),
+    ("iveness", "ive"),
+    ("tional", "tion"),
+    ("ation", "ate"),
+    ("ness", ""),
+    ("ment", ""),
+    ("ible", ""),
+    ("able", ""),
+    ("ance", ""),
+    ("ence", ""),
+    ("ing", ""),
+    ("ity", ""),
+    ("ful", ""),
+    ("est", ""),
+    ("ed", ""),
+    ("ly", ""),
+)
+
+#: Stems shorter than this are never produced.
+MIN_STEM = 3
+
+
+def _deplural(token: str) -> str:
+    """Step 1: strip plural endings."""
+    if len(token) <= MIN_STEM or not token.endswith("s") or token.endswith("ss"):
+        return token
+    if token.endswith("ies") and len(token) > 4:
+        return token[:-3] + "y"
+    return token[:-1]
+
+
+def _desuffix(token: str) -> str:
+    """Step 2: strip one derivational suffix."""
+    for suffix, replacement in _SUFFIXES:
+        if token.endswith(suffix):
+            candidate = token[: len(token) - len(suffix)] + replacement
+            if len(candidate) >= MIN_STEM:
+                return candidate
+            return token
+    return token
+
+
+def stem(token: str) -> str:
+    """Normalize a token: plural step, then one derivational suffix.
+
+    Tokens containing digits are returned unchanged (identifiers, years),
+    as are tokens at or under the minimum stem length.
+    """
+    if len(token) <= MIN_STEM or any(c.isdigit() for c in token):
+        return token
+    return _desuffix(_deplural(token))

@@ -1,0 +1,29 @@
+"""Stop words.
+
+"A stop words file lists words that are not worth indexing on because
+they occur so frequently or are not significantly meaningful."  This is
+the usual English function-word list; workloads built from synthetic
+vocabularies pass their own stop set (or none).
+"""
+
+from typing import FrozenSet
+
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a about above after again against all am an and any are as at be
+    because been before being below between both but by can did do does
+    doing down during each few for from further had has have having he
+    her here hers herself him himself his how i if in into is it its
+    itself just me more most my myself no nor not now of off on once
+    only or other our ours ourselves out over own same she should so
+    some such than that the their theirs them themselves then there
+    these they this those through to too under until up very was we
+    were what when where which while who whom why will with you your
+    yours yourself yourselves
+    """.split()
+)
+
+
+def is_stopword(token: str, stopwords: FrozenSet[str] = DEFAULT_STOPWORDS) -> bool:
+    """Whether ``token`` should be dropped from indexing and queries."""
+    return token in stopwords

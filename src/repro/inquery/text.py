@@ -1,0 +1,16 @@
+"""Tokenization for documents and queries."""
+
+import re
+from typing import List
+
+_WORD = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split text into lowercase alphanumeric word tokens.
+
+    Punctuation separates tokens; case is folded.  This matches the
+    simple word-based indexing of early-90s INQUERY (no phrase or markup
+    handling at the tokenizer level).
+    """
+    return _WORD.findall(text.lower())

@@ -1,0 +1,117 @@
+"""Reimplementation of the Mneme persistent object store (Moss, 1990).
+
+Objects are chunks of contiguous bytes with unique identifiers, grouped
+into files, logically grouped into 255-object logical segments and
+physically grouped into segments whose size, layout, and location policy
+are defined by extensible *pools*.  Pools attach to *buffers* whose
+operation suite defines the replacement policy.  See DESIGN.md §3.3.
+"""
+
+from .buffers import Buffer, BufferStats, LRUBuffer, NullBuffer, PartitionedBuffer
+from .gc import CompactionReport, GCReport, collect, compact, live_oids
+from .ids import (
+    ID_BITS,
+    LOGICAL_SEGMENT_OBJECTS,
+    MAX_LOCAL_ID,
+    NULL_ID,
+    logical_segment,
+    make_global,
+    oid_for,
+    slot_in_segment,
+    split_global,
+)
+from .linked import (
+    ChunkedLargeObjectPool,
+    append_linked,
+    chunk_ids,
+    delete_linked,
+    iter_linked,
+    linked_length,
+    reachable,
+    read_linked,
+    write_linked,
+    write_linked_parts,
+)
+from .pool import (
+    MEDIUM_OBJECT_MAX,
+    MEDIUM_SEGMENT_BYTES,
+    LargeObjectPool,
+    MediumObjectPool,
+    Pool,
+    SmallObjectPool,
+)
+from .recovery import RecoveryReport, RedoLog, recover
+from .segment import (
+    SMALL_OBJECT_MAX,
+    SMALL_SEGMENT_BYTES,
+    DirectorySegment,
+    FixedSlotSegment,
+)
+from .store import MnemeFile, MnemeStore
+from .tables import PagedTable
+from .txn import (
+    EXCLUSIVE,
+    SHARED,
+    LockConflictError,
+    LockManager,
+    Transaction,
+    TransactionAborted,
+    TransactionError,
+    TransactionManager,
+)
+
+__all__ = [
+    "Buffer",
+    "BufferStats",
+    "ChunkedLargeObjectPool",
+    "CompactionReport",
+    "DirectorySegment",
+    "EXCLUSIVE",
+    "FixedSlotSegment",
+    "GCReport",
+    "ID_BITS",
+    "LOGICAL_SEGMENT_OBJECTS",
+    "LRUBuffer",
+    "LockConflictError",
+    "LockManager",
+    "LargeObjectPool",
+    "MAX_LOCAL_ID",
+    "MEDIUM_OBJECT_MAX",
+    "MEDIUM_SEGMENT_BYTES",
+    "MediumObjectPool",
+    "MnemeFile",
+    "MnemeStore",
+    "NULL_ID",
+    "NullBuffer",
+    "PartitionedBuffer",
+    "PagedTable",
+    "Pool",
+    "RecoveryReport",
+    "RedoLog",
+    "SMALL_OBJECT_MAX",
+    "SHARED",
+    "SMALL_SEGMENT_BYTES",
+    "SmallObjectPool",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionError",
+    "TransactionManager",
+    "append_linked",
+    "chunk_ids",
+    "collect",
+    "compact",
+    "delete_linked",
+    "iter_linked",
+    "linked_length",
+    "live_oids",
+    "logical_segment",
+    "make_global",
+    "oid_for",
+    "reachable",
+    "read_linked",
+    "recover",
+    "slot_in_segment",
+    "split_global",
+    "write_linked",
+    "write_linked_parts",
+]

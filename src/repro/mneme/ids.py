@@ -1,0 +1,72 @@
+"""Object identifiers and logical segment arithmetic.
+
+Mneme assigns every object an identifier that is unique within its file.
+Identifiers are grouped into **logical segments** of
+:data:`LOGICAL_SEGMENT_OBJECTS` (255) objects "to assist in
+identification, indexing, and location" — all of the store's auxiliary
+tables are keyed by logical segment, which is what keeps them compact
+enough to stay permanently cached.
+
+When several files are open at once, a file-local id is mapped to a
+**global identifier** by packing a file number above the 28 id bits; the
+paper notes the number of simultaneously accessible objects is bounded by
+the 2^28 global id space.
+
+Identifier 0 is reserved as the null reference.
+"""
+
+from ..errors import InvalidIdentifierError
+
+#: Objects per logical segment.
+LOGICAL_SEGMENT_OBJECTS = 255
+
+#: Bits of a file-local object identifier.
+ID_BITS = 28
+
+#: Exclusive upper bound of file-local identifiers.
+MAX_LOCAL_ID = 1 << ID_BITS
+
+#: The null object reference.
+NULL_ID = 0
+
+
+def check_local_id(oid: int) -> int:
+    """Validate a file-local object id, returning it unchanged."""
+    if not isinstance(oid, int) or oid <= NULL_ID or oid >= MAX_LOCAL_ID:
+        raise InvalidIdentifierError(f"bad object id {oid!r}")
+    return oid
+
+
+def logical_segment(oid: int) -> int:
+    """Logical segment number holding ``oid``."""
+    return (check_local_id(oid) - 1) // LOGICAL_SEGMENT_OBJECTS
+
+
+def slot_in_segment(oid: int) -> int:
+    """Slot of ``oid`` within its logical segment (0..254)."""
+    return (check_local_id(oid) - 1) % LOGICAL_SEGMENT_OBJECTS
+
+
+def oid_for(logseg: int, slot: int) -> int:
+    """Inverse of (:func:`logical_segment`, :func:`slot_in_segment`)."""
+    if logseg < 0:
+        raise InvalidIdentifierError(f"bad logical segment {logseg}")
+    if not 0 <= slot < LOGICAL_SEGMENT_OBJECTS:
+        raise InvalidIdentifierError(f"bad slot {slot}")
+    return check_local_id(logseg * LOGICAL_SEGMENT_OBJECTS + slot + 1)
+
+
+def make_global(file_no: int, oid: int) -> int:
+    """Pack a file number and file-local id into a global identifier."""
+    if file_no < 0:
+        raise InvalidIdentifierError(f"bad file number {file_no}")
+    return (file_no << ID_BITS) | check_local_id(oid)
+
+
+def split_global(gid: int) -> "tuple[int, int]":
+    """Unpack a global identifier into (file number, file-local id)."""
+    if gid <= 0:
+        raise InvalidIdentifierError(f"bad global id {gid!r}")
+    file_no, oid = gid >> ID_BITS, gid & (MAX_LOCAL_ID - 1)
+    check_local_id(oid)
+    return file_no, oid

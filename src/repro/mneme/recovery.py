@@ -1,0 +1,111 @@
+"""Write-ahead redo logging and restart recovery.
+
+The paper: "The current version of Mneme is a prototype and does not
+provide all of the services one might expect from a mature data
+management system, such as concurrency control and transaction support.
+... For future work we plan to implement some of the standard data
+management services not currently provided by Mneme and verify [that
+they would not introduce excessive overhead]."  This module implements
+the recovery half of that future work so the claim can be measured
+(see the update-extension benchmark).
+
+Every segment write is first appended to a redo log with a CRC; a torn
+or corrupted tail record (a crash mid-write) is detected and ignored at
+recovery, and every complete record is idempotently replayed onto the
+main file.  :meth:`RedoLog.checkpoint` truncates the log once the main
+file is known durable.
+"""
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import RecoveryError
+from ..simdisk import SimFile
+
+_REC = struct.Struct("<4sQII")  # magic, target offset, length, payload CRC
+_REC_MAGIC = b"MWAL"
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover` found and did."""
+
+    replayed: int = 0
+    torn_tail: bool = False
+    bytes_replayed: int = 0
+
+
+class RedoLog:
+    """An append-only redo log of physical segment writes."""
+
+    def __init__(self, file: SimFile):
+        self._file = file
+        self._end = file.size
+
+    @property
+    def size(self) -> int:
+        return self._end
+
+    def log_write(self, target_offset: int, data: bytes) -> None:
+        """Record that ``data`` is about to be written at ``target_offset``."""
+        record = _REC.pack(_REC_MAGIC, target_offset, len(data), zlib.crc32(data))
+        self._file.write(self._end, record + data)
+        self._end += _REC.size + len(data)
+
+    def checkpoint(self) -> None:
+        """Discard the log: the main file is durable up to this point."""
+        self._file.truncate(0)
+        self._end = 0
+
+    def records(self) -> "Tuple[List[Tuple[int, bytes]], bool]":
+        """Parse the log.
+
+        Returns
+        -------
+        (records, torn):
+            The complete (offset, data) records in order, and whether a
+            torn/corrupt tail was detected (anything after a torn record
+            is untrusted and discarded).
+        """
+        out: List[Tuple[int, bytes]] = []
+        pos = 0
+        size = self._file.size
+        while pos + _REC.size <= size:
+            header = self._file.read(pos, _REC.size)
+            magic, offset, length, crc = _REC.unpack(header)
+            if magic != _REC_MAGIC:
+                return out, True
+            if pos + _REC.size + length > size:
+                return out, True  # torn: payload missing
+            data = self._file.read(pos + _REC.size, length)
+            if zlib.crc32(data) != crc:
+                return out, True  # torn: payload corrupt
+            out.append((offset, data))
+            pos += _REC.size + length
+        return out, pos != size
+
+
+def recover(log: RedoLog, main: SimFile) -> RecoveryReport:
+    """Replay the redo log onto ``main`` (idempotent) and checkpoint.
+
+    Raises
+    ------
+    RecoveryError
+        If a record targets an offset beyond what replay can produce
+        (the log does not belong to this file).
+    """
+    records, torn = log.records()
+    report = RecoveryReport(torn_tail=torn)
+    for offset, data in records:
+        if offset > main.size:
+            raise RecoveryError(
+                f"redo record targets offset {offset} past EOF {main.size}; "
+                "log does not match this file"
+            )
+        main.write(offset, data)
+        report.replayed += 1
+        report.bytes_replayed += len(data)
+    log.checkpoint()
+    return report

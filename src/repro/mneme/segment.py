@@ -1,0 +1,184 @@
+"""Physical segment layouts.
+
+A physical segment is Mneme's unit of transfer between disk and main
+memory; its size is arbitrary and chosen by the pool that owns it.  Two
+on-disk layouts cover the three pools of the integrated system:
+
+* :class:`FixedSlotSegment` — the small object pool's layout.  255 fixed
+  16-byte slots (a 4-byte size field plus up to 12 data bytes), one whole
+  logical segment per 4 KB physical segment, located purely by slot
+  arithmetic.  "This greatly simplifies both the indexing strategy used
+  to locate these objects in the file and the buffer management strategy
+  for these segments."
+* :class:`DirectorySegment` — medium and large pools.  A slot directory
+  (object id, offset, length) followed by packed object bytes.
+
+Both layouts carry a CRC so failure-injection tests can exercise torn
+write detection.
+"""
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import BadBlockError, PoolError
+from .ids import LOGICAL_SEGMENT_OBJECTS
+
+_FIXED_HDR = struct.Struct("<4sHHII")  # magic, pool id, used slots, crc, logseg
+_FIXED_MAGIC = b"MSGF"
+_DIR_HDR = struct.Struct("<4sHHI")     # magic, pool id, object count, crc
+_DIR_ENTRY = struct.Struct("<III")     # oid, offset-in-segment, length
+_DIR_MAGIC = b"MSGD"
+
+#: Bytes per small object slot: a 4-byte size field plus 12 data bytes.
+SMALL_SLOT_BYTES = 16
+
+#: Largest payload a small slot can hold.
+SMALL_OBJECT_MAX = SMALL_SLOT_BYTES - 4
+
+#: Size of a small pool physical segment: one whole logical segment.
+SMALL_SEGMENT_BYTES = 4096
+
+_FIXED_SLOTS_SIZE = LOGICAL_SEGMENT_OBJECTS * SMALL_SLOT_BYTES
+assert _FIXED_HDR.size + _FIXED_SLOTS_SIZE <= SMALL_SEGMENT_BYTES
+
+
+@dataclass
+class FixedSlotSegment:
+    """One small pool segment: 255 fixed slots, one logical segment."""
+
+    pool_id: int
+    logseg: int
+    #: Slot payloads; ``None`` marks a never-used or deleted slot.
+    slots: List[Optional[bytes]] = field(
+        default_factory=lambda: [None] * LOGICAL_SEGMENT_OBJECTS
+    )
+
+    def get(self, slot: int) -> bytes:
+        data = self.slots[slot]
+        if data is None:
+            raise PoolError(f"slot {slot} of logical segment {self.logseg} is empty")
+        return data
+
+    def put(self, slot: int, data: bytes) -> None:
+        if len(data) > SMALL_OBJECT_MAX:
+            raise PoolError(
+                f"{len(data)} bytes exceed small slot payload {SMALL_OBJECT_MAX}"
+            )
+        self.slots[slot] = bytes(data)
+
+    def clear(self, slot: int) -> None:
+        self.slots[slot] = None
+
+    @property
+    def used(self) -> int:
+        return sum(1 for s in self.slots if s is not None)
+
+    def to_bytes(self) -> bytes:
+        body = bytearray()
+        for data in self.slots:
+            if data is None:
+                body += struct.pack("<I", 0xFFFFFFFF)
+                body += b"\x00" * SMALL_OBJECT_MAX
+            else:
+                body += struct.pack("<I", len(data))
+                body += data + b"\x00" * (SMALL_OBJECT_MAX - len(data))
+        crc = zlib.crc32(bytes(body))
+        header = _FIXED_HDR.pack(_FIXED_MAGIC, self.pool_id, self.used, crc, self.logseg)
+        payload = header + bytes(body)
+        return payload + b"\x00" * (SMALL_SEGMENT_BYTES - len(payload))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FixedSlotSegment":
+        magic, pool_id, _used, crc, logseg = _FIXED_HDR.unpack_from(data, 0)
+        if magic != _FIXED_MAGIC:
+            raise BadBlockError("not a fixed-slot segment")
+        body = data[_FIXED_HDR.size:_FIXED_HDR.size + _FIXED_SLOTS_SIZE]
+        if zlib.crc32(bytes(body)) != crc:
+            raise BadBlockError(f"fixed segment for logseg {logseg} fails CRC")
+        segment = cls(pool_id=pool_id, logseg=logseg)
+        for slot in range(LOGICAL_SEGMENT_OBJECTS):
+            base = slot * SMALL_SLOT_BYTES
+            (size,) = struct.unpack_from("<I", body, base)
+            if size != 0xFFFFFFFF:
+                segment.slots[slot] = bytes(body[base + 4:base + 4 + size])
+        return segment
+
+    @property
+    def byte_size(self) -> int:
+        return SMALL_SEGMENT_BYTES
+
+
+@dataclass
+class DirectorySegment:
+    """A directory-addressed segment for medium and large objects."""
+
+    pool_id: int
+    objects: Dict[int, bytes] = field(default_factory=dict)  # oid -> payload
+
+    def get(self, oid: int) -> bytes:
+        try:
+            return self.objects[oid]
+        except KeyError:
+            raise PoolError(f"object {oid} not in this segment") from None
+
+    def put(self, oid: int, data: bytes) -> None:
+        self.objects[oid] = bytes(data)
+
+    def remove(self, oid: int) -> None:
+        if oid not in self.objects:
+            raise PoolError(f"object {oid} not in this segment")
+        del self.objects[oid]
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self.objects
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    @property
+    def byte_size(self) -> int:
+        """Serialized size (header + directory + payloads)."""
+        return (
+            _DIR_HDR.size
+            + _DIR_ENTRY.size * len(self.objects)
+            + sum(len(v) for v in self.objects.values())
+        )
+
+    def to_bytes(self, pad_to: int = 0) -> bytes:
+        entries = []
+        payload = bytearray()
+        base = _DIR_HDR.size + _DIR_ENTRY.size * len(self.objects)
+        for oid in sorted(self.objects):
+            data = self.objects[oid]
+            entries.append(_DIR_ENTRY.pack(oid, base + len(payload), len(data)))
+            payload += data
+        body = b"".join(entries) + bytes(payload)
+        crc = zlib.crc32(body)
+        out = _DIR_HDR.pack(_DIR_MAGIC, self.pool_id, len(self.objects), crc) + body
+        if pad_to and len(out) < pad_to:
+            out += b"\x00" * (pad_to - len(out))
+        if pad_to and len(out) > pad_to:
+            raise PoolError(
+                f"segment of {len(out)} bytes does not fit padded size {pad_to}"
+            )
+        return out
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DirectorySegment":
+        magic, pool_id, count, crc = _DIR_HDR.unpack_from(data, 0)
+        if magic != _DIR_MAGIC:
+            raise BadBlockError("not a directory segment")
+        segment = cls(pool_id=pool_id)
+        pos = _DIR_HDR.size
+        entries = []
+        for _ in range(count):
+            entries.append(_DIR_ENTRY.unpack_from(data, pos))
+            pos += _DIR_ENTRY.size
+        end = max((off + length for _, off, length in entries), default=pos)
+        if zlib.crc32(bytes(data[_DIR_HDR.size:end])) != crc:
+            raise BadBlockError("directory segment fails CRC")
+        for oid, off, length in entries:
+            segment.objects[oid] = bytes(data[off:off + length])
+        return segment

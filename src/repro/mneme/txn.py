@@ -1,0 +1,209 @@
+"""Transactions over the object store — the paper's other future work.
+
+"The current version of Mneme is a prototype and does not provide all of
+the services one might expect from a mature data management system, such
+as concurrency control and transaction support.  However, the nature of
+access to the data we are supporting here is predominately read-only.
+We expect that the addition of these services would not introduce
+excessive overhead."  This module implements those services so the claim
+can be measured (see ``benchmarks/bench_extension_txn.py``).
+
+Design: strict two-phase locking at object granularity with a *no-wait*
+deadlock-avoidance policy (a conflicting request aborts immediately —
+simple, deterministic, and common in early object stores), deferred
+updates (writes apply at commit, so abort is trivially a no-op on the
+store), and durability through the file's write-ahead log when one is
+attached.  Reads see the transaction's own pending writes.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..errors import MnemeError
+from .store import MnemeFile
+
+
+class TransactionError(MnemeError):
+    """Base class for transaction failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction can no longer be used (conflict or explicit abort)."""
+
+
+class LockConflictError(TransactionAborted):
+    """A lock request conflicted; the requesting transaction was aborted."""
+
+    def __init__(self, oid: int, holder: int, requester: int):
+        super().__init__(
+            f"transaction {requester} aborted: object {oid} is locked by "
+            f"transaction {holder}"
+        )
+        self.oid = oid
+        self.holder = holder
+        self.requester = requester
+
+
+SHARED, EXCLUSIVE = "S", "X"
+
+
+@dataclass
+class _Lock:
+    mode: str
+    holders: Set[int] = field(default_factory=set)
+
+
+class LockManager:
+    """Object-granularity S/X locks with no-wait conflict handling."""
+
+    def __init__(self):
+        self._locks: Dict[int, _Lock] = {}
+        self.conflicts = 0
+        self.acquisitions = 0
+
+    def acquire(self, txn_id: int, oid: int, mode: str) -> None:
+        """Grant the lock or raise :class:`LockConflictError`.
+
+        Re-acquisition and S->X upgrade by the sole holder succeed.
+        """
+        lock = self._locks.get(oid)
+        self.acquisitions += 1
+        if lock is None:
+            self._locks[oid] = _Lock(mode=mode, holders={txn_id})
+            return
+        if lock.holders == {txn_id}:
+            if mode == EXCLUSIVE:
+                lock.mode = EXCLUSIVE  # upgrade (or already exclusive)
+            return
+        if mode == SHARED and lock.mode == SHARED:
+            lock.holders.add(txn_id)
+            return
+        self.conflicts += 1
+        holder = next(iter(lock.holders - {txn_id}), next(iter(lock.holders)))
+        raise LockConflictError(oid, holder, txn_id)
+
+    def release_all(self, txn_id: int) -> None:
+        """Drop every lock the transaction holds (commit/abort time)."""
+        for oid in [oid for oid, lock in self._locks.items() if txn_id in lock.holders]:
+            lock = self._locks[oid]
+            lock.holders.discard(txn_id)
+            if not lock.holders:
+                del self._locks[oid]
+
+    def holding(self, txn_id: int) -> List[int]:
+        return [oid for oid, lock in self._locks.items() if txn_id in lock.holders]
+
+
+class Transaction:
+    """One unit of atomic, isolated work against a Mneme file.
+
+    Obtained from :meth:`TransactionManager.begin`; usable as a context
+    manager (commits on clean exit, aborts on exception).
+    """
+
+    def __init__(self, manager: "TransactionManager", txn_id: int):
+        self._manager = manager
+        self.txn_id = txn_id
+        self._writes: Dict[int, bytes] = {}
+        self._creates: List[Tuple[int, bytes]] = []  # (pool id, data) applied order
+        self.state = "active"
+
+    # -- operations ----------------------------------------------------------
+
+    def read(self, oid: int) -> bytes:
+        """Read an object under a shared lock (sees own pending writes)."""
+        self._check_active()
+        self._lock(oid, SHARED)
+        if oid in self._writes:
+            return self._writes[oid]
+        return self._manager.mfile.fetch(oid)
+
+    def write(self, oid: int, data: bytes) -> None:
+        """Stage a modification under an exclusive lock (applies at commit)."""
+        self._check_active()
+        self._lock(oid, EXCLUSIVE)
+        self._writes[oid] = bytes(data)
+
+    def create(self, pool_id: int, data: bytes) -> int:
+        """Create an object immediately, exclusively locked until commit.
+
+        Identifier allocation cannot be deferred (later operations need
+        the id); if the transaction aborts, the object is deleted again.
+        """
+        self._check_active()
+        oid = self._manager.mfile.pool(pool_id).create(data)
+        self._manager.locks.acquire(self.txn_id, oid, EXCLUSIVE)
+        self._creates.append((pool_id, oid))
+        return oid
+
+    # -- outcome ---------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Apply staged writes, flush durably, release locks."""
+        self._check_active()
+        for oid, data in self._writes.items():
+            self._manager.mfile.modify(oid, data)
+        self._manager.mfile.flush()
+        self.state = "committed"
+        self._manager._finish(self)
+
+    def abort(self) -> None:
+        """Discard staged writes and undo creates."""
+        if self.state != "active":
+            return
+        for _pool_id, oid in reversed(self._creates):
+            self._manager.mfile.delete(oid)
+        self._writes.clear()
+        self.state = "aborted"
+        self._manager._finish(self)
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _lock(self, oid: int, mode: str) -> None:
+        try:
+            self._manager.locks.acquire(self.txn_id, oid, mode)
+        except LockConflictError:
+            self.abort()
+            raise
+
+    def _check_active(self) -> None:
+        if self.state != "active":
+            raise TransactionAborted(
+                f"transaction {self.txn_id} is {self.state}"
+            )
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+        return False
+
+
+class TransactionManager:
+    """Hands out transactions over one Mneme file."""
+
+    def __init__(self, mfile: MnemeFile):
+        self.mfile = mfile
+        self.locks = LockManager()
+        self._next_id = 1
+        self.active: Dict[int, Transaction] = {}
+        self.committed = 0
+        self.aborted = 0
+
+    def begin(self) -> Transaction:
+        txn = Transaction(self, self._next_id)
+        self._next_id += 1
+        self.active[txn.txn_id] = txn
+        return txn
+
+    def _finish(self, txn: Transaction) -> None:
+        self.locks.release_all(txn.txn_id)
+        self.active.pop(txn.txn_id, None)
+        if txn.state == "committed":
+            self.committed += 1
+        else:
+            self.aborted += 1

@@ -1,0 +1,122 @@
+"""Block-level I/O tracing and locality analysis.
+
+The paper's argument rests on *where* the bytes live: "careful file
+allocation sympathetic to the device transfer block size" turns record
+fetches into single, often sequential, block transfers.  A tracer
+attached to a :class:`~repro.simdisk.disk.SimDisk` records every block
+transfer so an experiment can quantify that claim — seek distances,
+sequential fraction, distinct-block footprint, re-read counts — instead
+of asserting it.
+"""
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One block transfer."""
+
+    op: str          #: "read" or "write"
+    block: int
+    sequential: bool
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate locality facts for one traced window."""
+
+    reads: int
+    writes: int
+    sequential_reads: int
+    distinct_blocks_read: int
+    rereads: int
+    median_seek: float
+    max_seek: int
+
+    @property
+    def sequential_fraction(self) -> float:
+        return self.sequential_reads / self.reads if self.reads else 0.0
+
+    @property
+    def reread_fraction(self) -> float:
+        return self.rereads / self.reads if self.reads else 0.0
+
+
+class AccessTracer:
+    """Records block transfers; attach with :meth:`SimDisk.attach_tracer`.
+
+    Parameters
+    ----------
+    max_events:
+        Ring-buffer bound on retained events; counters keep counting
+        after the buffer wraps.
+    """
+
+    def __init__(self, max_events: int = 100_000):
+        if max_events < 1:
+            raise ValueError("tracer needs room for at least one event")
+        self._max_events = max_events
+        self.events: List[TraceEvent] = []
+        self._read_counts: Counter = Counter()
+        self._last_block: Optional[int] = None
+        self._seeks: List[int] = []
+        self.reads = 0
+        self.writes = 0
+        self.sequential_reads = 0
+
+    def record(self, op: str, block: int, sequential: bool) -> None:
+        """Called by the disk for every transfer."""
+        if len(self.events) < self._max_events:
+            self.events.append(TraceEvent(op, block, sequential))
+        if op == "read":
+            self.reads += 1
+            self._read_counts[block] += 1
+            if sequential:
+                self.sequential_reads += 1
+            if self._last_block is not None:
+                self._seeks.append(abs(block - self._last_block))
+        else:
+            self.writes += 1
+        self._last_block = block
+
+    def summary(self) -> TraceSummary:
+        """Aggregate the trace so far."""
+        seeks = sorted(self._seeks)
+        median = float(seeks[len(seeks) // 2]) if seeks else 0.0
+        return TraceSummary(
+            reads=self.reads,
+            writes=self.writes,
+            sequential_reads=self.sequential_reads,
+            distinct_blocks_read=len(self._read_counts),
+            rereads=sum(c - 1 for c in self._read_counts.values()),
+            median_seek=median,
+            max_seek=max(seeks) if seeks else 0,
+        )
+
+    def seek_histogram(self, buckets: Tuple[int, ...] = (0, 1, 8, 64, 512)) -> List[Tuple[str, int]]:
+        """Seek distances bucketed as (label, count) rows.
+
+        Bucket boundaries are inclusive lower bounds; the final bucket
+        is open-ended.
+        """
+        rows = []
+        for index, low in enumerate(buckets):
+            high = buckets[index + 1] if index + 1 < len(buckets) else None
+            if high is None:
+                label = f">= {low}"
+                count = sum(1 for s in self._seeks if s >= low)
+            else:
+                label = f"{low}-{high - 1}" if high - 1 > low else str(low)
+                count = sum(1 for s in self._seeks if low <= s < high)
+            rows.append((label, count))
+        return rows
+
+    def reset(self) -> None:
+        """Clear the trace (counters and events)."""
+        self.events.clear()
+        self._read_counts.clear()
+        self._seeks.clear()
+        self._last_block = None
+        self.reads = self.writes = self.sequential_reads = 0

@@ -1,0 +1,170 @@
+"""Informetric analysis of collections — measuring what file design needs.
+
+The paper closes its related-work section citing Wolfram: "the
+informetric characteristics of document databases should be taken into
+consideration when designing the files used by an IR system.  We have
+tried to take this advice to heart by developing appropriate file
+organization and buffer management policies based on the characteristics
+of the data and the data access patterns."
+
+This module computes those characteristics from a collection — the
+rank-frequency (Zipf) fit, vocabulary growth (Heaps), singleton mass —
+and turns them into the file-design advice the integrated system
+encodes: where to cut the small/medium/large object partition so the
+small pool really does capture "approximately 50%" of the records.
+"""
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .collection import SyntheticCollection
+
+
+@dataclass(frozen=True)
+class InformetricProfile:
+    """Measured distributional characteristics of one collection."""
+
+    tokens: int
+    vocabulary: int
+    singleton_fraction: float    #: share of terms occurring exactly once
+    doubleton_fraction: float    #: share occurring once or twice
+    top_percent_mass: float      #: token mass held by the top 1% of terms
+    zipf_s: float                #: fitted Zipf-Mandelbrot exponent
+    zipf_q: float                #: fitted Mandelbrot shift
+    heaps_k: float               #: Heaps' law V = k * N^beta
+    heaps_beta: float
+
+
+def fit_zipf(counts: np.ndarray) -> Tuple[float, float]:
+    """Fit ``p(rank) ∝ 1/(rank+q)^s`` to observed term counts.
+
+    Grid search over (s, q) minimizing mean squared log error on the
+    rank-frequency curve (log-sampled ranks, singleton tail excluded —
+    the region where Zipf's law is known to bend).
+    """
+    observed = np.sort(counts[counts > 0])[::-1].astype(np.float64)
+    if len(observed) < 10:
+        raise ConfigError("too few distinct terms to fit a Zipf law")
+    limit = int(np.searchsorted(-observed, -1.5))  # drop the singleton tail
+    limit = max(limit, 10)
+    sample_ranks = np.unique(
+        np.logspace(0, math.log10(limit), num=60).astype(np.int64)
+    )
+    sample_ranks = sample_ranks[sample_ranks <= limit]
+    freqs = observed[sample_ranks - 1]
+    total = observed.sum()
+
+    best = (1.0, 0.0, float("inf"))
+    for s in np.arange(0.7, 1.61, 0.05):
+        for q in (0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 8.0):
+            weights = 1.0 / np.power(np.arange(1, len(observed) + 1) + q, s)
+            expected = total * weights / weights.sum()
+            err = float(np.mean(
+                (np.log(freqs) - np.log(expected[sample_ranks - 1])) ** 2
+            ))
+            if err < best[2]:
+                best = (float(s), float(q), err)
+    return best[0], best[1]
+
+
+def fit_heaps(prefix_tokens: Sequence[int], prefix_vocab: Sequence[int]) -> Tuple[float, float]:
+    """Fit Heaps' law ``V = k * N^beta`` by least squares in log space."""
+    if len(prefix_tokens) < 2:
+        raise ConfigError("Heaps fit needs at least two prefix samples")
+    xs = np.log(np.asarray(prefix_tokens, dtype=np.float64))
+    ys = np.log(np.asarray(prefix_vocab, dtype=np.float64))
+    beta, log_k = np.polyfit(xs, ys, 1)
+    return float(math.exp(log_k)), float(beta)
+
+
+def vocabulary_growth(
+    collection: SyntheticCollection, points: int = 12
+) -> Tuple[List[int], List[int]]:
+    """(tokens seen, distinct terms seen) after growing document prefixes."""
+    if points < 2:
+        raise ConfigError("need at least two growth points")
+    seen = np.zeros(collection.profile.vocab_size, dtype=bool)
+    tokens_seen = 0
+    boundaries = np.linspace(1, len(collection), num=points).astype(int)
+    out_tokens: List[int] = []
+    out_vocab: List[int] = []
+    next_boundary = 0
+    for doc_index, tokens in enumerate(collection.doc_tokens, start=1):
+        seen[tokens] = True
+        tokens_seen += len(tokens)
+        if next_boundary < len(boundaries) and doc_index >= boundaries[next_boundary]:
+            out_tokens.append(tokens_seen)
+            out_vocab.append(int(seen.sum()))
+            next_boundary += 1
+    return out_tokens, out_vocab
+
+
+def profile_collection(collection: SyntheticCollection) -> InformetricProfile:
+    """Measure a collection's informetric characteristics."""
+    counts = collection.term_counts()
+    observed = counts[counts > 0]
+    if len(observed) == 0:
+        raise ConfigError("empty collection")
+    vocabulary = len(observed)
+    ordered = np.sort(observed)[::-1]
+    top = max(1, vocabulary // 100)
+    zipf_s, zipf_q = fit_zipf(counts)
+    growth_tokens, growth_vocab = vocabulary_growth(collection)
+    heaps_k, heaps_beta = fit_heaps(growth_tokens, growth_vocab)
+    return InformetricProfile(
+        tokens=int(observed.sum()),
+        vocabulary=vocabulary,
+        singleton_fraction=float((observed == 1).sum() / vocabulary),
+        doubleton_fraction=float((observed <= 2).sum() / vocabulary),
+        top_percent_mass=float(ordered[:top].sum() / ordered.sum()),
+        zipf_s=zipf_s,
+        zipf_q=zipf_q,
+        heaps_k=heaps_k,
+        heaps_beta=heaps_beta,
+    )
+
+
+def suggest_small_threshold(
+    record_sizes: Sequence[int], target_fraction: float = 0.5
+) -> int:
+    """The record size below which ``target_fraction`` of records fall.
+
+    This is Wolfram's advice operationalized: the integrated system's
+    12-byte small object boundary is exactly the ~50th percentile of the
+    record-size distribution for the paper's collections.
+    """
+    if not record_sizes:
+        raise ConfigError("no record sizes to analyse")
+    if not 0.0 < target_fraction < 1.0:
+        raise ConfigError("target fraction must be in (0, 1)")
+    ordered = sorted(record_sizes)
+    index = min(len(ordered) - 1, int(target_fraction * len(ordered)))
+    return ordered[index]
+
+
+def partition_report(record_sizes: Sequence[int], small_max: int, medium_max: int) -> dict:
+    """How a small/medium/large cut divides records and bytes."""
+    if small_max >= medium_max:
+        raise ConfigError("small threshold must be below the medium threshold")
+    total_records = len(record_sizes)
+    total_bytes = sum(record_sizes)
+    if not total_records:
+        raise ConfigError("no record sizes to analyse")
+    rows = {}
+    for name, low, high in (
+        ("small", 0, small_max),
+        ("medium", small_max + 1, medium_max),
+        ("large", medium_max + 1, float("inf")),
+    ):
+        sizes = [s for s in record_sizes if low <= s <= high]
+        rows[name] = {
+            "records": len(sizes),
+            "record_share": len(sizes) / total_records,
+            "bytes": sum(sizes),
+            "byte_share": sum(sizes) / total_bytes if total_bytes else 0.0,
+        }
+    return rows

@@ -1,0 +1,32 @@
+"""Synthetic vocabulary: deterministic term strings for term ranks."""
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def term_string(rank: int) -> str:
+    """A stable, unique word for a 0-based term rank.
+
+    Rank is rendered in base 26 with a ``w`` prefix so the strings are
+    valid tokenizer output, never collide with query-language syntax,
+    and never stem into each other (digits-free but prefix-stable).
+    """
+    if rank < 0:
+        raise ValueError("rank must be non-negative")
+    digits = []
+    value = rank
+    while True:
+        value, remainder = divmod(value, 26)
+        digits.append(_ALPHABET[remainder])
+        if value == 0:
+            break
+    return "w" + "".join(reversed(digits))
+
+
+def term_rank(term: str) -> int:
+    """Inverse of :func:`term_string`."""
+    if not term.startswith("w") or len(term) < 2:
+        raise ValueError(f"not a synthetic term: {term!r}")
+    value = 0
+    for char in term[1:]:
+        value = value * 26 + _ALPHABET.index(char)
+    return value

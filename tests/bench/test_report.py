@@ -1,0 +1,96 @@
+"""Unit tests for benchmark report rendering and figure builders."""
+
+import pytest
+
+from repro.bench import render_plot, render_table
+from repro.bench.figures import figure1_size_distribution, figure2_term_use
+from repro.core import prepare_collection
+from repro.synth import (
+    CollectionProfile,
+    QueryProfile,
+    SyntheticCollection,
+    generate_query_set,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            "My Table", ("Name", "Value"), [("alpha", 1), ("b", 22.5)]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+        assert "Name" in lines[3] and "Value" in lines[3]
+        assert "alpha" in text and "22.50" in text
+
+    def test_note_appended(self):
+        text = render_table("T", ("A",), [(1,)], note="a footnote")
+        assert text.rstrip().endswith("a footnote")
+
+    def test_empty_rows(self):
+        text = render_table("T", ("A", "B"), [])
+        assert "A" in text and "B" in text
+
+    def test_float_formatting(self):
+        text = render_table("T", ("A",), [(1234567.0,), (float("nan"),)])
+        assert "1,234,567" in text
+        assert "-" in text
+
+
+class TestRenderPlot:
+    def test_basic_plot(self):
+        text = render_plot(
+            "Curve", [1, 10, 100], {"s": [0.1, 0.5, 0.9]},
+            x_label="x", y_label="y", log_x=True,
+        )
+        assert "Curve" in text
+        assert "* = s" in text
+        assert "[log scale]" in text
+
+    def test_multiple_series_get_distinct_marks(self):
+        text = render_plot(
+            "Two", [0, 1], {"a": [0, 1], "b": [1, 0]},
+        )
+        assert "* = a" in text
+        assert "+ = b" in text
+
+    def test_empty_data(self):
+        text = render_plot("Empty", [], {})
+        assert "no data" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = render_plot("Flat", [1, 2, 3], {"s": [5.0, 5.0, 5.0]})
+        assert "Flat" in text
+
+
+@pytest.fixture(scope="module")
+def tiny_prepared_and_queries():
+    collection = SyntheticCollection(CollectionProfile(
+        name="bench-test", models="t", documents=200, mean_doc_length=80,
+        doc_length_sigma=0.4, vocab_size=3000, seed=66,
+    ))
+    prepared = prepare_collection(collection)
+    queries = generate_query_set(collection, QueryProfile(
+        name="qs", style="natural", n_queries=10, seed=67,
+    ))
+    return prepared, queries
+
+
+class TestFigureBuilders:
+    def test_figure1_series_properties(self, tiny_prepared_and_queries):
+        prepared, _queries = tiny_prepared_and_queries
+        xs, series = figure1_size_distribution(prepared, points=20)
+        assert len(xs) == 20
+        assert series["% of Records"][-1] == 100.0
+        assert series["% of File Size"][-1] == 100.0
+        assert xs == sorted(xs)
+
+    def test_figure2_points(self, tiny_prepared_and_queries):
+        prepared, queries = tiny_prepared_and_queries
+        points = figure2_term_use(prepared, queries)
+        assert points
+        assert points == sorted(points)
+        total_uses = sum(u for _s, u in points)
+        total_terms = sum(len(r) for r in queries.term_ranks)
+        assert total_uses == total_terms

@@ -1,0 +1,39 @@
+"""Tests for benchmark runner caching."""
+
+import pytest
+
+from repro.bench import BenchRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return BenchRunner()
+
+
+def test_workload_cached_across_calls(runner):
+    first = runner.workload("cacm-s")
+    second = runner.workload("cacm-s")
+    assert first is second
+
+
+def test_systems_cached(runner):
+    first = runner.systems("cacm-s")
+    second = runner.systems("cacm-s")
+    assert first is second
+    assert set(first) == {"btree", "mneme-nocache", "mneme-cache"}
+
+
+def test_grid_cached_and_complete(runner):
+    grid = runner.grid("cacm-s")
+    assert grid is runner.grid("cacm-s")
+    assert set(grid.cells) == {"cacm-1", "cacm-2", "cacm-3"}
+    for cells in grid.cells.values():
+        assert set(cells) == {"btree", "mneme-nocache", "mneme-cache"}
+        for metrics in cells.values():
+            assert metrics.queries == 50
+
+
+def test_display_names_cover_profiles():
+    from repro.bench import DISPLAY_NAMES, PROFILE_ORDER
+
+    assert set(DISPLAY_NAMES) == set(PROFILE_ORDER)

@@ -1,0 +1,185 @@
+"""Unit tests for the B-tree keyed file."""
+
+import pytest
+
+from repro.btree import BTreeKeyedFile
+from repro.errors import BTreeError, DuplicateKeyError, KeyNotFoundError
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+@pytest.fixture()
+def fs():
+    return SimFileSystem(SimDisk(SimClock()), cache_blocks=64)
+
+
+@pytest.fixture()
+def tree(fs):
+    return BTreeKeyedFile(fs.create("btree"))
+
+
+def test_empty_tree(tree):
+    assert len(tree) == 0
+    assert tree.height == 1
+    with pytest.raises(KeyNotFoundError):
+        tree.lookup(1)
+
+
+def test_insert_and_lookup(tree):
+    tree.insert(5, b"hello")
+    assert tree.lookup(5) == b"hello"
+    assert len(tree) == 1
+
+
+def test_inline_and_heap_records(tree):
+    tree.insert(1, b"tiny")            # inline
+    tree.insert(2, b"x" * 5000)        # heap
+    assert tree.lookup(1) == b"tiny"
+    assert tree.lookup(2) == b"x" * 5000
+
+
+def test_duplicate_insert_rejected(tree):
+    tree.insert(1, b"a")
+    with pytest.raises(DuplicateKeyError):
+        tree.insert(1, b"b")
+
+
+def test_replace(tree):
+    tree.insert(1, b"old")
+    tree.replace(1, b"new record that is long enough to live in the heap")
+    assert tree.lookup(1) == b"new record that is long enough to live in the heap"
+    with pytest.raises(KeyNotFoundError):
+        tree.replace(2, b"x")
+
+
+def test_delete(tree):
+    tree.insert(1, b"a")
+    tree.insert(2, b"b")
+    tree.delete(1)
+    assert len(tree) == 1
+    with pytest.raises(KeyNotFoundError):
+        tree.lookup(1)
+    assert tree.lookup(2) == b"b"
+    with pytest.raises(KeyNotFoundError):
+        tree.delete(99)
+
+
+def test_contains(tree):
+    tree.insert(7, b"x")
+    assert tree.contains(7)
+    assert not tree.contains(8)
+
+
+def test_many_inserts_split_leaves(tree):
+    for key in range(2000):
+        tree.insert(key, f"record-{key}".encode() * 3)
+    assert len(tree) == 2000
+    assert tree.height >= 2
+    for key in (0, 999, 1999):
+        assert tree.lookup(key) == f"record-{key}".encode() * 3
+
+
+def test_reverse_order_inserts(tree):
+    for key in reversed(range(500)):
+        tree.insert(key, f"r{key}".encode() * 10)
+    assert [k for k, _ in tree.items()] == list(range(500))
+
+
+def test_items_iterates_in_key_order(tree):
+    import random
+
+    rng = random.Random(7)
+    keys = rng.sample(range(10000), 800)
+    for key in keys:
+        tree.insert(key, f"value-{key}".encode())
+    got = list(tree.items())
+    assert [k for k, _ in got] == sorted(keys)
+    assert all(v == f"value-{k}".encode() for k, v in got)
+
+
+def test_bulk_load_roundtrip(fs):
+    tree = BTreeKeyedFile(fs.create("bulk"))
+    items = [(k, f"record {k} ".encode() * (1 + k % 7)) for k in range(0, 6000, 2)]
+    tree.bulk_load(items)
+    assert len(tree) == len(items)
+    assert tree.lookup(0) == items[0][1]
+    assert tree.lookup(5998) == items[-1][1]
+    with pytest.raises(KeyNotFoundError):
+        tree.lookup(1)
+    assert list(tree.items()) == items
+
+
+def test_bulk_load_requires_sorted_unique(fs):
+    tree = BTreeKeyedFile(fs.create("bad"))
+    with pytest.raises(BTreeError):
+        tree.bulk_load([(2, b"a"), (1, b"b")])
+    tree2 = BTreeKeyedFile(fs.create("bad2"))
+    with pytest.raises(BTreeError):
+        tree2.bulk_load([(1, b"a"), (1, b"b")])
+
+
+def test_bulk_load_requires_empty_tree(tree):
+    tree.insert(1, b"a")
+    with pytest.raises(BTreeError):
+        tree.bulk_load([(2, b"b")])
+
+
+def test_bulk_load_empty_input(fs):
+    tree = BTreeKeyedFile(fs.create("empty"))
+    tree.bulk_load([])
+    assert len(tree) == 0
+    assert list(tree.items()) == []
+
+
+def test_height_grows_with_size(fs):
+    small = BTreeKeyedFile(fs.create("small"), interior_order=8)
+    small.bulk_load((k, b"x" * 120) for k in range(200))
+    big = BTreeKeyedFile(fs.create("big"), interior_order=8)
+    big.bulk_load((k, b"x" * 120) for k in range(5000))
+    assert big.height > small.height
+
+
+def test_persistence_reopen(fs):
+    f = fs.create("persist")
+    tree = BTreeKeyedFile(f)
+    tree.bulk_load((k, f"rec{k}".encode() * 4) for k in range(300))
+    reopened = BTreeKeyedFile(f)
+    assert len(reopened) == 300
+    assert reopened.lookup(123) == b"rec123" * 4
+    assert reopened.height == tree.height
+
+
+def test_lookup_counts_record_lookups(tree):
+    tree.insert(1, b"a")
+    tree.lookup(1)
+    tree.lookup(1)
+    assert tree.record_lookups == 2
+
+
+def test_root_is_cached_across_lookups(fs):
+    f = fs.create("cached")
+    tree = BTreeKeyedFile(f)
+    tree.bulk_load((k, b"v" * 200) for k in range(3000))
+    assert tree.height >= 2
+    before = f.stats.read_calls
+    tree.lookup(1500)
+    accesses = f.stats.read_calls - before
+    # height-1 non-root node reads + 1 heap record read, root from memory
+    assert accesses == tree.height - 1 + 1
+
+
+def test_keys_iterator_matches_items(tree):
+    for k in range(0, 100, 3):
+        tree.insert(k, b"z" * 50)
+    assert list(tree.keys()) == [k for k, _ in tree.items()]
+
+
+def test_file_size_reported(tree):
+    tree.insert(1, b"a" * 10000)
+    assert tree.file_size > 10000
+
+
+def test_rejects_bad_parameters(fs):
+    with pytest.raises(BTreeError):
+        BTreeKeyedFile(fs.create("x1"), interior_order=2)
+    with pytest.raises(BTreeError):
+        BTreeKeyedFile(fs.create("x2"), inline_max=-1)

@@ -1,0 +1,115 @@
+"""Edge-case tests for the B-tree keyed file."""
+
+import pytest
+
+from repro.btree import BTreeKeyedFile
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+@pytest.fixture()
+def fs():
+    return SimFileSystem(SimDisk(SimClock()), cache_blocks=64)
+
+
+def test_delete_then_reinsert_same_key(fs):
+    tree = BTreeKeyedFile(fs.create("t"))
+    tree.insert(5, b"first")
+    tree.delete(5)
+    tree.insert(5, b"second")
+    assert tree.lookup(5) == b"second"
+    assert len(tree) == 1
+
+
+def test_replace_smaller_then_larger(fs):
+    tree = BTreeKeyedFile(fs.create("t"))
+    tree.insert(1, b"x" * 1000)
+    tree.replace(1, b"y")            # shrink to inline
+    assert tree.lookup(1) == b"y"
+    tree.replace(1, b"z" * 5000)     # grow back to heap
+    assert tree.lookup(1) == b"z" * 5000
+
+
+def test_heap_space_leaks_on_replace(fs):
+    """The paper's space-management problem, observable."""
+    tree = BTreeKeyedFile(fs.create("t"))
+    tree.insert(1, b"a" * 1000)
+    size_before = tree.file_size
+    tree.replace(1, b"b" * 1000)
+    assert tree.file_size > size_before  # old extent not reclaimed
+
+
+def test_incremental_inserts_then_reopen_after_splits(fs):
+    f = fs.create("t")
+    tree = BTreeKeyedFile(f, page_size=512, interior_order=8)
+    for key in range(500):
+        tree.insert(key * 3, f"value-{key}".encode())
+    assert tree.height >= 3
+    reopened = BTreeKeyedFile(f, page_size=512, interior_order=8)
+    assert len(reopened) == 500
+    assert reopened.height == tree.height
+    for key in (0, 300, 1497):
+        assert reopened.lookup(key) == f"value-{key // 3}".encode()
+    reopened.insert(100000, b"late")
+    assert reopened.lookup(100000) == b"late"
+
+
+def test_bulk_then_incremental_mix(fs):
+    tree = BTreeKeyedFile(fs.create("t"))
+    tree.bulk_load((k, f"bulk{k}".encode()) for k in range(0, 1000, 2))
+    for key in range(1, 1000, 20):
+        tree.insert(key, f"incr{key}".encode())
+    assert tree.lookup(500) == b"bulk500"
+    assert tree.lookup(21) == b"incr21"
+    keys = list(tree.keys())
+    assert keys == sorted(keys)
+    assert len(keys) == len(tree)
+
+
+def test_single_key_tree(fs):
+    tree = BTreeKeyedFile(fs.create("t"))
+    tree.bulk_load([(7, b"only")])
+    assert tree.height == 1
+    assert tree.lookup(7) == b"only"
+    assert list(tree.items()) == [(7, b"only")]
+
+
+def test_zero_length_record(fs):
+    tree = BTreeKeyedFile(fs.create("t"))
+    tree.insert(1, b"")
+    assert tree.lookup(1) == b""
+
+
+def test_max_uint32_key(fs):
+    tree = BTreeKeyedFile(fs.create("t"))
+    key = 2**32 - 1
+    tree.insert(key, b"edge")
+    assert tree.lookup(key) == b"edge"
+
+
+def test_duplicate_after_bulk_load(fs):
+    tree = BTreeKeyedFile(fs.create("t"))
+    tree.bulk_load([(1, b"a"), (2, b"b")])
+    with pytest.raises(DuplicateKeyError):
+        tree.insert(2, b"dup")
+
+
+def test_interleaved_delete_during_iteration_state(fs):
+    tree = BTreeKeyedFile(fs.create("t"))
+    for key in range(100):
+        tree.insert(key, b"v%d" % key)
+    for key in range(0, 100, 2):
+        tree.delete(key)
+    remaining = [k for k, _v in tree.items()]
+    assert remaining == list(range(1, 100, 2))
+    for key in range(0, 100, 2):
+        with pytest.raises(KeyNotFoundError):
+            tree.lookup(key)
+
+
+def test_record_spanning_many_blocks(fs):
+    tree = BTreeKeyedFile(fs.create("t"))
+    big = bytes(range(256)) * 4096  # 1 MB record
+    tree.insert(1, big)
+    fs.chill()
+    assert tree.lookup(1) == big

@@ -1,0 +1,90 @@
+"""Property-based tests: the B-tree behaves like a dict keyed by term id."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.btree import BTreeKeyedFile
+from repro.errors import KeyNotFoundError
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+def make_tree(order=8):
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=64)
+    return BTreeKeyedFile(fs.create("t"), page_size=512, interior_order=order)
+
+
+keys_st = st.integers(min_value=0, max_value=100000)
+records_st = st.binary(min_size=0, max_size=200)
+
+
+@given(items=st.dictionaries(keys_st, records_st, max_size=120))
+@settings(max_examples=50, deadline=None)
+def test_insert_lookup_matches_dict(items):
+    tree = make_tree()
+    for key, record in items.items():
+        tree.insert(key, record)
+    assert len(tree) == len(items)
+    for key, record in items.items():
+        assert tree.lookup(key) == record
+    assert [k for k, _ in tree.items()] == sorted(items)
+
+
+@given(items=st.dictionaries(keys_st, records_st, min_size=1, max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_bulk_load_matches_dict(items):
+    tree = make_tree()
+    ordered = sorted(items.items())
+    tree.bulk_load(ordered)
+    assert list(tree.items()) == ordered
+    for key, record in items.items():
+        assert tree.lookup(key) == record
+
+
+@given(
+    items=st.dictionaries(keys_st, records_st, min_size=1, max_size=80),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_mixed_operations_match_dict_model(items, data):
+    tree = make_tree()
+    model = {}
+    for key, record in items.items():
+        tree.insert(key, record)
+        model[key] = record
+    ops = data.draw(
+        st.lists(
+            st.tuples(st.sampled_from(["delete", "replace", "insert"]), keys_st, records_st),
+            max_size=30,
+        )
+    )
+    for op, key, record in ops:
+        if op == "delete":
+            if key in model:
+                tree.delete(key)
+                del model[key]
+        elif op == "replace":
+            if key in model:
+                tree.replace(key, record)
+                model[key] = record
+        else:
+            if key not in model:
+                tree.insert(key, record)
+                model[key] = record
+    assert len(tree) == len(model)
+    assert list(tree.items()) == sorted(model.items())
+    for key in list(model)[:10]:
+        assert tree.lookup(key) == model[key]
+
+
+@given(items=st.dictionaries(keys_st, records_st, min_size=1, max_size=60))
+@settings(max_examples=25, deadline=None)
+def test_missing_keys_raise(items):
+    tree = make_tree()
+    for key, record in items.items():
+        tree.insert(key, record)
+    missing = next(k for k in range(200001, 200300) if k not in items)
+    try:
+        tree.lookup(missing)
+        raised = False
+    except KeyNotFoundError:
+        raised = True
+    assert raised

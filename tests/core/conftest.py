@@ -1,0 +1,30 @@
+"""Shared fixtures: one small prepared collection per test session."""
+
+import pytest
+
+from repro.core import prepare_collection
+from repro.synth import CollectionProfile, QueryProfile, SyntheticCollection, generate_query_set
+
+
+TINY = CollectionProfile(
+    name="tiny", models="test", documents=250, mean_doc_length=70,
+    doc_length_sigma=0.5, vocab_size=3500, seed=17,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_collection():
+    return SyntheticCollection(TINY)
+
+
+@pytest.fixture(scope="session")
+def tiny_prepared(tiny_collection):
+    return prepare_collection(tiny_collection)
+
+
+@pytest.fixture(scope="session")
+def tiny_queries(tiny_collection):
+    return generate_query_set(
+        tiny_collection,
+        QueryProfile(name="tiny-qs", style="natural", n_queries=12, mean_terms=4, seed=23),
+    )

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_profiles_lists_all(capsys):
+    assert main(["profiles"]) == 0
+    out = capsys.readouterr().out
+    for profile in ("cacm-s", "legal-s", "tipster1-s", "tipster-s"):
+        assert profile in out
+
+
+def test_demo_runs_queries(capsys):
+    assert main(["demo", "--profile", "cacm-s", "wa", "#sum( wb wc )"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("Query:") == 2
+    assert "belief=" in out
+
+
+def test_demo_daat_engine(capsys):
+    assert main(["demo", "--profile", "cacm-s", "--daat", "#sum( wa wb )"]) == 0
+    assert "belief=" in capsys.readouterr().out
+
+
+def test_demo_no_matches(capsys):
+    assert main(["demo", "--profile", "cacm-s", "zzzzzz"]) == 0
+    assert "no matching documents" in capsys.readouterr().out
+
+
+def test_compare_prints_three_configs(capsys):
+    assert main(["compare", "--profile", "cacm-s", "--set", "0"]) == 0
+    out = capsys.readouterr().out
+    for config in ("btree", "mneme-nocache", "mneme-cache"):
+        assert config in out
+
+
+def test_compare_bad_set_index(capsys):
+    assert main(["compare", "--profile", "cacm-s", "--set", "9"]) == 2
+
+
+def test_tables_subset(capsys):
+    assert main(["tables", "1", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Table 2" in out
+    assert "Table 3" not in out
+
+
+def test_tables_unknown_number(capsys):
+    assert main(["tables", "9"]) == 2
+
+
+def test_figures_unknown_number(capsys):
+    assert main(["figures", "9"]) == 2
+
+
+def test_figure1(capsys):
+    assert main(["figures", "1"]) == 0
+    assert "Figure 1" in capsys.readouterr().out
+
+
+def test_validate_clean(capsys):
+    assert main(["validate", "--profile", "cacm-s", "--sample-every", "10"]) == 0
+    assert "0 issue(s)" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_informetrics_command(capsys):
+    assert main(["informetrics", "--profile", "cacm-s"]) == 0
+    out = capsys.readouterr().out
+    assert "Zipf-Mandelbrot s" in out
+    assert "Pool partition audit" in out
+
+
+def test_evaluate_command(capsys):
+    assert main(["evaluate", "--profile", "cacm-s", "--set", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "mean average precision" in out
+    assert "Interpolated precision" in out
+
+
+def test_evaluate_bad_set(capsys):
+    assert main(["evaluate", "--profile", "cacm-s", "--set", "7"]) == 2

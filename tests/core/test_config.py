@@ -1,0 +1,63 @@
+"""Unit tests for configurations and Table 2 buffer sizing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core import CONFIG_NAMES, config_by_name, table2_buffer_sizes
+from repro.core.config import SystemConfig
+
+
+def test_three_named_configs():
+    assert CONFIG_NAMES == ("btree", "mneme-nocache", "mneme-cache")
+    assert config_by_name("btree").backend == "btree"
+    assert config_by_name("mneme-nocache").backend == "mneme"
+    assert not config_by_name("mneme-nocache").cached
+    assert config_by_name("mneme-cache").cached
+
+
+def test_unknown_config_rejected():
+    with pytest.raises(ConfigError):
+        config_by_name("oracle")
+
+
+def test_btree_cannot_cache():
+    with pytest.raises(ConfigError):
+        SystemConfig(name="x", backend="btree", cached=True)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ConfigError):
+        SystemConfig(name="x", backend="flatfile")
+
+
+def test_overrides_pass_through():
+    config = config_by_name("mneme-cache", fs_cache_blocks=7)
+    assert config.fs_cache_blocks == 7
+
+
+class TestTable2Heuristics:
+    def test_large_is_three_times_largest_record(self):
+        sizes = table2_buffer_sizes(largest_record=100_000)
+        assert sizes.large == 300_000
+
+    def test_medium_is_nine_percent_of_large(self):
+        sizes = table2_buffer_sizes(largest_record=1_000_000)
+        assert sizes.medium == int(0.09 * 3_000_000)
+
+    def test_medium_floor_three_segments(self):
+        # The CACM exception: 9% of a small large-buffer is not enough to
+        # hold a single medium segment, so 3 segments is the floor.
+        sizes = table2_buffer_sizes(largest_record=5_000)
+        assert sizes.medium == 3 * 8192
+
+    def test_small_is_three_segments(self):
+        sizes = table2_buffer_sizes(largest_record=5_000)
+        assert sizes.small == 3 * 4096
+
+    def test_scales_with_segment_size(self):
+        sizes = table2_buffer_sizes(largest_record=5_000, medium_segment_bytes=16384)
+        assert sizes.medium == 3 * 16384
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ConfigError):
+            table2_buffer_sizes(largest_record=0)

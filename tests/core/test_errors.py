@@ -1,0 +1,82 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    BTreeError,
+    BadBlockError,
+    ConfigError,
+    DiskFullError,
+    DuplicateKeyError,
+    FileNotFoundInStoreError,
+    IndexError_,
+    InvalidIdentifierError,
+    KeyNotFoundError,
+    MnemeError,
+    ObjectNotFoundError,
+    PoolError,
+    QueryError,
+    RecoveryError,
+    ReproError,
+    StorageError,
+)
+
+
+def test_everything_derives_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, ReproError), name
+
+
+def test_storage_hierarchy():
+    assert issubclass(DiskFullError, StorageError)
+    assert issubclass(BadBlockError, StorageError)
+    assert issubclass(FileNotFoundInStoreError, StorageError)
+
+
+def test_mneme_hierarchy():
+    for cls in (ObjectNotFoundError, InvalidIdentifierError, PoolError, RecoveryError):
+        assert issubclass(cls, MnemeError)
+
+
+def test_key_errors_are_also_builtin_key_errors():
+    assert issubclass(KeyNotFoundError, KeyError)
+    assert issubclass(ObjectNotFoundError, KeyError)
+
+
+def test_value_like_errors_are_builtin_value_errors():
+    assert issubclass(InvalidIdentifierError, ValueError)
+    assert issubclass(ConfigError, ValueError)
+
+
+def test_btree_hierarchy():
+    assert issubclass(KeyNotFoundError, BTreeError)
+    assert issubclass(DuplicateKeyError, BTreeError)
+
+
+def test_transaction_errors_are_mneme_errors():
+    from repro.mneme import LockConflictError, TransactionAborted, TransactionError
+
+    assert issubclass(TransactionError, MnemeError)
+    assert issubclass(TransactionAborted, TransactionError)
+    assert issubclass(LockConflictError, TransactionAborted)
+
+
+def test_one_catch_all_at_the_api_boundary():
+    """A caller can guard any library call with one except clause."""
+    from repro.inquery import parse_query
+
+    try:
+        parse_query("#bogus( x )")
+    except ReproError as error:
+        assert isinstance(error, QueryError)
+    else:
+        raise AssertionError("expected a ReproError")
+
+
+def test_index_error_shadow_safety():
+    # The library's IndexError_ deliberately does not shadow builtins.
+    assert IndexError_ is not IndexError
+    assert not issubclass(IndexError_, IndexError)

@@ -1,0 +1,113 @@
+"""Integration: the paper's headline shapes on a fast, scaled-down grid.
+
+The benchmark suite asserts these on the full calibrated workloads; this
+test asserts the same *orderings* on a miniature collection so that
+``pytest tests/`` alone exercises the reproduction story end to end.
+"""
+
+import pytest
+
+from repro.core import (
+    build_systems,
+    config_by_name,
+    materialize,
+    measure_run,
+    prepare_collection,
+)
+from repro.inquery import RetrievalEngine
+from repro.synth import (
+    CollectionProfile,
+    QueryProfile,
+    SyntheticCollection,
+    generate_query_set,
+)
+
+
+@pytest.fixture(scope="module")
+def mini():
+    collection = SyntheticCollection(CollectionProfile(
+        name="mini-grid", models="test", documents=700, mean_doc_length=110,
+        doc_length_sigma=0.5, vocab_size=14000, seed=88,
+    ))
+    prepared = prepare_collection(collection)
+    queries = generate_query_set(collection, QueryProfile(
+        name="mini-qs", style="natural", n_queries=30, mean_terms=6,
+        reuse_rate=0.3, bias_alpha=1.3, seed=89,
+    ))
+    systems = build_systems(prepared)
+    metrics = {
+        name: measure_run(system, queries.queries, "mini-qs", keep_results=True)
+        for name, system in systems.items()
+    }
+    return prepared, queries, systems, metrics
+
+
+def test_rankings_identical_across_backends(mini):
+    _prepared, _queries, _systems, metrics = mini
+    rankings = {
+        name: [r.ranking for r in m.results] for name, m in metrics.items()
+    }
+    assert rankings["btree"] == rankings["mneme-nocache"] == rankings["mneme-cache"]
+
+
+def test_table3_ordering(mini):
+    _p, _q, _s, metrics = mini
+    assert metrics["mneme-nocache"].wall_s < metrics["btree"].wall_s
+    assert metrics["mneme-cache"].wall_s <= metrics["mneme-nocache"].wall_s
+
+
+def test_table4_ordering(mini):
+    _p, _q, _s, metrics = mini
+    assert metrics["mneme-nocache"].system_io_s < metrics["btree"].system_io_s
+    assert metrics["mneme-cache"].system_io_s <= metrics["mneme-nocache"].system_io_s
+
+
+def test_table5_accesses_per_lookup(mini):
+    _p, _q, _s, metrics = mini
+    assert metrics["btree"].accesses_per_lookup > 1.5
+    assert 0.95 <= metrics["mneme-nocache"].accesses_per_lookup <= 1.3
+    assert (
+        metrics["mneme-cache"].accesses_per_lookup
+        < metrics["mneme-nocache"].accesses_per_lookup
+    )
+
+
+def test_user_cpu_fixed_across_backends(mini):
+    _p, _q, _s, metrics = mini
+    values = [m.user_s for m in metrics.values()]
+    assert max(values) == pytest.approx(min(values), rel=1e-9)
+
+
+def test_caching_reduces_file_bytes(mini):
+    _p, _q, _s, metrics = mini
+    assert (
+        metrics["mneme-cache"].bytes_from_file
+        < metrics["mneme-nocache"].bytes_from_file
+    )
+
+
+def test_buffer_hits_present_only_with_cache(mini):
+    _p, _q, _s, metrics = mini
+    cached = metrics["mneme-cache"].buffer_stats
+    uncached = metrics["mneme-nocache"].buffer_stats
+    assert sum(s.hits for s in cached.values()) > 0
+    assert sum(s.hits for s in uncached.values()) == 0
+
+
+def test_linked_backend_joins_the_grid(mini):
+    prepared, queries, _systems, metrics = mini
+    system = materialize(prepared, config_by_name("mneme-linked"))
+    run = measure_run(system, queries.queries, "mini-qs", keep_results=True)
+    expected = [r.ranking for r in metrics["btree"].results]
+    assert [r.ranking for r in run.results] == expected
+
+
+def test_table2_sizing_applies(mini):
+    prepared, _q, systems, _m = mini
+    from repro.core import table2_buffer_sizes
+
+    sizes = table2_buffer_sizes(prepared.largest_record)
+    store = systems["mneme-cache"].index.store
+    assert store.large.buffer.capacity_bytes == sizes.large
+    assert store.medium.buffer.capacity_bytes == sizes.medium
+    assert store.small.buffer.capacity_bytes == sizes.small

@@ -1,0 +1,113 @@
+"""Integration tests: materialization, cold start, and measurement."""
+
+import pytest
+
+from repro.core import (
+    CONFIG_NAMES,
+    build_systems,
+    cold_start,
+    config_by_name,
+    improvement,
+    materialize,
+    measure_run,
+)
+from repro.inquery import RetrievalEngine
+
+
+@pytest.fixture(scope="module")
+def systems(tiny_prepared):
+    return build_systems(tiny_prepared)
+
+
+def test_all_configs_materialize(systems):
+    assert set(systems) == set(CONFIG_NAMES)
+    for system in systems.values():
+        assert len(system.index.dictionary) > 0
+        assert system.index.store.file_size > 0
+
+
+def test_identical_rankings_across_configs(systems, tiny_queries):
+    rankings = {}
+    for name, system in systems.items():
+        engine = RetrievalEngine(system.index, top_k=20)
+        rankings[name] = [engine.run_query(q).ranking for q in tiny_queries.queries]
+    assert rankings["btree"] == rankings["mneme-nocache"] == rankings["mneme-cache"]
+
+
+def test_measure_run_collects_metrics(systems, tiny_queries):
+    metrics = measure_run(systems["btree"], tiny_queries.queries, "tiny-qs")
+    assert metrics.queries == len(tiny_queries)
+    assert metrics.wall_s > 0
+    assert metrics.user_s > 0
+    assert metrics.system_io_s > 0
+    assert metrics.wall_s == pytest.approx(metrics.user_s + metrics.system_io_s)
+    assert metrics.record_lookups > 0
+    assert metrics.io_inputs > 0
+    assert metrics.bytes_from_file > 0
+    assert metrics.accesses_per_lookup > 1.0  # B-tree: nodes + record
+
+
+def test_measurement_deterministic(systems, tiny_queries):
+    a = measure_run(systems["mneme-cache"], tiny_queries.queries, "tiny-qs")
+    b = measure_run(systems["mneme-cache"], tiny_queries.queries, "tiny-qs")
+    assert a.wall_s == b.wall_s
+    assert a.io_inputs == b.io_inputs
+    assert a.file_accesses == b.file_accesses
+
+
+def test_user_cpu_identical_across_configs(systems, tiny_queries):
+    times = {
+        name: measure_run(system, tiny_queries.queries, "tiny-qs").user_s
+        for name, system in systems.items()
+    }
+    values = list(times.values())
+    assert max(values) == pytest.approx(min(values), rel=1e-9)
+
+
+def test_mneme_accesses_per_lookup_near_one(systems, tiny_queries):
+    metrics = measure_run(systems["mneme-nocache"], tiny_queries.queries, "tiny-qs")
+    assert 0.95 <= metrics.accesses_per_lookup <= 1.3
+
+
+def test_cache_reduces_accesses(systems, tiny_queries):
+    nocache = measure_run(systems["mneme-nocache"], tiny_queries.queries, "q")
+    cache = measure_run(systems["mneme-cache"], tiny_queries.queries, "q")
+    assert cache.file_accesses <= nocache.file_accesses
+    assert cache.bytes_from_file <= nocache.bytes_from_file
+
+
+def test_cold_start_repeatable(systems, tiny_queries):
+    system = systems["mneme-cache"]
+    warm_engine = RetrievalEngine(system.index)
+    warm_engine.run_batch(tiny_queries.queries)  # warm everything
+    metrics = measure_run(system, tiny_queries.queries, "q", cold=True)
+    # A cold-started run must hit the disk again.
+    assert metrics.io_inputs > 0
+
+
+def test_warm_run_cheaper_than_cold(systems, tiny_queries):
+    system = systems["mneme-cache"]
+    cold = measure_run(system, tiny_queries.queries, "q", cold=True)
+    warm = measure_run(system, tiny_queries.queries, "q", cold=False)
+    assert warm.io_inputs < cold.io_inputs
+    assert warm.wall_s < cold.wall_s
+
+
+def test_buffer_stats_only_for_mneme(systems, tiny_queries):
+    btree = measure_run(systems["btree"], tiny_queries.queries, "q")
+    mneme = measure_run(systems["mneme-cache"], tiny_queries.queries, "q")
+    assert btree.buffer_stats == {}
+    assert set(mneme.buffer_stats) == {"small", "medium", "large"}
+    assert sum(s.refs for s in mneme.buffer_stats.values()) == mneme.record_lookups
+
+
+def test_improvement_metric():
+    assert improvement(10.0, 8.0) == pytest.approx(0.2)
+    assert improvement(0.0, 5.0) == 0.0
+
+
+def test_keep_results_flag(systems, tiny_queries):
+    with_results = measure_run(systems["btree"], tiny_queries.queries, "q", keep_results=True)
+    without = measure_run(systems["btree"], tiny_queries.queries, "q", keep_results=False)
+    assert len(with_results.results) == len(tiny_queries)
+    assert without.results == []

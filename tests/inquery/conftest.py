@@ -1,0 +1,63 @@
+"""Shared fixtures: a small hand-written collection on each backend."""
+
+import pytest
+
+from repro.inquery import (
+    BTreeInvertedFile,
+    BufferSizes,
+    Document,
+    IndexBuilder,
+    MnemeInvertedFile,
+    RetrievalEngine,
+)
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+DOCS = [
+    Document(1, "d1", "information retrieval systems index large document collections"),
+    Document(2, "d2", "the persistent object store manages objects in segments"),
+    Document(3, "d3", "inverted file index records are compressed integer vectors"),
+    Document(4, "d4", "buffer management policies cache segments in memory buffers"),
+    Document(5, "d5", "the b-tree package stores inverted file records on disk"),
+    Document(6, "d6", "query processing reads one inverted list record per term"),
+    Document(7, "d7", "document ranking sorts documents by combined belief values"),
+    Document(8, "d8", "legal case descriptions form a private document collection"),
+    Document(9, "d9", "information retrieval and database management systems differ"),
+    Document(10, "d10", "object store buffers cache inverted file records in memory"),
+]
+
+
+def build_index(backend: str, stopwords=("the", "a", "in", "are", "and", "by", "on", "per")):
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=128)
+    if backend == "btree":
+        store = BTreeInvertedFile(fs)
+    elif backend == "mneme":
+        store = MnemeInvertedFile(fs)
+    elif backend == "mneme-cache":
+        store = MnemeInvertedFile(
+            fs, buffer_sizes=BufferSizes(small=12288, medium=32768, large=65536)
+        )
+    else:
+        raise ValueError(backend)
+    builder = IndexBuilder(fs, store, stopwords=stopwords)
+    builder.add_documents(DOCS)
+    return builder.finalize()
+
+
+@pytest.fixture(params=["btree", "mneme", "mneme-cache"])
+def any_index(request):
+    return build_index(request.param)
+
+
+@pytest.fixture()
+def mneme_index():
+    return build_index("mneme")
+
+
+@pytest.fixture()
+def btree_index():
+    return build_index("btree")
+
+
+@pytest.fixture()
+def engine(any_index):
+    return RetrievalEngine(any_index, top_k=10)

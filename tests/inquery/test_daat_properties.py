@@ -1,0 +1,75 @@
+"""Property tests: TAAT/DAAT equivalence over random corpora."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.inquery import (
+    DocumentAtATimeEngine,
+    Document,
+    IndexBuilder,
+    LinkedMnemeInvertedFile,
+    MnemeInvertedFile,
+    RetrievalEngine,
+)
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+VOCAB = [f"t{i}" for i in range(12)]
+
+corpus_st = st.lists(
+    st.lists(st.sampled_from(VOCAB), min_size=1, max_size=20),
+    min_size=1,
+    max_size=25,
+)
+
+query_terms_st = st.lists(st.sampled_from(VOCAB + ["zzz"]), min_size=1, max_size=5)
+
+
+def build(corpus, linked):
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=64)
+    if linked:
+        store = LinkedMnemeInvertedFile(fs, medium_max_bytes=24, chunk_bytes=64)
+    else:
+        store = MnemeInvertedFile(fs)
+    builder = IndexBuilder(fs, store, stem_fn=str)
+    for doc_id, tokens in enumerate(corpus, start=1):
+        builder.add_document(Document(doc_id, tokens=tokens))
+    return builder.finalize()
+
+
+@given(corpus=corpus_st, terms=query_terms_st, linked=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_daat_equals_taat_sum(corpus, terms, linked):
+    index = build(corpus, linked)
+    query = "#sum( " + " ".join(terms) + " )"
+    taat = RetrievalEngine(index, top_k=30).run_query(query)
+    daat = DocumentAtATimeEngine(index, top_k=30).run_query(query)
+    assert daat.ranking == taat.ranking
+
+
+@given(
+    corpus=corpus_st,
+    terms=query_terms_st,
+    weights=st.lists(st.integers(min_value=1, max_value=5), min_size=5, max_size=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_daat_equals_taat_wsum(corpus, terms, weights):
+    index = build(corpus, linked=True)
+    inner = " ".join(f"{w} {t}" for w, t in zip(weights, terms))
+    query = f"#wsum( {inner} )"
+    taat = RetrievalEngine(index, top_k=30).run_query(query)
+    daat = DocumentAtATimeEngine(index, top_k=30).run_query(query)
+    assert daat.ranking == taat.ranking
+
+
+@given(corpus=corpus_st)
+@settings(max_examples=25, deadline=None)
+def test_linked_backend_fetch_equals_plain(corpus):
+    plain = build(corpus, linked=False)
+    linked = build(corpus, linked=True)
+    from repro.inquery import decode_record
+
+    for entry in plain.dictionary.entries():
+        other = linked.dictionary.lookup(entry.term)
+        assert other is not None
+        assert decode_record(plain.store.fetch(entry.storage_key)) == decode_record(
+            linked.store.fetch(other.storage_key)
+        )

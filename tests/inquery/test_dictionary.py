@@ -1,0 +1,120 @@
+"""Unit tests for the open-chaining hash dictionary."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexError_
+from repro.inquery import HashDictionary
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+def test_add_assigns_sequential_ids():
+    d = HashDictionary()
+    a = d.add("alpha")
+    b = d.add("beta")
+    assert a.term_id == 1
+    assert b.term_id == 2
+
+
+def test_add_is_idempotent():
+    d = HashDictionary()
+    first = d.add("alpha")
+    second = d.add("alpha")
+    assert first is second
+    assert len(d) == 1
+
+
+def test_lookup_missing_returns_none():
+    assert HashDictionary().lookup("ghost") is None
+
+
+def test_lookup_finds_chained_entries():
+    d = HashDictionary(initial_buckets=1)  # force every term into one chain
+    for term in ("a", "b", "c", "d"):
+        d.add(term)
+    for term in ("a", "b", "c", "d"):
+        assert d.lookup(term).term == term
+
+
+def test_grows_when_overloaded():
+    d = HashDictionary(initial_buckets=2)
+    for i in range(100):
+        d.add(f"term{i}")
+    assert d.bucket_count > 2
+    assert len(d) == 100
+    for i in range(100):
+        assert d.lookup(f"term{i}") is not None
+
+
+def test_ids_stable_across_growth():
+    d = HashDictionary(initial_buckets=2)
+    ids = {f"term{i}": d.add(f"term{i}").term_id for i in range(50)}
+    for term, term_id in ids.items():
+        assert d.lookup(term).term_id == term_id
+
+
+def test_entries_iterates_all():
+    d = HashDictionary()
+    terms = {f"t{i}" for i in range(20)}
+    for term in terms:
+        d.add(term)
+    assert {e.term for e in d.entries()} == terms
+
+
+def test_by_id():
+    d = HashDictionary()
+    d.add("x")
+    d.add("y")
+    by_id = d.by_id()
+    assert by_id[1].term == "x"
+    assert by_id[2].term == "y"
+
+
+def test_needs_a_bucket():
+    with pytest.raises(IndexError_):
+        HashDictionary(initial_buckets=0)
+
+
+def test_save_load_roundtrip():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=32)
+    d = HashDictionary()
+    for i in range(200):
+        entry = d.add(f"word{i}")
+        entry.df = i
+        entry.ctf = i * 3
+        entry.storage_key = i * 7 + 1
+    file = fs.create("dict")
+    d.save(file)
+    loaded = HashDictionary.load(file)
+    assert len(loaded) == 200
+    for i in range(200):
+        entry = loaded.lookup(f"word{i}")
+        assert entry.term_id == d.lookup(f"word{i}").term_id
+        assert (entry.df, entry.ctf, entry.storage_key) == (i, i * 3, i * 7 + 1)
+    # New terms continue the id sequence.
+    assert loaded.add("brand-new").term_id == d._next_id
+
+
+def test_load_truncated_file_rejected():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=32)
+    file = fs.create("bad")
+    file.write(0, b"\x01")
+    with pytest.raises(IndexError_):
+        HashDictionary.load(file)
+
+
+@given(terms=st.lists(st.text(alphabet="abcdefghij", min_size=1, max_size=8), max_size=80))
+@settings(max_examples=40, deadline=None)
+def test_matches_dict_model(terms):
+    d = HashDictionary(initial_buckets=4)
+    model = {}
+    for term in terms:
+        entry = d.add(term)
+        if term in model:
+            assert entry.term_id == model[term]
+        else:
+            model[term] = entry.term_id
+    assert len(d) == len(model)
+    assert len(set(model.values())) == len(model)  # ids unique
+    for term, term_id in model.items():
+        assert d.lookup(term).term_id == term_id

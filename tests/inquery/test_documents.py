@@ -1,0 +1,66 @@
+"""Unit tests for documents and the document table."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.inquery import DocTable, Document, tokenize
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+def test_document_term_stream_from_text():
+    doc = Document(1, text="Hello, World")
+    assert doc.term_stream(tokenize) == ["hello", "world"]
+
+
+def test_document_term_stream_pretokenized():
+    doc = Document(1, tokens=["a", "b"])
+    assert doc.term_stream(tokenize) == ["a", "b"]
+
+
+def test_doctable_basic():
+    table = DocTable()
+    table.add(1, 100, "doc-one")
+    table.add(2, 50)
+    assert len(table) == 2
+    assert 1 in table and 3 not in table
+    assert table.length_of(1) == 100
+    assert table.average_length == 75.0
+    assert table.total_length == 150
+
+
+def test_duplicate_rejected():
+    table = DocTable()
+    table.add(1, 10)
+    with pytest.raises(IndexError_):
+        table.add(1, 20)
+
+
+def test_unknown_length_rejected():
+    with pytest.raises(IndexError_):
+        DocTable().length_of(9)
+
+
+def test_remove():
+    table = DocTable()
+    table.add(1, 10, "x")
+    table.remove(1)
+    assert 1 not in table
+    table.remove(1)  # idempotent
+
+
+def test_empty_average():
+    assert DocTable().average_length == 0.0
+
+
+def test_save_load_roundtrip():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=16)
+    table = DocTable()
+    for i in range(1, 101):
+        table.add(i, i * 3, f"doc{i}" if i % 2 else "")
+    file = fs.create("docs")
+    table.save(file)
+    loaded = DocTable.load(file)
+    assert len(loaded) == 100
+    assert loaded.length_of(50) == 150
+    assert loaded.names.get(51) == "doc51"
+    assert 52 not in loaded.names

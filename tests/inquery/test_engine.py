@@ -1,0 +1,136 @@
+"""Integration tests: end-to-end retrieval on every backend."""
+
+import pytest
+
+from repro.inquery import RetrievalEngine, evaluate_ranking
+
+from .conftest import build_index
+
+
+def test_simple_query_finds_relevant_docs(engine):
+    result = engine.run_query("information retrieval")
+    assert result.doc_ids()[0] in (1, 9)  # the two docs about IR
+    assert {1, 9} <= set(result.doc_ids()[:4])
+
+
+def test_phrase_query(engine):
+    result = engine.run_query("#phrase( object store )")
+    top = set(result.doc_ids()[:3])
+    assert 2 in top or 10 in top
+
+
+def test_and_query(engine):
+    result = engine.run_query("#and( buffer cache )")
+    assert result.doc_ids()[0] in (4, 10)
+
+
+def test_unknown_terms_rank_nothing(engine):
+    result = engine.run_query("zzz qqq")
+    assert result.ranking == []
+
+
+def test_scores_monotone(engine):
+    result = engine.run_query("inverted file record")
+    scores = [s for _d, s in result.ranking]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_top_k_respected(any_index):
+    engine = RetrievalEngine(any_index, top_k=3)
+    result = engine.run_query("document")
+    assert len(result.ranking) <= 3
+
+
+def test_batch_mode(engine):
+    results = engine.run_batch(["information", "buffer", "legal case"])
+    assert len(results) == 3
+    assert results[2].doc_ids()[0] == 8
+
+
+def test_all_backends_rank_identically():
+    """The paper's premise: recall/precision are fixed across backends."""
+    queries = [
+        "information retrieval",
+        "#and( buffer cache )",
+        "#phrase( object store )",
+        "#wsum( 2 inverted 1 file )",
+        "#or( legal database )",
+        "document collection index",
+    ]
+    rankings = {}
+    for backend in ("btree", "mneme", "mneme-cache"):
+        index = build_index(backend)
+        engine = RetrievalEngine(index, top_k=10)
+        rankings[backend] = [engine.run_query(q).ranking for q in queries]
+    assert rankings["btree"] == rankings["mneme"] == rankings["mneme-cache"]
+
+
+def test_identical_rankings_mean_identical_precision():
+    index_a = build_index("btree")
+    index_b = build_index("mneme-cache")
+    relevant = {1, 9}
+    ranking_a = RetrievalEngine(index_a).run_query("information retrieval").doc_ids()
+    ranking_b = RetrievalEngine(index_b).run_query("information retrieval").doc_ids()
+    eval_a = evaluate_ranking(ranking_a, relevant)
+    eval_b = evaluate_ranking(ranking_b, relevant)
+    assert eval_a == eval_b
+    assert eval_a.average_precision > 0.5
+
+
+def test_user_cpu_charged(any_index):
+    clock = any_index.fs.disk.clock
+    engine = RetrievalEngine(any_index)
+    before = clock.time.user_ms
+    engine.run_query("information retrieval systems")
+    assert clock.time.user_ms > before
+
+
+def test_user_cpu_comparable_across_backends():
+    """User CPU "varies by less than 1% across the versions"."""
+    times = {}
+    for backend in ("btree", "mneme", "mneme-cache"):
+        index = build_index(backend)
+        clock = index.fs.disk.clock
+        engine = RetrievalEngine(index)
+        start = clock.snapshot()
+        engine.run_batch(["information retrieval", "#and( buffer cache )"])
+        times[backend] = clock.since(start).user_ms
+    values = list(times.values())
+    assert max(values) - min(values) <= 0.01 * max(values)
+
+
+def test_reservation_scan_runs_without_cache(mneme_index):
+    # Reservation against NullBuffer pools is a harmless no-op.
+    engine = RetrievalEngine(mneme_index, use_reservation=True)
+    result = engine.run_query("buffer cache segments")
+    assert result.ranking
+
+
+def test_repeated_query_hits_buffers():
+    index = build_index("mneme-cache")
+    engine = RetrievalEngine(index)
+    engine.run_query("inverted file records")
+    stats_before = {
+        name: s.copy() for name, s in index.store.buffer_stats().items()
+    }
+    engine.run_query("inverted file records")
+    stats_after = index.store.buffer_stats()
+    hits = sum(
+        stats_after[name].hits - stats_before[name].hits for name in stats_after
+    )
+    assert hits > 0
+
+
+def test_no_cache_never_hits(mneme_index):
+    engine = RetrievalEngine(mneme_index)
+    engine.run_query("inverted file records")
+    engine.run_query("inverted file records")
+    stats = mneme_index.store.buffer_stats()
+    assert all(s.hits == 0 for s in stats.values())
+
+
+def test_record_lookup_counter(any_index):
+    engine = RetrievalEngine(any_index)
+    before = any_index.store.record_lookups
+    engine.run_query("buffer cache")
+    assert any_index.store.record_lookups - before == 2

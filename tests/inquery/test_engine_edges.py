@@ -1,0 +1,98 @@
+"""Edge cases for the engines: empty indexes, degenerate queries."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.inquery import (
+    BTreeInvertedFile,
+    DocumentAtATimeEngine,
+    Document,
+    IndexBuilder,
+    MnemeInvertedFile,
+    RetrievalEngine,
+)
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+def empty_index(backend="mneme"):
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=16)
+    store = BTreeInvertedFile(fs) if backend == "btree" else MnemeInvertedFile(fs)
+    builder = IndexBuilder(fs, store)
+    return builder.finalize()
+
+
+@pytest.mark.parametrize("backend", ["btree", "mneme"])
+def test_empty_index_returns_nothing(backend):
+    index = empty_index(backend)
+    engine = RetrievalEngine(index)
+    assert engine.run_query("anything at all").ranking == []
+
+
+def test_empty_index_daat():
+    index = empty_index()
+    engine = DocumentAtATimeEngine(index)
+    result = engine.run_query("#sum( anything here )")
+    assert result.ranking == []
+    assert result.peak_resident_bytes == 0
+
+
+def test_stopword_only_query():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=16)
+    builder = IndexBuilder(fs, MnemeInvertedFile(fs), stopwords=("the", "a"))
+    builder.add_document(Document(1, text="the cat sat on a mat"))
+    index = builder.finalize()
+    engine = RetrievalEngine(index)
+    assert engine.run_query("the a").ranking == []
+
+
+def test_single_document_collection():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=16)
+    builder = IndexBuilder(fs, MnemeInvertedFile(fs), stem_fn=str)
+    builder.add_document(Document(1, tokens=["solo", "doc"]))
+    index = builder.finalize()
+    engine = RetrievalEngine(index)
+    result = engine.run_query("solo")
+    assert result.doc_ids() == [1]
+    # idf of a universal term in a 1-doc collection is ~0; belief stays
+    # at (or barely above) the default, but never below.
+    from repro.inquery import DEFAULT_BELIEF
+
+    assert result.ranking[0][1] >= DEFAULT_BELIEF
+
+
+def test_whitespace_query_rejected():
+    index = empty_index()
+    engine = RetrievalEngine(index)
+    with pytest.raises(QueryError):
+        engine.run_query("    ")
+
+
+def test_huge_top_k():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=16)
+    builder = IndexBuilder(fs, MnemeInvertedFile(fs), stem_fn=str)
+    for doc_id in range(1, 6):
+        builder.add_document(Document(doc_id, tokens=["shared"]))
+    index = builder.finalize()
+    engine = RetrievalEngine(index, top_k=10_000)
+    assert len(engine.run_query("shared").ranking) == 5
+
+
+def test_query_of_only_repeated_term():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=16)
+    builder = IndexBuilder(fs, MnemeInvertedFile(fs), stem_fn=str)
+    builder.add_document(Document(1, tokens=["echo", "echo", "other"]))
+    builder.add_document(Document(2, tokens=["other"]))
+    index = builder.finalize()
+    taat = RetrievalEngine(index).run_query("#sum( echo echo echo )")
+    daat = DocumentAtATimeEngine(index).run_query("#sum( echo echo echo )")
+    assert taat.ranking == daat.ranking
+    assert taat.doc_ids() == [1]
+
+
+def test_document_with_one_token():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=16)
+    builder = IndexBuilder(fs, MnemeInvertedFile(fs), stem_fn=str)
+    builder.add_document(Document(1, tokens=["lone"]))
+    index = builder.finalize()
+    assert index.doctable.length_of(1) == 1
+    assert RetrievalEngine(index).run_query("lone").doc_ids() == [1]

@@ -1,0 +1,68 @@
+"""Unit tests for recall/precision evaluation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.inquery import RECALL_POINTS, evaluate_ranking, evaluate_run
+
+
+def test_perfect_ranking():
+    result = evaluate_ranking([1, 2, 3], {1, 2, 3})
+    assert result.recall == 1.0
+    assert result.precision == 1.0
+    assert result.average_precision == 1.0
+    assert result.r_precision == 1.0
+    assert result.interpolated == (1.0,) * 11
+
+
+def test_nothing_relevant_retrieved():
+    result = evaluate_ranking([4, 5], {1, 2})
+    assert result.recall == 0.0
+    assert result.average_precision == 0.0
+
+
+def test_half_right():
+    result = evaluate_ranking([1, 9, 2, 8], {1, 2})
+    assert result.recall == 1.0
+    assert result.precision == 0.5
+    # AP = (1/1 + 2/3) / 2
+    assert result.average_precision == pytest.approx((1 + 2 / 3) / 2)
+    assert result.r_precision == pytest.approx(0.5)
+
+
+def test_interpolated_monotone_nonincreasing():
+    result = evaluate_ranking([1, 9, 8, 2, 7, 3], {1, 2, 3})
+    interp = result.interpolated
+    assert all(interp[i] >= interp[i + 1] for i in range(len(interp) - 1))
+    assert len(interp) == len(RECALL_POINTS)
+
+
+def test_short_ranking_r_precision():
+    result = evaluate_ranking([1], {1, 2, 3})
+    assert result.r_precision == pytest.approx(1 / 3)
+
+
+def test_empty_relevance_rejected():
+    with pytest.raises(ConfigError):
+        evaluate_ranking([1], set())
+
+
+def test_evaluate_run_macro_average():
+    rankings = [[1, 2], [9, 8]]
+    relevance = {0: {1, 2}, 1: {7}}
+    result = evaluate_run(rankings, relevance)
+    assert result.queries == 2
+    assert result.mean_average_precision == pytest.approx((1.0 + 0.0) / 2)
+
+
+def test_evaluate_run_skips_unjudged():
+    rankings = [[1], [2]]
+    relevance = {0: {1}}
+    result = evaluate_run(rankings, relevance)
+    assert result.queries == 1
+    assert result.mean_average_precision == 1.0
+
+
+def test_evaluate_run_no_judgments_rejected():
+    with pytest.raises(ConfigError):
+        evaluate_run([[1]], {})

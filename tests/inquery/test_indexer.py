@@ -1,0 +1,121 @@
+"""Unit tests for index construction on both backends."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.inquery import (
+    BTreeInvertedFile,
+    Document,
+    IndexBuilder,
+    decode_record,
+)
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+from .conftest import DOCS, build_index
+
+
+def test_every_term_gets_a_record(any_index):
+    for entry in any_index.dictionary.entries():
+        assert entry.storage_key != 0
+        record = any_index.store.fetch(entry.storage_key)
+        postings = decode_record(record)
+        assert len(postings) == entry.df
+        assert sum(len(p) for _d, p in postings) == entry.ctf
+
+
+def test_stopwords_not_indexed(any_index):
+    assert any_index.dictionary.lookup("the") is None
+
+
+def test_stemming_conflates(any_index):
+    # "records" and "record" appear in different documents but share a record.
+    entry = any_index.term_entry("records")
+    assert entry is not None
+    assert entry is any_index.term_entry("record")
+    assert entry.df >= 3
+
+
+def test_doctable_lengths(any_index):
+    assert len(any_index.doctable) == len(DOCS)
+    # d1 has 8 tokens, one of which may be stopped.
+    assert any_index.doctable.length_of(1) >= 6
+
+
+def test_positions_preserved(any_index):
+    entry = any_index.term_entry("information")
+    postings = decode_record(any_index.store.fetch(entry.storage_key))
+    by_doc = dict(postings)
+    assert 1 in by_doc and 9 in by_doc
+    assert by_doc[1] == (0,)  # first token of d1
+
+
+def test_stats(any_index):
+    stats = any_index.stats
+    assert stats.documents == len(DOCS)
+    assert stats.records == len(any_index.dictionary)
+    assert stats.postings > 50
+    assert len(stats.record_sizes) == stats.records
+    assert 0.0 <= stats.compression_rate < 1.0
+
+
+def test_spilling_multiple_runs_equivalent():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=128)
+    store = BTreeInvertedFile(fs)
+    builder = IndexBuilder(fs, store, run_limit=10)  # force many runs
+    builder.add_documents(DOCS)
+    spilled = builder.finalize()
+    reference = build_index("btree", stopwords=())
+    # Note: reference uses different stopwords; rebuild with none for both.
+    fs2 = SimFileSystem(SimDisk(SimClock()), cache_blocks=128)
+    store2 = BTreeInvertedFile(fs2)
+    builder2 = IndexBuilder(fs2, store2, run_limit=10)
+    builder2.add_documents(DOCS)
+    spilled2 = builder2.finalize()
+    for entry in spilled.dictionary.entries():
+        other = spilled2.dictionary.lookup(entry.term)
+        assert other is not None
+        assert decode_record(spilled.store.fetch(entry.storage_key)) == decode_record(
+            spilled2.store.fetch(other.storage_key)
+        )
+
+
+def test_duplicate_doc_id_rejected():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=128)
+    builder = IndexBuilder(fs, BTreeInvertedFile(fs))
+    builder.add_document(Document(1, text="one"))
+    with pytest.raises(IndexError_):
+        builder.add_document(Document(1, text="again"))
+
+
+def test_finalize_twice_rejected():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=128)
+    builder = IndexBuilder(fs, BTreeInvertedFile(fs))
+    builder.add_document(Document(1, text="one"))
+    builder.finalize()
+    with pytest.raises(IndexError_):
+        builder.finalize()
+    with pytest.raises(IndexError_):
+        builder.add_document(Document(2, text="two"))
+
+
+def test_pretokenized_documents():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=128)
+    builder = IndexBuilder(fs, BTreeInvertedFile(fs), stem_fn=str)
+    builder.add_document(Document(1, tokens=["tok1", "tok2", "tok1"]))
+    index = builder.finalize()
+    entry = index.dictionary.lookup("tok1")
+    assert entry.ctf == 2
+    assert entry.df == 1
+
+
+def test_mneme_pool_partitioning(mneme_index):
+    counts = mneme_index.store.pool_object_counts()
+    # The tiny test collection has mostly tiny records.
+    assert counts["small"] > 0
+    assert counts["small"] + counts["medium"] + counts["large"] == len(
+        mneme_index.dictionary
+    )
+
+
+def test_table1_sizes_reported(any_index):
+    assert any_index.store.file_size > 0

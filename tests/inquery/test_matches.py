@@ -1,0 +1,61 @@
+"""Tests for match-position and best-window helpers."""
+
+import pytest
+
+from repro.inquery import (
+    Document,
+    IndexBuilder,
+    MnemeInvertedFile,
+    best_window,
+    term_match_positions,
+)
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+@pytest.fixture(scope="module")
+def index():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=64)
+    builder = IndexBuilder(fs, MnemeInvertedFile(fs), stem_fn=str)
+    builder.add_document(Document(1, tokens=(
+        ["noise"] * 10 + ["cache", "buffer"] + ["noise"] * 30 + ["cache"]
+    )))
+    builder.add_document(Document(2, tokens=["cache"] * 3 + ["filler"] * 5))
+    return builder.finalize()
+
+
+def test_positions_for_present_terms(index):
+    positions = term_match_positions(index, "cache buffer", 1)
+    assert positions["cache"] == (10, 42)
+    assert positions["buffer"] == (11,)
+
+
+def test_absent_terms_omitted(index):
+    positions = term_match_positions(index, "cache ghostword", 2)
+    assert set(positions) == {"cache"}
+
+
+def test_doc_without_matches(index):
+    assert term_match_positions(index, "buffer", 2) == {}
+
+
+def test_repeated_terms_looked_up_once(index):
+    store = index.store
+    before = store.record_lookups
+    term_match_positions(index, "#sum( cache cache cache )", 1)
+    assert store.record_lookups - before == 1
+
+
+def test_best_window_covers_cooccurrence(index):
+    start, end, distinct = best_window(index, "cache buffer", 1, window=5)
+    assert distinct == 2
+    assert start <= 10 and end > 11  # spans positions 10 and 11
+
+
+def test_best_window_no_matches(index):
+    assert best_window(index, "ghost", 2, window=7) == (0, 7, 0)
+
+
+def test_best_window_single_term(index):
+    start, _end, distinct = best_window(index, "cache", 2, window=4)
+    assert distinct == 1
+    assert start == 0

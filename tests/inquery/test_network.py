@@ -1,0 +1,140 @@
+"""Unit tests for inference network belief computation."""
+
+import pytest
+
+from repro.inquery import DEFAULT_BELIEF, InferenceNetwork, TermProvider, parse_query
+
+
+class FixtureProvider(TermProvider):
+    """An in-memory corpus: term -> {doc: positions}."""
+
+    def __init__(self, postings, doc_lengths):
+        self._postings = postings
+        self._lengths = doc_lengths
+
+    @property
+    def doc_count(self):
+        return len(self._lengths)
+
+    @property
+    def average_doc_length(self):
+        return sum(self._lengths.values()) / len(self._lengths)
+
+    def doc_length(self, doc_id):
+        return self._lengths[doc_id]
+
+    def postings(self, term):
+        if term not in self._postings:
+            return None
+        return sorted((d, tuple(p)) for d, p in self._postings[term].items())
+
+
+@pytest.fixture()
+def provider():
+    return FixtureProvider(
+        postings={
+            "cache": {1: [0, 4], 2: [1]},
+            "buffer": {2: [0], 3: [2]},
+            "disk": {3: [3], 4: [0]},
+            "big": {1: [1], 2: [2], 3: [0], 4: [1]},  # common term, low idf
+            "object": {1: [2], 2: [3]},
+            "store": {1: [3], 2: [4]},
+        },
+        doc_lengths={1: 5, 2: 5, 3: 4, 4: 2},
+    )
+
+
+def evaluate(provider, text):
+    return InferenceNetwork(provider).evaluate(parse_query(text))
+
+
+def test_term_beliefs_above_default(provider):
+    scores, default = evaluate(provider, "cache")
+    assert default == DEFAULT_BELIEF
+    assert set(scores) == {1, 2}
+    assert all(b > DEFAULT_BELIEF for b in scores.values())
+
+
+def test_higher_tf_higher_belief(provider):
+    scores, _ = evaluate(provider, "cache")
+    assert scores[1] > scores[2]  # two occurrences beat one (same doc length)
+
+
+def test_rare_term_beats_common_term(provider):
+    rare, _ = evaluate(provider, "cache")   # df 2 of 4
+    common, _ = evaluate(provider, "big")   # df 4 of 4
+    assert rare[1] > common[1]
+
+
+def test_unknown_term_contributes_default(provider):
+    scores, default = evaluate(provider, "unknown")
+    assert scores == {}
+    assert default == DEFAULT_BELIEF
+
+
+def test_sum_averages(provider):
+    scores, _ = evaluate(provider, "#sum( cache buffer )")
+    single, _ = evaluate(provider, "cache")
+    # Doc 2 matches both children; doc 1 only 'cache'.
+    assert scores[2] > scores[1] or scores[2] > DEFAULT_BELIEF
+    # A doc matching one child averages with the other child's default.
+    expected = (single[1] + DEFAULT_BELIEF) / 2
+    assert scores[1] == pytest.approx(expected)
+
+
+def test_and_rewards_conjunction(provider):
+    scores, _ = evaluate(provider, "#and( cache buffer )")
+    assert scores[2] == max(scores.values())  # only doc with both terms
+
+
+def test_or_favors_any_match(provider):
+    scores, default = evaluate(provider, "#or( cache disk )")
+    assert set(scores) == {1, 2, 3, 4}
+    assert all(b > default for b in scores.values())
+
+
+def test_not_inverts(provider):
+    scores, default = evaluate(provider, "#not( cache )")
+    assert default == pytest.approx(1 - DEFAULT_BELIEF)
+    assert all(b < default for b in scores.values())
+
+
+def test_max_takes_best_child(provider):
+    combined, _ = evaluate(provider, "#max( cache buffer )")
+    cache, _ = evaluate(provider, "cache")
+    assert combined[1] == pytest.approx(max(cache[1], DEFAULT_BELIEF))
+
+
+def test_wsum_weighting(provider):
+    heavy, _ = evaluate(provider, "#wsum( 9 cache 1 buffer )")
+    light, _ = evaluate(provider, "#wsum( 1 cache 9 buffer )")
+    assert heavy[1] > light[1]  # doc 1 has only 'cache'
+
+
+def test_phrase_matches_adjacent(provider):
+    scores, _ = evaluate(provider, "#phrase( object store )")
+    # 'object store' is adjacent in docs 1 (2,3) and 2 (3,4).
+    assert set(scores) == {1, 2}
+
+
+def test_phrase_requires_order(provider):
+    scores, _ = evaluate(provider, "#phrase( store object )")
+    assert scores == {}
+
+
+def test_phrase_with_missing_word_is_empty(provider):
+    scores, _ = evaluate(provider, "#phrase( object missing )")
+    assert scores == {}
+
+
+def test_uw_window_matches_unordered(provider):
+    scores, _ = evaluate(provider, "#uw3( store object )")
+    assert set(scores) == {1, 2}
+
+
+def test_beliefs_are_probabilities(provider):
+    for text in ("cache", "#and( cache buffer )", "#or( cache disk big )",
+                 "#not( big )", "#sum( cache disk )"):
+        scores, default = evaluate(provider, text)
+        for belief in list(scores.values()) + [default]:
+            assert 0.0 <= belief <= 1.0

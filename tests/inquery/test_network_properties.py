@@ -1,0 +1,113 @@
+"""Property tests: inference network operators respect probability laws."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.inquery import DEFAULT_BELIEF, InferenceNetwork, parse_query
+
+from .test_network import FixtureProvider
+
+
+def make_provider(data):
+    """Random small corpus: {term: {doc: [positions]}}."""
+    postings = {}
+    lengths = {}
+    for term, docs in data.items():
+        postings[term] = {}
+        for doc, tf in docs.items():
+            postings[term][doc] = list(range(tf))
+            lengths[doc] = max(lengths.get(doc, 0), tf + 2)
+    if not lengths:
+        lengths[1] = 5
+    return FixtureProvider(postings=postings, doc_lengths=lengths)
+
+
+corpus_st = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.dictionaries(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=6),
+        min_size=1,
+        max_size=6,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def evaluate(provider, text):
+    return InferenceNetwork(provider).evaluate(parse_query(text))
+
+
+@given(data=corpus_st)
+@settings(max_examples=60, deadline=None)
+def test_all_operators_stay_in_unit_interval(data):
+    provider = make_provider(data)
+    for text in (
+        "#sum( a b c )",
+        "#wsum( 3 a 1 b )",
+        "#and( a b )",
+        "#or( a b c )",
+        "#not( a )",
+        "#max( a b )",
+        "#syn( a b )",
+    ):
+        scores, default = evaluate(provider, text)
+        for belief in list(scores.values()) + [default]:
+            assert 0.0 <= belief <= 1.0, text
+
+
+@given(data=corpus_st)
+@settings(max_examples=40, deadline=None)
+def test_or_dominates_and(data):
+    provider = make_provider(data)
+    or_scores, or_default = evaluate(provider, "#or( a b )")
+    and_scores, and_default = evaluate(provider, "#and( a b )")
+    for doc in set(or_scores) | set(and_scores):
+        assert or_scores.get(doc, or_default) >= and_scores.get(doc, and_default) - 1e-12
+    assert or_default >= and_default - 1e-12
+
+
+@given(data=corpus_st)
+@settings(max_examples=40, deadline=None)
+def test_max_bounded_by_or(data):
+    provider = make_provider(data)
+    or_scores, or_default = evaluate(provider, "#or( a b )")
+    max_scores, max_default = evaluate(provider, "#max( a b )")
+    for doc in set(or_scores) | set(max_scores):
+        assert max_scores.get(doc, max_default) <= or_scores.get(doc, or_default) + 1e-12
+
+
+@given(data=corpus_st)
+@settings(max_examples=40, deadline=None)
+def test_sum_between_min_and_max_child(data):
+    provider = make_provider(data)
+    a_scores, a_default = evaluate(provider, "a")
+    b_scores, b_default = evaluate(provider, "b")
+    sum_scores, _ = evaluate(provider, "#sum( a b )")
+    for doc, belief in sum_scores.items():
+        lo = min(a_scores.get(doc, a_default), b_scores.get(doc, b_default))
+        hi = max(a_scores.get(doc, a_default), b_scores.get(doc, b_default))
+        assert lo - 1e-12 <= belief <= hi + 1e-12
+
+
+@given(data=corpus_st)
+@settings(max_examples=40, deadline=None)
+def test_not_is_involution_on_beliefs(data):
+    provider = make_provider(data)
+    a_scores, a_default = evaluate(provider, "a")
+    nn_scores, nn_default = evaluate(provider, "#not( #not( a ) )")
+    for doc in a_scores:
+        assert nn_scores[doc] == pytest.approx(a_scores[doc], abs=1e-12)
+    assert nn_default == pytest.approx(a_default, abs=1e-12)
+
+
+@given(data=corpus_st)
+@settings(max_examples=40, deadline=None)
+def test_term_beliefs_never_below_default(data):
+    provider = make_provider(data)
+    for term in ("a", "b", "c", "d"):
+        scores, default = evaluate(provider, term)
+        assert default == DEFAULT_BELIEF
+        for belief in scores.values():
+            assert belief >= DEFAULT_BELIEF - 1e-12

@@ -1,0 +1,106 @@
+"""Unit tests for the structured query language parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.inquery import (
+    OpNode,
+    TermNode,
+    count_nodes,
+    format_query,
+    parse_query,
+    query_terms,
+)
+
+
+def test_single_term():
+    assert parse_query("database") == TermNode("database")
+
+
+def test_bare_terms_become_sum():
+    tree = parse_query("information retrieval system")
+    assert isinstance(tree, OpNode)
+    assert tree.op == "sum"
+    assert [c.term for c in tree.children] == ["information", "retrieval", "system"]
+
+
+def test_case_folded():
+    assert parse_query("DataBase") == TermNode("database")
+
+
+def test_nested_operators():
+    tree = parse_query("#and( persistent #or( object store ) )")
+    assert tree.op == "and"
+    assert tree.children[0] == TermNode("persistent")
+    inner = tree.children[1]
+    assert inner.op == "or"
+    assert [c.term for c in inner.children] == ["object", "store"]
+
+
+def test_wsum_weights():
+    tree = parse_query("#wsum( 2.0 legal 1.0 court )")
+    assert tree.op == "wsum"
+    assert tree.weights == (2.0, 1.0)
+    assert [c.term for c in tree.children] == ["legal", "court"]
+
+
+def test_wsum_with_nested_node():
+    tree = parse_query("#wsum( 3 #phrase( supreme court ) 1 case )")
+    assert tree.weights == (3.0, 1.0)
+    assert tree.children[0].op == "phrase"
+
+
+def test_uw_window():
+    tree = parse_query("#uw5( inverted file )")
+    assert tree.op == "uw"
+    assert tree.window == 5
+
+
+def test_phrase_requires_terms():
+    with pytest.raises(QueryError):
+        parse_query("#phrase( a #and( b c ) )")
+
+
+def test_not_single_argument():
+    tree = parse_query("#not( relational )")
+    assert tree.op == "not"
+    with pytest.raises(QueryError):
+        parse_query("#not( a b )")
+
+
+def test_errors():
+    for bad in (
+        "",
+        "   ",
+        "#bogus( a )",
+        "#and( a",
+        "#and a )",
+        "#and()",
+        "#wsum( a )",
+        "#wsum( 1.0 )",
+        ")",
+    ):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+
+def test_query_terms_in_order_with_repeats():
+    tree = parse_query("#sum( cache #and( cache buffer ) )")
+    assert list(query_terms(tree)) == ["cache", "cache", "buffer"]
+
+
+def test_count_nodes():
+    tree = parse_query("#sum( a #and( b c ) )")
+    assert count_nodes(tree) == 5  # sum, a, and, b, c
+
+
+def test_format_roundtrip():
+    for text in (
+        "#sum( information retrieval )",
+        "#and( persistent #or( object store ) )",
+        "#wsum( 2 legal 1 #phrase( supreme court ) )",
+        "#uw4( inverted file )",
+        "#not( relational )",
+    ):
+        tree = parse_query(text)
+        assert parse_query(format_query(tree)) == tree

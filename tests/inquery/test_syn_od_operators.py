@@ -1,0 +1,99 @@
+"""Tests for the #syn and #odN operators."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.inquery import DEFAULT_BELIEF, InferenceNetwork, parse_query
+
+from .test_network import FixtureProvider
+
+
+@pytest.fixture()
+def provider():
+    return FixtureProvider(
+        postings={
+            "car": {1: [0], 2: [1]},
+            "automobile": {3: [2], 2: [4]},
+            "fast": {1: [1], 4: [0]},
+            "red": {1: [3], 5: [0]},
+            "stop": {1: [5]},
+            "sign": {1: [7]},   # gap of 2 after "stop"
+        },
+        doc_lengths={1: 8, 2: 5, 3: 4, 4: 2, 5: 3},
+    )
+
+
+def evaluate(provider, text):
+    return InferenceNetwork(provider).evaluate(parse_query(text))
+
+
+class TestSyn:
+    def test_parses(self):
+        tree = parse_query("#syn( car automobile )")
+        assert tree.op == "syn"
+        assert [c.term for c in tree.children] == ["car", "automobile"]
+
+    def test_unions_postings(self, provider):
+        scores, _ = evaluate(provider, "#syn( car automobile )")
+        assert set(scores) == {1, 2, 3}
+
+    def test_df_is_union_size(self, provider):
+        # doc 2 contains both members: as one synonym "term" its tf is 2,
+        # and the union df (3) drives a lower idf than either member's.
+        syn, _ = evaluate(provider, "#syn( car automobile )")
+        car, _ = evaluate(provider, "car")
+        assert syn[2] > syn[1]  # tf 2 beats tf 1 at similar doc length
+        assert syn[1] < car[1]  # union df lowers idf vs 'car' alone
+
+    def test_missing_members_ignored(self, provider):
+        scores, _ = evaluate(provider, "#syn( car ghostword )")
+        assert set(scores) == {1, 2}
+
+    def test_all_missing(self, provider):
+        scores, default = evaluate(provider, "#syn( ghost words )")
+        assert scores == {}
+        assert default == DEFAULT_BELIEF
+
+    def test_rejects_nested(self):
+        with pytest.raises(QueryError):
+            parse_query("#syn( car #and( a b ) )")
+
+
+class TestOd:
+    def test_parses_window(self):
+        tree = parse_query("#od3( stop sign )")
+        assert tree.op == "od"
+        assert tree.window == 3
+
+    def test_requires_window(self):
+        with pytest.raises(QueryError):
+            parse_query("#od( stop sign )")
+
+    def test_matches_within_window(self, provider):
+        scores, _ = evaluate(provider, "#od2( stop sign )")
+        assert set(scores) == {1}  # positions 5 and 7: gap 2
+
+    def test_window_too_small(self, provider):
+        scores, _ = evaluate(provider, "#od1( stop sign )")
+        assert scores == {}
+
+    def test_order_matters(self, provider):
+        scores, _ = evaluate(provider, "#od5( sign stop )")
+        assert scores == {}
+
+    def test_od1_equals_phrase(self, provider):
+        od, _ = evaluate(provider, "#od1( fast red )")     # positions 1, 3: gap 2
+        phrase, _ = evaluate(provider, "#phrase( fast red )")
+        assert od == phrase == {}
+
+    def test_three_terms_chained(self, provider):
+        scores, _ = evaluate(provider, "#od2( fast red stop )")
+        # fast@1 -> red@3 (gap 2) -> stop@5 (gap 2): matches doc 1.
+        assert set(scores) == {1}
+
+    def test_format_roundtrip(self):
+        for text in ("#od3( a b )", "#syn( a b c )"):
+            tree = parse_query(text)
+            from repro.inquery import format_query
+
+            assert parse_query(format_query(tree)) == tree

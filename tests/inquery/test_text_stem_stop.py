@@ -1,0 +1,65 @@
+"""Unit tests for tokenization, stemming, and stop words."""
+
+from repro.inquery import DEFAULT_STOPWORDS, is_stopword, stem, tokenize
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("The Quick, Brown Fox!") == ["the", "quick", "brown", "fox"]
+
+    def test_numbers_kept(self):
+        assert tokenize("section 42(b) of 1993") == ["section", "42", "b", "of", "1993"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("  ...  ") == []
+
+    def test_punctuation_separates(self):
+        assert tokenize("object-oriented database") == ["object", "oriented", "database"]
+
+
+class TestStem:
+    def test_plural(self):
+        assert stem("databases") == stem("database")
+
+    def test_ing(self):
+        assert stem("indexing") == "index"
+
+    def test_ed(self):
+        assert stem("indexed") == "index"
+
+    def test_short_words_unchanged(self):
+        assert stem("cat") == "cat"
+        assert stem("is") == "is"
+
+    def test_digits_unchanged(self):
+        assert stem("1990s") == "1990s"
+
+    def test_never_produces_tiny_stem(self):
+        assert len(stem("aces")) >= 3
+
+    def test_conflates_related_forms(self):
+        assert stem("retrieval") == "retrieval"  # no matching suffix
+        assert stem("managements") == stem("management")
+
+    def test_idempotent_on_samples(self):
+        for word in ("databases", "indexing", "caching", "queries", "systems"):
+            once = stem(word)
+            assert stem(once) == once
+
+
+class TestStopwords:
+    def test_common_words_stopped(self):
+        for word in ("the", "and", "of", "is"):
+            assert is_stopword(word)
+
+    def test_content_words_kept(self):
+        for word in ("database", "retrieval", "object"):
+            assert not is_stopword(word)
+
+    def test_custom_set(self):
+        assert is_stopword("zzz", frozenset({"zzz"}))
+        assert not is_stopword("the", frozenset({"zzz"}))
+
+    def test_default_list_reasonable_size(self):
+        assert 50 <= len(DEFAULT_STOPWORDS) <= 200

@@ -1,0 +1,170 @@
+"""Unit tests for the extensible buffer framework."""
+
+import pytest
+
+from repro.errors import BufferError_
+from repro.mneme import LRUBuffer, NullBuffer
+
+
+def test_lookup_miss_counts_ref():
+    buf = LRUBuffer(100)
+    assert buf.lookup("a") is None
+    assert buf.stats.refs == 1
+    assert buf.stats.hits == 0
+
+
+def test_insert_then_lookup_hits():
+    buf = LRUBuffer(100)
+    buf.insert("a", "segment-a", 10)
+    assert buf.lookup("a") == "segment-a"
+    assert buf.stats.hits == 1
+    assert buf.stats.hit_rate == 1.0
+
+
+def test_byte_budget_evicts_lru():
+    buf = LRUBuffer(25)
+    buf.insert("a", "A", 10)
+    buf.insert("b", "B", 10)
+    buf.lookup("a")
+    buf.insert("c", "C", 10)  # 30 > 25: evict LRU "b"
+    assert "b" not in buf
+    assert "a" in buf and "c" in buf
+    assert buf.used_bytes == 20
+
+
+def test_oversized_entry_evicts_everything_else():
+    buf = LRUBuffer(30)
+    buf.insert("a", "A", 10)
+    buf.insert("big", "BIG", 28)
+    assert "a" not in buf
+    assert "big" in buf
+
+
+def test_reinsert_updates_size():
+    buf = LRUBuffer(100)
+    buf.insert("a", "A", 10)
+    buf.insert("a", "A2", 50)
+    assert buf.used_bytes == 50
+    assert buf.lookup("a") == "A2"
+    assert buf.stats.insertions == 1  # re-insert is not a new entry
+
+
+def test_reservation_protects_from_eviction():
+    buf = LRUBuffer(25)
+    buf.insert("a", "A", 10)
+    assert buf.reserve("a")
+    buf.insert("b", "B", 10)
+    buf.insert("c", "C", 10)  # must evict "b", not reserved "a"
+    assert "a" in buf
+    assert "b" not in buf
+    buf.release_reservations()
+    buf.insert("d", "D", 20)
+    assert "a" not in buf  # no longer protected
+
+
+def test_reserve_absent_returns_false():
+    buf = LRUBuffer(100)
+    assert not buf.reserve("ghost")
+
+
+def test_all_reserved_tolerates_overflow():
+    buf = LRUBuffer(15)
+    buf.insert("a", "A", 10)
+    buf.reserve("a")
+    buf.insert("b", "B", 10)
+    buf.reserve("b")
+    buf.insert("c", "C", 10)
+    assert len(buf) == 3  # progress over precision
+
+
+def test_dirty_eviction_calls_save():
+    saved = []
+    buf = LRUBuffer(15)
+    buf.attach(1, lambda key, seg: saved.append((key, seg)))
+    buf.insert((1, 7), "dirty-seg", 10, dirty=True)
+    buf.insert((1, 8), "other", 10)
+    assert ((1, 7), "dirty-seg") in saved
+
+
+def test_flush_writes_dirty_and_keeps_entries():
+    saved = []
+    buf = LRUBuffer(100)
+    buf.attach(1, lambda key, seg: saved.append(key))
+    buf.insert((1, 1), "S1", 10, dirty=True)
+    buf.insert((1, 2), "S2", 10)
+    buf.flush()
+    assert saved == [(1, 1)]
+    assert (1, 1) in buf
+    buf.flush()
+    assert saved == [(1, 1)]  # dirty flag cleared by first flush
+
+
+def test_mark_dirty_then_clear_saves():
+    saved = []
+    buf = LRUBuffer(100)
+    buf.attach(2, lambda key, seg: saved.append(key))
+    buf.insert((2, 5), "S", 10)
+    buf.mark_dirty((2, 5))
+    buf.clear()
+    assert saved == [(2, 5)]
+    assert len(buf) == 0
+
+
+def test_mark_dirty_absent_raises():
+    buf = LRUBuffer(100)
+    with pytest.raises(BufferError_):
+        buf.mark_dirty("ghost")
+
+
+def test_dirty_without_attached_pool_raises():
+    buf = LRUBuffer(5)
+    buf.insert((9, 1), "S", 10, dirty=True)
+    with pytest.raises(BufferError_):
+        buf.insert((9, 2), "T", 10)  # eviction of dirty (9,1) has no saver
+
+
+def test_two_pools_share_one_buffer():
+    saved = []
+    buf = LRUBuffer(10)
+    buf.attach(1, lambda key, seg: saved.append(("p1", key)))
+    buf.attach(2, lambda key, seg: saved.append(("p2", key)))
+    buf.insert((1, 0), "A", 10, dirty=True)
+    buf.insert((2, 0), "B", 10, dirty=True)  # evicts pool 1's segment
+    assert ("p1", (1, 0)) in saved
+    buf.clear()
+    assert ("p2", (2, 0)) in saved
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(BufferError_):
+        LRUBuffer(-1)
+
+
+class TestNullBuffer:
+    def test_never_retains(self):
+        buf = NullBuffer()
+        buf.insert("a", "A", 10)
+        assert buf.lookup("a") is None
+        assert not buf.resident("a")
+        assert buf.stats.hits == 0
+        assert buf.stats.refs == 1
+
+    def test_refs_counted(self):
+        buf = NullBuffer()
+        buf.lookup("x")
+        buf.lookup("y")
+        assert buf.stats.refs == 2
+
+    def test_dirty_insert_saves_immediately(self):
+        saved = []
+        buf = NullBuffer()
+        buf.attach(1, lambda key, seg: saved.append(key))
+        buf.insert((1, 3), "S", 10, dirty=True)
+        assert saved == [(1, 3)]
+
+    def test_reserve_always_false(self):
+        assert not NullBuffer().reserve("a")
+
+    def test_mark_dirty_raises(self):
+        with pytest.raises(BufferError_):
+            NullBuffer().mark_dirty("a")

@@ -1,0 +1,80 @@
+"""Unit tests for object identifier arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidIdentifierError
+from repro.mneme import (
+    LOGICAL_SEGMENT_OBJECTS,
+    MAX_LOCAL_ID,
+    logical_segment,
+    make_global,
+    oid_for,
+    slot_in_segment,
+    split_global,
+)
+
+
+def test_first_oid_is_one_in_segment_zero():
+    assert oid_for(0, 0) == 1
+    assert logical_segment(1) == 0
+    assert slot_in_segment(1) == 0
+
+
+def test_segment_boundary():
+    last_of_seg0 = oid_for(0, LOGICAL_SEGMENT_OBJECTS - 1)
+    first_of_seg1 = oid_for(1, 0)
+    assert first_of_seg1 == last_of_seg0 + 1
+    assert logical_segment(last_of_seg0) == 0
+    assert logical_segment(first_of_seg1) == 1
+
+
+def test_null_and_out_of_range_rejected():
+    for bad in (0, -1, MAX_LOCAL_ID, MAX_LOCAL_ID + 5):
+        with pytest.raises(InvalidIdentifierError):
+            logical_segment(bad)
+
+
+def test_oid_for_validates_inputs():
+    with pytest.raises(InvalidIdentifierError):
+        oid_for(-1, 0)
+    with pytest.raises(InvalidIdentifierError):
+        oid_for(0, LOGICAL_SEGMENT_OBJECTS)
+    with pytest.raises(InvalidIdentifierError):
+        oid_for(0, -1)
+
+
+def test_global_roundtrip():
+    gid = make_global(3, 12345)
+    assert split_global(gid) == (3, 12345)
+
+
+def test_global_of_file_zero_is_local_id():
+    assert make_global(0, 42) == 42
+
+
+def test_split_global_rejects_garbage():
+    with pytest.raises(InvalidIdentifierError):
+        split_global(0)
+    with pytest.raises(InvalidIdentifierError):
+        split_global(-9)
+    with pytest.raises(InvalidIdentifierError):
+        split_global(1 << 28)  # local part is zero
+
+
+@given(
+    logseg=st.integers(min_value=0, max_value=(MAX_LOCAL_ID - 2) // LOGICAL_SEGMENT_OBJECTS - 1),
+    slot=st.integers(min_value=0, max_value=LOGICAL_SEGMENT_OBJECTS - 1),
+)
+def test_oid_roundtrip_property(logseg, slot):
+    oid = oid_for(logseg, slot)
+    assert logical_segment(oid) == logseg
+    assert slot_in_segment(oid) == slot
+
+
+@given(
+    file_no=st.integers(min_value=0, max_value=2**20),
+    oid=st.integers(min_value=1, max_value=MAX_LOCAL_ID - 1),
+)
+def test_global_roundtrip_property(file_no, oid):
+    assert split_global(make_global(file_no, oid)) == (file_no, oid)

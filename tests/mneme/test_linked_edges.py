@@ -1,0 +1,88 @@
+"""Edge cases for linked objects and forward-layout guarantees."""
+
+import pytest
+
+from repro.mneme import (
+    ChunkedLargeObjectPool,
+    MnemeStore,
+    append_linked,
+    chunk_ids,
+    read_linked,
+    write_linked,
+    write_linked_parts,
+)
+from repro.errors import MnemeError
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+@pytest.fixture()
+def pool():
+    store = MnemeStore(SimFileSystem(SimDisk(SimClock()), cache_blocks=64))
+    f = store.open_file("lnk")
+    p = f.create_pool(3, ChunkedLargeObjectPool)
+    f.load()
+    return p
+
+
+def test_chunks_laid_out_head_first(pool):
+    """Forward layout: chunk ids ascend along the chain, so file offsets
+    ascend too (ids are allocated in creation order)."""
+    head = write_linked(pool, b"z" * 50000, chunk_bytes=10000)
+    ids = chunk_ids(pool, head)
+    assert ids == sorted(ids)
+
+
+def test_segments_ascend_in_file(pool):
+    head = write_linked(pool, b"z" * 50000, chunk_bytes=10000)
+    pool.flush()
+    ids = chunk_ids(pool, head)
+    offsets = []
+    for oid in ids:
+        ordinal = pool._ordinal_of(oid)
+        (seg_ordinal,) = pool._omap.get(ordinal)
+        offset, _length = pool._segs.get(seg_ordinal)
+        offsets.append(offset)
+    assert offsets == sorted(offsets)
+
+
+def test_write_linked_parts_empty_rejected(pool):
+    with pytest.raises(MnemeError):
+        write_linked_parts(pool, [])
+
+
+def test_single_empty_part(pool):
+    head = write_linked_parts(pool, [b""])
+    assert read_linked(pool, head) == b""
+
+
+def test_parts_of_wildly_different_sizes(pool):
+    parts = [b"a", b"b" * 70000, b"", b"c" * 3]
+    head = write_linked_parts(pool, parts)
+    assert read_linked(pool, head) == b"".join(parts)
+    assert len(chunk_ids(pool, head)) == 4
+
+
+def test_append_to_single_chunk_repeatedly(pool):
+    head = write_linked(pool, b"", chunk_bytes=64)
+    expect = b""
+    for i in range(10):
+        piece = bytes([65 + i]) * 20
+        append_linked(pool, head, piece, chunk_bytes=64)
+        expect += piece
+    assert read_linked(pool, head) == expect
+
+
+def test_prefix_read_budget_exact_boundary(pool):
+    head = write_linked(pool, b"0123456789" * 100, chunk_bytes=250)
+    assert read_linked(pool, head, max_bytes=250) == (b"0123456789" * 100)[:250]
+    assert read_linked(pool, head, max_bytes=0) == b""
+
+
+def test_reopen_preserves_chain(pool):
+    head = write_linked(pool, b"persist" * 1000, chunk_bytes=1500)
+    pool.file.flush()
+    store2 = MnemeStore(pool.file.fs)
+    f2 = store2.open_file("lnk")
+    p2 = f2.create_pool(3, ChunkedLargeObjectPool)
+    f2.load()
+    assert read_linked(p2, head) == b"persist" * 1000

@@ -1,0 +1,101 @@
+"""Unit tests for the partitioned buffer policy (the split ablation)."""
+
+import pytest
+
+from repro.errors import BufferError_
+from repro.mneme import LRUBuffer, PartitionedBuffer
+
+
+@pytest.fixture()
+def buf():
+    return PartitionedBuffer(low_capacity_bytes=20, high_capacity_bytes=20, threshold_bytes=10)
+
+
+def test_routes_by_size(buf):
+    buf.insert("small", "S", 5)
+    buf.insert("big", "B", 15)
+    low, high = buf.partitions
+    assert low.resident("small")
+    assert high.resident("big")
+
+
+def test_lookup_counts_and_hits(buf):
+    buf.insert("a", "A", 5)
+    assert buf.lookup("a") == "A"
+    assert buf.lookup("ghost") is None
+    assert buf.stats.refs == 2
+    assert buf.stats.hits == 1
+
+
+def test_partitions_do_not_borrow_space(buf):
+    # Fill the low side; the high side stays empty but cannot be used.
+    buf.insert("s1", "A", 10)
+    buf.insert("s2", "B", 10)
+    buf.insert("s3", "C", 10)  # evicts s1 even though high partition is idle
+    assert not buf.resident("s1")
+    assert buf.resident("s2") and buf.resident("s3")
+
+
+def test_single_lru_of_same_total_beats_split_here():
+    # The paper's finding, in miniature: one 40-byte buffer holds the
+    # working set, two 20-byte halves thrash one side.
+    single = LRUBuffer(40)
+    split = PartitionedBuffer(20, 20, threshold_bytes=10)
+    sizes = {"a": 10, "b": 10, "c": 10}  # all land in the low partition
+    for trial in range(3):
+        for key, size in sizes.items():
+            for buf in (single, split):
+                if buf.lookup(key) is None:
+                    buf.insert(key, key.upper(), size)
+    assert single.stats.hit_rate > split.stats.hit_rate
+
+
+def test_size_class_change_moves_partition(buf):
+    buf.insert("x", "X1", 5)
+    buf.insert("x", "X2", 15)  # re-inserted larger: moves to high side
+    low, high = buf.partitions
+    assert not low.resident("x")
+    assert high.resident("x")
+    assert buf.lookup("x") == "X2"
+
+
+def test_take_removes(buf):
+    buf.insert("a", "A", 5)
+    assert buf.take("a") == "A"
+    assert not buf.resident("a")
+    assert buf.take("a") is None
+
+
+def test_reserve_and_release(buf):
+    buf.insert("a", "A", 10)
+    assert buf.reserve("a")
+    buf.insert("b", "B", 10)
+    buf.insert("c", "C", 10)  # must evict b, not reserved a
+    assert buf.resident("a")
+    buf.release_reservations()
+    assert not buf.reserve("ghost")
+
+
+def test_dirty_flush_through_partitions(buf):
+    saved = []
+    buf.attach(1, lambda key, seg: saved.append(key))
+    buf.insert((1, 1), "S", 5, dirty=True)
+    buf.insert((1, 2), "L", 15, dirty=True)
+    buf.flush()
+    assert set(saved) == {(1, 1), (1, 2)}
+
+
+def test_mark_dirty_absent_raises(buf):
+    with pytest.raises(BufferError_):
+        buf.mark_dirty("ghost")
+
+
+def test_clear(buf):
+    buf.insert("a", "A", 5)
+    buf.clear()
+    assert not buf.resident("a")
+
+
+def test_bad_threshold_rejected():
+    with pytest.raises(BufferError_):
+        PartitionedBuffer(10, 10, threshold_bytes=0)

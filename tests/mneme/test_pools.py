@@ -1,0 +1,284 @@
+"""Unit tests for the three object pools."""
+
+import pytest
+
+from repro.errors import ObjectNotFoundError, PoolError
+from repro.mneme import (
+    LOGICAL_SEGMENT_OBJECTS,
+    LRUBuffer,
+    LargeObjectPool,
+    MediumObjectPool,
+    MnemeStore,
+    SmallObjectPool,
+)
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+@pytest.fixture()
+def fs():
+    return SimFileSystem(SimDisk(SimClock()), cache_blocks=256)
+
+
+@pytest.fixture()
+def mfile(fs):
+    store = MnemeStore(fs)
+    f = store.open_file("inv")
+    f.create_pool(1, SmallObjectPool)
+    f.create_pool(2, MediumObjectPool)
+    f.create_pool(3, LargeObjectPool)
+    f.load()
+    return f
+
+
+class TestSmallObjectPool:
+    def test_create_fetch(self, mfile):
+        pool = mfile.pool(1)
+        oid = pool.create(b"tiny")
+        mfile.flush()
+        assert pool.fetch(oid) == b"tiny"
+
+    def test_rejects_oversized(self, mfile):
+        with pytest.raises(PoolError):
+            mfile.pool(1).create(b"x" * 13)
+
+    def test_accepts_exactly_twelve_bytes(self, mfile):
+        pool = mfile.pool(1)
+        oid = pool.create(b"123456789012")
+        mfile.flush()
+        assert pool.fetch(oid) == b"123456789012"
+
+    def test_255_objects_one_segment(self, mfile):
+        pool = mfile.pool(1)
+        oids = [pool.create(f"{i:03d}".encode()) for i in range(600)]
+        mfile.flush()
+        # 600 objects span 3 logical segments = 3 physical segments.
+        assert len(set(oid // 1000 for oid in oids)) >= 1
+        assert len(list(pool.logsegs())) == 3
+        for i in (0, 254, 255, 599):
+            assert pool.fetch(oids[i]) == f"{i:03d}".encode()
+
+    def test_fetch_before_flush_serves_open_segment(self, mfile):
+        pool = mfile.pool(1)
+        oid = pool.create(b"live")
+        assert pool.fetch(oid) == b"live"
+
+    def test_modify(self, mfile):
+        pool = mfile.pool(1)
+        oid = pool.create(b"aaa")
+        mfile.flush()
+        pool.modify(oid, b"bbbb")
+        mfile.flush()
+        assert pool.fetch(oid) == b"bbbb"
+
+    def test_delete(self, mfile):
+        pool = mfile.pool(1)
+        oid = pool.create(b"gone")
+        mfile.flush()
+        pool.delete(oid)
+        mfile.flush()
+        with pytest.raises(ObjectNotFoundError):
+            pool.fetch(oid)
+
+    def test_unknown_oid(self, mfile):
+        with pytest.raises(ObjectNotFoundError):
+            mfile.pool(1).fetch(12345)
+
+
+class TestMediumObjectPool:
+    def test_create_fetch(self, mfile):
+        pool = mfile.pool(2)
+        oid = pool.create(b"m" * 100)
+        mfile.flush()
+        assert pool.fetch(oid) == b"m" * 100
+
+    def test_rejects_oversized(self, mfile):
+        with pytest.raises(PoolError):
+            mfile.pool(2).create(b"x" * 4097)
+
+    def test_objects_packed_into_8k_segments(self, mfile):
+        pool = mfile.pool(2)
+        oids = [pool.create(bytes([i % 251]) * 1000) for i in range(40)]
+        mfile.flush()
+        # ~7 objects of ~1 KB per 8 KB segment -> about 6 segments.
+        assert 4 <= len(pool._segs) <= 10
+        for i, oid in enumerate(oids):
+            assert pool.fetch(oid) == bytes([i % 251]) * 1000
+
+    def test_segments_padded_to_8k(self, mfile):
+        pool = mfile.pool(2)
+        pool.create(b"a" * 100)
+        mfile.flush()
+        offset, length = pool._segs.get(0)
+        assert length == 8192
+
+    def test_modify_in_place(self, mfile):
+        pool = mfile.pool(2)
+        oid = pool.create(b"start" * 10)
+        mfile.flush()
+        pool.modify(oid, b"changed!" * 6)
+        mfile.flush()
+        assert pool.fetch(oid) == b"changed!" * 6
+
+    def test_modify_that_overflows_segment_rejected(self, mfile):
+        pool = mfile.pool(2)
+        oids = [pool.create(b"x" * 2500) for _ in range(3)]  # ~7.5 KB together
+        mfile.flush()
+        with pytest.raises(PoolError):
+            pool.modify(oids[0], b"y" * 4000)
+        # Rolled back: old value intact.
+        assert pool.fetch(oids[0]) == b"x" * 2500
+
+    def test_delete_tombstones(self, mfile):
+        pool = mfile.pool(2)
+        oid = pool.create(b"bye" * 10)
+        keep = pool.create(b"keep" * 10)
+        mfile.flush()
+        pool.delete(oid)
+        mfile.flush()
+        with pytest.raises(ObjectNotFoundError):
+            pool.fetch(oid)
+        assert pool.fetch(keep) == b"keep" * 10
+
+
+class TestLargeObjectPool:
+    def test_create_fetch(self, mfile):
+        pool = mfile.pool(3)
+        big = bytes(range(256)) * 300  # ~77 KB
+        oid = pool.create(big)
+        mfile.flush()
+        assert pool.fetch(oid) == big
+
+    def test_each_object_own_segment(self, mfile):
+        pool = mfile.pool(3)
+        pool.create(b"a" * 5000)
+        pool.create(b"b" * 90000)
+        assert len(pool._segs) == 2
+        off0, len0 = pool._segs.get(0)
+        off1, len1 = pool._segs.get(1)
+        assert len1 > len0  # segments sized to their object
+
+    def test_modify_in_place_when_fits(self, mfile):
+        pool = mfile.pool(3)
+        oid = pool.create(b"z" * 10000)
+        size_before = mfile.main.size
+        pool.modify(oid, b"w" * 9000)
+        assert mfile.main.size == size_before  # rewritten in place
+        assert pool.fetch(oid) == b"w" * 9000
+
+    def test_modify_grown_relocates(self, mfile):
+        pool = mfile.pool(3)
+        oid = pool.create(b"z" * 1000)
+        size_before = mfile.main.size
+        pool.modify(oid, b"w" * 5000)
+        assert mfile.main.size > size_before  # old extent leaks
+        assert pool.fetch(oid) == b"w" * 5000
+
+    def test_delete(self, mfile):
+        pool = mfile.pool(3)
+        oid = pool.create(b"gone" * 2000)
+        pool.delete(oid)
+        with pytest.raises(ObjectNotFoundError):
+            pool.fetch(oid)
+
+
+class TestBufferIntegration:
+    def test_lru_buffer_absorbs_repeat_fetches(self, mfile):
+        pool = mfile.pool(2)
+        buf = LRUBuffer(64 * 1024)
+        pool.attach_buffer(buf)
+        oid = pool.create(b"data" * 200)
+        mfile.flush()
+        mfile.fs.chill()
+        pool.fetch(oid)
+        accesses_after_first = mfile.main.stats.read_calls
+        pool.fetch(oid)
+        assert mfile.main.stats.read_calls == accesses_after_first
+        assert buf.stats.hits >= 1
+
+    def test_fetching_one_object_reads_whole_segment(self, mfile):
+        # "Accessing a given object will cause the entire physical
+        # segment to be read in."
+        pool = mfile.pool(2)
+        oids = [pool.create(b"k" * 1000) for _ in range(7)]
+        mfile.flush()
+        mfile.fs.chill()
+        before = mfile.main.stats.bytes_delivered
+        pool.fetch(oids[0])
+        assert mfile.main.stats.bytes_delivered - before == 8192
+
+    def test_reserve_pins_resident_segment(self, mfile):
+        pool = mfile.pool(2)
+        buf = LRUBuffer(8192)  # exactly one segment
+        pool.attach_buffer(buf)
+        a = pool.create(b"a" * 3000)
+        # force a second segment
+        b = pool.create(b"b" * 3000)
+        c = pool.create(b"c" * 3000)
+        mfile.flush()
+        pool.fetch(a)
+        assert mfile.reserve(a)
+        pool.fetch(c)  # would normally evict segment of a
+        assert pool.reserve(a)  # still resident
+        mfile.release_reservations()
+
+    def test_reserve_absent_is_false(self, mfile):
+        pool = mfile.pool(2)
+        buf = LRUBuffer(8192)
+        pool.attach_buffer(buf)
+        oid = pool.create(b"a" * 100)
+        mfile.flush()
+        buf.clear()
+        assert not mfile.reserve(oid)
+
+
+class TestPersistence:
+    def test_reopen_and_fetch(self, fs):
+        store = MnemeStore(fs)
+        f = store.open_file("inv")
+        small = f.create_pool(1, SmallObjectPool)
+        medium = f.create_pool(2, MediumObjectPool)
+        large = f.create_pool(3, LargeObjectPool)
+        f.load()
+        ids = {
+            "s": small.create(b"abc"),
+            "m": medium.create(b"m" * 500),
+            "l": large.create(b"l" * 50000),
+        }
+        f.flush()
+
+        store2 = MnemeStore(fs)
+        f2 = store2.open_file("inv")
+        f2.create_pool(1, SmallObjectPool)
+        f2.create_pool(2, MediumObjectPool)
+        f2.create_pool(3, LargeObjectPool)
+        f2.load()
+        assert f2.fetch(ids["s"]) == b"abc"
+        assert f2.fetch(ids["m"]) == b"m" * 500
+        assert f2.fetch(ids["l"]) == b"l" * 50000
+
+    def test_create_after_reopen_fills_partial_segments(self, fs):
+        store = MnemeStore(fs)
+        f = store.open_file("inv")
+        small = f.create_pool(1, SmallObjectPool)
+        medium = f.create_pool(2, MediumObjectPool)
+        f.load()
+        s1 = small.create(b"one")
+        m1 = medium.create(b"m" * 100)
+        f.flush()
+        segs_before = len(medium._segs)
+
+        store2 = MnemeStore(fs)
+        f2 = store2.open_file("inv")
+        small2 = f2.create_pool(1, SmallObjectPool)
+        medium2 = f2.create_pool(2, MediumObjectPool)
+        f2.load()
+        s2 = small2.create(b"two")
+        m2 = medium2.create(b"n" * 100)
+        f2.flush()
+        assert len(medium2._segs) == segs_before  # reused the open segment
+        assert f2.fetch(s1) == b"one"
+        assert f2.fetch(s2) == b"two"
+        assert f2.fetch(m1) == b"m" * 100
+        assert f2.fetch(m2) == b"n" * 100
+        # Sequential ids continue across the reopen.
+        assert s2 == s1 + 1

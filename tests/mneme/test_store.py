@@ -1,0 +1,146 @@
+"""Unit tests for the store layer: files, routing, global ids."""
+
+import pytest
+
+from repro.errors import MnemeError, ObjectNotFoundError
+from repro.mneme import (
+    LargeObjectPool,
+    MediumObjectPool,
+    MnemeStore,
+    SmallObjectPool,
+    make_global,
+)
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+@pytest.fixture()
+def fs():
+    return SimFileSystem(SimDisk(SimClock()), cache_blocks=128)
+
+
+@pytest.fixture()
+def store(fs):
+    return MnemeStore(fs)
+
+
+def standard_file(store, name):
+    f = store.open_file(name)
+    f.create_pool(1, SmallObjectPool)
+    f.create_pool(2, MediumObjectPool)
+    f.create_pool(3, LargeObjectPool)
+    f.load()
+    return f
+
+
+def test_routing_across_pools(store):
+    f = standard_file(store, "inv")
+    s = f.pool(1).create(b"s")
+    m = f.pool(2).create(b"m" * 100)
+    l = f.pool(3).create(b"l" * 10000)
+    f.flush()
+    # File-level fetch routes by logical segment ownership.
+    assert f.fetch(s) == b"s"
+    assert f.fetch(m) == b"m" * 100
+    assert f.fetch(l) == b"l" * 10000
+
+
+def test_fetch_unknown_logseg(store):
+    f = standard_file(store, "inv")
+    with pytest.raises(ObjectNotFoundError):
+        f.fetch(99999)
+
+
+def test_duplicate_pool_id_rejected(store):
+    f = store.open_file("inv")
+    f.create_pool(1, SmallObjectPool)
+    with pytest.raises(MnemeError):
+        f.create_pool(1, MediumObjectPool)
+
+
+def test_unknown_pool_id(store):
+    f = store.open_file("inv")
+    with pytest.raises(MnemeError):
+        f.pool(9)
+
+
+def test_global_ids_across_files(store):
+    f1 = standard_file(store, "one")
+    f2 = standard_file(store, "two")
+    o1 = f1.pool(2).create(b"from file one")
+    o2 = f2.pool(2).create(b"from file two")
+    f1.flush()
+    f2.flush()
+    g1 = store.global_id(f1, o1)
+    g2 = store.global_id(f2, o2)
+    assert g1 != g2
+    assert store.fetch(g1) == b"from file one"
+    assert store.fetch(g2) == b"from file two"
+
+
+def test_fetch_unknown_file_number(store):
+    standard_file(store, "one")
+    with pytest.raises(ObjectNotFoundError):
+        store.fetch(make_global(42, 1))
+
+
+def test_open_file_is_idempotent(store):
+    f1 = store.open_file("inv")
+    f2 = store.open_file("inv")
+    assert f1 is f2
+
+
+def test_file_method(store):
+    from repro.errors import FileNotFoundInStoreError
+
+    standard_file(store, "inv")
+    assert store.file("inv").name == "inv"
+    with pytest.raises(FileNotFoundInStoreError):
+        store.file("ghost")
+
+
+def test_modify_and_delete_route(store):
+    f = standard_file(store, "inv")
+    m = f.pool(2).create(b"before" * 10)
+    f.flush()
+    f.modify(m, b"after!" * 10)
+    assert f.fetch(m) == b"after!" * 10
+    f.delete(m)
+    with pytest.raises(ObjectNotFoundError):
+        f.fetch(m)
+
+
+def test_total_size_counts_main_and_aux(store):
+    f = standard_file(store, "inv")
+    f.pool(3).create(b"x" * 50000)
+    f.flush()
+    assert f.total_size > 50000
+    assert f.aux_size > 0
+    assert f.total_size >= f.main.size + f.aux_size
+
+
+def test_meta_mismatch_detected(fs):
+    store = MnemeStore(fs)
+    f = standard_file(store, "inv")
+    f.pool(1).create(b"x")
+    f.flush()
+
+    store2 = MnemeStore(fs)
+    f2 = store2.open_file("inv")
+    f2.create_pool(2, MediumObjectPool)  # pool 1 missing
+    with pytest.raises(MnemeError):
+        f2.load()
+
+
+def test_store_level_reservations(store):
+    from repro.mneme import LRUBuffer
+
+    f = standard_file(store, "inv")
+    pool = f.pool(2)
+    pool.attach_buffer(LRUBuffer(32 * 1024))
+    oid = pool.create(b"data" * 50)
+    f.flush()
+    gid = store.global_id(f, oid)
+    store.fetch(gid)
+    assert store.reserve(gid)
+    store.release_reservations()
+    assert not store.fetch(gid) == b""  # still fetchable

@@ -1,0 +1,103 @@
+"""Property-based tests: the store returns exactly what was stored."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mneme import (
+    LRUBuffer,
+    LargeObjectPool,
+    MediumObjectPool,
+    MnemeStore,
+    SmallObjectPool,
+)
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+def build_file(buffer_bytes=0):
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=64)
+    store = MnemeStore(fs)
+    f = store.open_file("inv")
+    small = f.create_pool(1, SmallObjectPool)
+    medium = f.create_pool(2, MediumObjectPool)
+    large = f.create_pool(3, LargeObjectPool)
+    f.load()
+    if buffer_bytes:
+        for pool in (small, medium, large):
+            pool.attach_buffer(LRUBuffer(buffer_bytes))
+    return f
+
+
+def pool_for(f, data):
+    if len(data) <= 12:
+        return f.pool(1)
+    if len(data) <= 4096:
+        return f.pool(2)
+    return f.pool(3)
+
+
+payloads = st.lists(
+    st.binary(min_size=0, max_size=6000),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(data_list=payloads)
+@settings(max_examples=30, deadline=None)
+def test_fetch_equals_stored(data_list):
+    f = build_file()
+    oids = [(pool_for(f, d).create(d), d) for d in data_list]
+    f.flush()
+    for oid, d in oids:
+        assert f.fetch(oid) == d
+
+
+@given(data_list=payloads, buffer_bytes=st.sampled_from([0, 8192, 65536]))
+@settings(max_examples=20, deadline=None)
+def test_fetch_independent_of_buffering(data_list, buffer_bytes):
+    f = build_file(buffer_bytes)
+    oids = [(pool_for(f, d).create(d), d) for d in data_list]
+    f.flush()
+    f.fs.chill()
+    for oid, d in oids:
+        assert f.fetch(oid) == d
+    for oid, d in reversed(oids):
+        assert f.fetch(oid) == d
+
+
+@given(data_list=payloads)
+@settings(max_examples=20, deadline=None)
+def test_reopen_preserves_everything(data_list):
+    f = build_file()
+    oids = [(pool_for(f, d).create(d), d) for d in data_list]
+    f.flush()
+    store2 = MnemeStore(f.fs)
+    f2 = store2.open_file("inv")
+    f2.create_pool(1, SmallObjectPool)
+    f2.create_pool(2, MediumObjectPool)
+    f2.create_pool(3, LargeObjectPool)
+    f2.load()
+    for oid, d in oids:
+        assert f2.fetch(oid) == d
+
+
+@given(
+    data_list=payloads,
+    modifications=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=39), st.binary(min_size=0, max_size=12)),
+        max_size=10,
+    ),
+)
+@settings(max_examples=20, deadline=None)
+def test_small_modifications_persist(data_list, modifications):
+    small = [d[:12] for d in data_list]
+    f = build_file()
+    oids = [f.pool(1).create(d) for d in small]
+    f.flush()
+    model = dict(zip(oids, small))
+    for index, new_data in modifications:
+        if index < len(oids):
+            f.pool(1).modify(oids[index], new_data)
+            model[oids[index]] = new_data
+    f.flush()
+    for oid, expected in model.items():
+        assert f.fetch(oid) == expected

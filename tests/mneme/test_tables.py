@@ -1,0 +1,129 @@
+"""Unit tests for the paged auxiliary tables."""
+
+import pytest
+
+from repro.errors import MnemeError
+from repro.mneme import PagedTable
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+@pytest.fixture()
+def fs():
+    return SimFileSystem(SimDisk(SimClock()), cache_blocks=32)
+
+
+def test_append_and_get(fs):
+    table = PagedTable(fs.create("t"), "<QI")
+    assert table.append(100, 8) == 0
+    assert table.append(200, 16) == 1
+    assert table.get(0) == (100, 8)
+    assert table.get(1) == (200, 16)
+    assert len(table) == 2
+
+
+def test_set_overwrites(fs):
+    table = PagedTable(fs.create("t"), "<I")
+    table.append(1)
+    table.set(0, 99)
+    assert table.get(0) == (99,)
+
+
+def test_out_of_range_rejected(fs):
+    table = PagedTable(fs.create("t"), "<I")
+    table.append(1)
+    with pytest.raises(IndexError):
+        table.get(1)
+    with pytest.raises(IndexError):
+        table.get(-1)
+    with pytest.raises(IndexError):
+        table.set(5, 0)
+
+
+def test_flush_and_reopen(fs):
+    f = fs.create("t")
+    table = PagedTable(f, "<QI")
+    for i in range(3000):  # several pages
+        table.append(i * 7, i)
+    table.flush()
+    reopened = PagedTable(f, "<QI")
+    assert len(reopened) == 3000
+    assert reopened.get(0) == (0, 0)
+    assert reopened.get(2999) == (2999 * 7, 2999)
+    assert reopened.get(1234) == (1234 * 7, 1234)
+
+
+def test_unflushed_appends_not_persisted(fs):
+    f = fs.create("t")
+    table = PagedTable(f, "<I")
+    table.append(1)
+    table.flush()
+    table.append(2)  # not flushed
+    reopened = PagedTable(f, "<I")
+    assert len(reopened) == 1
+
+
+def test_pages_permanently_cached_after_first_access(fs):
+    f = fs.create("t")
+    table = PagedTable(f, "<I")
+    for i in range(5000):
+        table.append(i)
+    table.flush()
+    reopened = PagedTable(f, "<I")
+    before = f.stats.read_calls
+    reopened.get(10)
+    first = f.stats.read_calls - before
+    reopened.get(11)
+    reopened.get(900)  # same page (1024 entries per 4 KB page of <I)
+    second = f.stats.read_calls - before - first
+    assert first == 1
+    assert second == 0
+
+
+def test_distinct_pages_cost_one_access_each(fs):
+    f = fs.create("t")
+    table = PagedTable(f, "<I")
+    for i in range(5000):
+        table.append(i)
+    table.flush()
+    reopened = PagedTable(f, "<I")
+    before = f.stats.read_calls
+    reopened.get(0)
+    reopened.get(4999)
+    assert f.stats.read_calls - before == 2
+    assert reopened.cached_pages == 2
+
+
+def test_iteration(fs):
+    table = PagedTable(fs.create("t"), "<I")
+    for i in range(10):
+        table.append(i * 2)
+    assert [v for (v,) in table] == [i * 2 for i in range(10)]
+
+
+def test_format_mismatch_detected(fs):
+    f = fs.create("t")
+    table = PagedTable(f, "<QI")
+    table.append(1, 2)
+    table.flush()
+    with pytest.raises(MnemeError):
+        PagedTable(f, "<I")
+
+
+def test_not_a_table_detected(fs):
+    f = fs.create("junk")
+    f.write(0, b"this is not an auxiliary table header")
+    with pytest.raises(MnemeError):
+        PagedTable(f, "<I")
+
+
+def test_set_then_flush_then_reopen(fs):
+    f = fs.create("t")
+    table = PagedTable(f, "<I")
+    for i in range(2000):
+        table.append(i)
+    table.flush()
+    table.set(1500, 42)
+    table.flush()
+    reopened = PagedTable(f, "<I")
+    assert reopened.get(1500) == (42,)
+    assert reopened.get(1499) == (1499,)

@@ -1,0 +1,201 @@
+"""Tests for transactions: atomicity, isolation, durability, locking."""
+
+import pytest
+
+from repro.errors import ObjectNotFoundError
+from repro.mneme import (
+    EXCLUSIVE,
+    LockConflictError,
+    LockManager,
+    MediumObjectPool,
+    MnemeStore,
+    RedoLog,
+    SHARED,
+    SmallObjectPool,
+    TransactionAborted,
+    TransactionManager,
+    recover,
+)
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+@pytest.fixture()
+def setup():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=128)
+    store = MnemeStore(fs)
+    wal = RedoLog(fs.create("inv.wal"))
+    mfile = store.open_file("inv", wal=wal)
+    mfile.create_pool(1, SmallObjectPool)
+    mfile.create_pool(2, MediumObjectPool)
+    mfile.load()
+    manager = TransactionManager(mfile)
+    return fs, mfile, manager, wal
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        locks = LockManager()
+        locks.acquire(1, 10, SHARED)
+        locks.acquire(2, 10, SHARED)
+        assert set(locks.holding(1)) == {10}
+        assert set(locks.holding(2)) == {10}
+
+    def test_exclusive_conflicts(self):
+        locks = LockManager()
+        locks.acquire(1, 10, EXCLUSIVE)
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, 10, SHARED)
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, 10, EXCLUSIVE)
+        assert locks.conflicts == 2
+
+    def test_reacquire_and_upgrade(self):
+        locks = LockManager()
+        locks.acquire(1, 10, SHARED)
+        locks.acquire(1, 10, SHARED)
+        locks.acquire(1, 10, EXCLUSIVE)  # sole holder upgrades
+        with pytest.raises(LockConflictError):
+            locks.acquire(2, 10, SHARED)
+
+    def test_upgrade_blocked_by_other_reader(self):
+        locks = LockManager()
+        locks.acquire(1, 10, SHARED)
+        locks.acquire(2, 10, SHARED)
+        with pytest.raises(LockConflictError):
+            locks.acquire(1, 10, EXCLUSIVE)
+
+    def test_release_all(self):
+        locks = LockManager()
+        locks.acquire(1, 10, EXCLUSIVE)
+        locks.acquire(1, 11, SHARED)
+        locks.release_all(1)
+        assert locks.holding(1) == []
+        locks.acquire(2, 10, EXCLUSIVE)  # now free
+
+
+class TestTransactions:
+    def test_commit_applies_writes(self, setup):
+        _fs, mfile, manager, _wal = setup
+        oid = mfile.pool(2).create(b"before" * 10)
+        mfile.flush()
+        txn = manager.begin()
+        txn.write(oid, b"after!" * 10)
+        assert mfile.fetch(oid) == b"before" * 10  # not yet visible
+        txn.commit()
+        assert mfile.fetch(oid) == b"after!" * 10
+        assert manager.committed == 1
+
+    def test_abort_discards_writes(self, setup):
+        _fs, mfile, manager, _wal = setup
+        oid = mfile.pool(2).create(b"keep" * 10)
+        mfile.flush()
+        txn = manager.begin()
+        txn.write(oid, b"lost" * 10)
+        txn.abort()
+        assert mfile.fetch(oid) == b"keep" * 10
+        assert manager.aborted == 1
+
+    def test_read_sees_own_writes(self, setup):
+        _fs, mfile, manager, _wal = setup
+        oid = mfile.pool(2).create(b"v1" * 10)
+        mfile.flush()
+        with manager.begin() as txn:
+            txn.write(oid, b"v2" * 10)
+            assert txn.read(oid) == b"v2" * 10
+
+    def test_abort_undoes_creates(self, setup):
+        _fs, mfile, manager, _wal = setup
+        txn = manager.begin()
+        oid = txn.create(2, b"ghost" * 10)
+        txn.abort()
+        with pytest.raises(ObjectNotFoundError):
+            mfile.fetch(oid)
+
+    def test_commit_keeps_creates(self, setup):
+        _fs, mfile, manager, _wal = setup
+        with manager.begin() as txn:
+            oid = txn.create(1, b"new")
+        assert mfile.fetch(oid) == b"new"
+
+    def test_lost_update_prevented(self, setup):
+        _fs, mfile, manager, _wal = setup
+        oid = mfile.pool(2).create(b"balance=100" + b" " * 20)
+        mfile.flush()
+        t1 = manager.begin()
+        t2 = manager.begin()
+        t1.write(oid, b"balance=150" + b" " * 20)
+        with pytest.raises(LockConflictError):
+            t2.write(oid, b"balance=200" + b" " * 20)
+        assert t2.state == "aborted"  # no-wait policy aborted it
+        t1.commit()
+        assert mfile.fetch(oid).startswith(b"balance=150")
+
+    def test_readers_share(self, setup):
+        _fs, mfile, manager, _wal = setup
+        oid = mfile.pool(2).create(b"shared" * 10)
+        mfile.flush()
+        t1 = manager.begin()
+        t2 = manager.begin()
+        assert t1.read(oid) == t2.read(oid)
+        t1.commit()
+        t2.commit()
+
+    def test_writer_blocks_reader(self, setup):
+        _fs, mfile, manager, _wal = setup
+        oid = mfile.pool(2).create(b"data" * 10)
+        mfile.flush()
+        t1 = manager.begin()
+        t1.write(oid, b"new!" * 10)
+        t2 = manager.begin()
+        with pytest.raises(LockConflictError):
+            t2.read(oid)
+        t1.commit()
+        # A fresh transaction sees the committed value.
+        with manager.begin() as t3:
+            assert t3.read(oid) == b"new!" * 10
+
+    def test_locks_released_at_commit(self, setup):
+        _fs, mfile, manager, _wal = setup
+        oid = mfile.pool(2).create(b"x" * 20)
+        mfile.flush()
+        t1 = manager.begin()
+        t1.write(oid, b"y" * 20)
+        t1.commit()
+        with manager.begin() as t2:
+            t2.write(oid, b"z" * 20)
+        assert mfile.fetch(oid) == b"z" * 20
+
+    def test_finished_transaction_unusable(self, setup):
+        _fs, mfile, manager, _wal = setup
+        oid = mfile.pool(2).create(b"x" * 20)
+        mfile.flush()
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionAborted):
+            txn.read(oid)
+        with pytest.raises(TransactionAborted):
+            txn.write(oid, b"n" * 20)
+
+    def test_context_manager_aborts_on_exception(self, setup):
+        _fs, mfile, manager, _wal = setup
+        oid = mfile.pool(2).create(b"safe" * 10)
+        mfile.flush()
+        with pytest.raises(RuntimeError):
+            with manager.begin() as txn:
+                txn.write(oid, b"oops" * 10)
+                raise RuntimeError("boom")
+        assert mfile.fetch(oid) == b"safe" * 10
+
+    def test_committed_writes_survive_crash(self, setup):
+        _fs, mfile, manager, wal = setup
+        oid = mfile.pool(2).create(b"v1" * 30)
+        mfile.flush()
+        with manager.begin() as txn:
+            txn.write(oid, b"v2" * 30)
+        image = mfile.main.read(0, mfile.main.size)
+        # Crash: lose the main file body, replay the redo log.
+        mfile.main.write(16, b"\x00" * (mfile.main.size - 16))
+        recover(wal, mfile.main)
+        assert mfile.main.read(0, mfile.main.size) == image
+        mfile.drop_user_caches()
+        assert mfile.fetch(oid) == b"v2" * 30

@@ -1,0 +1,140 @@
+"""Unit tests for the LRU block cache."""
+
+import pytest
+
+from repro.simdisk import BlockCache
+
+
+def test_get_miss_returns_none_and_counts():
+    cache = BlockCache(4)
+    assert cache.get("a") is None
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 0
+
+
+def test_put_then_get_hits():
+    cache = BlockCache(4)
+    cache.put("a", b"1")
+    assert cache.get("a") == b"1"
+    assert cache.stats.hits == 1
+
+
+def test_lru_eviction_order():
+    cache = BlockCache(2)
+    cache.put("a", b"1")
+    cache.put("b", b"2")
+    cache.get("a")          # "a" becomes most recent
+    cache.put("c", b"3")    # evicts "b"
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert cache.stats.evictions == 1
+
+
+def test_put_refreshes_existing_entry():
+    cache = BlockCache(2)
+    cache.put("a", b"1")
+    cache.put("b", b"2")
+    cache.put("a", b"new")  # refresh, no eviction
+    cache.put("c", b"3")    # evicts "b" (LRU), not "a"
+    assert cache.get("a") == b"new"
+    assert "b" not in cache
+
+
+def test_zero_capacity_disables_caching():
+    cache = BlockCache(0)
+    cache.put("a", b"1")
+    assert cache.get("a") is None
+    assert len(cache) == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        BlockCache(-1)
+
+
+def test_pinned_entries_survive_eviction():
+    cache = BlockCache(2)
+    cache.put("a", b"1")
+    cache.pin("a")
+    cache.put("b", b"2")
+    cache.put("c", b"3")  # must evict "b", not pinned "a"
+    assert "a" in cache
+    assert "b" not in cache
+
+
+def test_pin_absent_key_raises():
+    cache = BlockCache(2)
+    with pytest.raises(KeyError):
+        cache.pin("ghost")
+
+
+def test_pins_nest():
+    cache = BlockCache(1)
+    cache.put("a", b"1")
+    cache.pin("a")
+    cache.pin("a")
+    cache.unpin("a")
+    assert cache.pinned("a")
+    cache.unpin("a")
+    assert not cache.pinned("a")
+
+
+def test_all_pinned_allows_overflow_instead_of_deadlock():
+    cache = BlockCache(1)
+    cache.put("a", b"1")
+    cache.pin("a")
+    cache.put("b", b"2")  # nothing evictable; overflow tolerated
+    assert "a" in cache and "b" in cache
+
+
+def test_invalidate_removes_entry_and_pin():
+    cache = BlockCache(2)
+    cache.put("a", b"1")
+    cache.pin("a")
+    cache.invalidate("a")
+    assert "a" not in cache
+    assert not cache.pinned("a")
+
+
+def test_clear_empties_cache():
+    cache = BlockCache(4)
+    cache.put("a", b"1")
+    cache.put("b", b"2")
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_peek_does_not_affect_lru_or_stats():
+    cache = BlockCache(2)
+    cache.put("a", b"1")
+    cache.put("b", b"2")
+    refs_before = cache.stats.references
+    assert cache.peek("a") == b"1"
+    assert cache.stats.references == refs_before
+    cache.put("c", b"3")  # evicts "a": peek did not refresh it
+    assert "a" not in cache
+
+
+def test_hit_rate_computation():
+    cache = BlockCache(4)
+    cache.put("a", b"1")
+    cache.get("a")
+    cache.get("a")
+    cache.get("x")
+    assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+def test_hit_rate_zero_when_no_references():
+    assert BlockCache(4).stats.hit_rate == 0.0
+
+
+def test_stats_delta():
+    cache = BlockCache(4)
+    cache.put("a", b"1")
+    cache.get("a")
+    before = cache.stats.copy()
+    cache.get("a")
+    cache.get("b")
+    delta = cache.stats - before
+    assert delta.hits == 1
+    assert delta.misses == 1

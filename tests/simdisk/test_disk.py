@@ -1,0 +1,132 @@
+"""Unit tests for the simulated block device."""
+
+import pytest
+
+from repro.errors import BadBlockError, DiskFullError
+from repro.simdisk import BLOCK_SIZE, SimClock, SimDisk
+
+
+@pytest.fixture()
+def disk():
+    return SimDisk(SimClock())
+
+
+def block_of(byte: int) -> bytes:
+    return bytes([byte]) * BLOCK_SIZE
+
+
+def test_allocate_is_monotonic(disk):
+    assert disk.allocate() == 0
+    assert disk.allocate(3) == 1
+    assert disk.allocate() == 4
+    assert disk.blocks_allocated == 5
+
+
+def test_allocate_requires_positive_count(disk):
+    with pytest.raises(ValueError):
+        disk.allocate(0)
+
+
+def test_write_then_read_roundtrip(disk):
+    b = disk.allocate()
+    disk.write_block(b, block_of(7))
+    assert disk.read_block(b) == block_of(7)
+
+
+def test_unwritten_block_reads_zeroes(disk):
+    b = disk.allocate()
+    assert disk.read_block(b) == bytes(BLOCK_SIZE)
+
+
+def test_write_requires_exact_block_size(disk):
+    b = disk.allocate()
+    with pytest.raises(ValueError):
+        disk.write_block(b, b"short")
+
+
+def test_out_of_range_access_rejected(disk):
+    with pytest.raises(ValueError):
+        disk.read_block(0)
+    disk.allocate()
+    with pytest.raises(ValueError):
+        disk.read_block(1)
+    with pytest.raises(ValueError):
+        disk.read_block(-1)
+
+
+def test_read_counters_distinguish_sequential_and_random():
+    clock = SimClock()
+    disk = SimDisk(clock)
+    disk.allocate(4)
+    disk.read_block(0)  # random: head was nowhere
+    disk.read_block(1)  # sequential
+    disk.read_block(2)  # sequential
+    disk.read_block(0)  # random again
+    assert disk.stats.blocks_read == 4
+    assert disk.stats.sequential_reads == 2
+    assert disk.stats.random_reads == 2
+
+
+def test_sequential_reads_charge_less_io_time():
+    clock = SimClock()
+    disk = SimDisk(clock)
+    disk.allocate(2)
+    disk.read_block(0)
+    random_cost = clock.time.io_ms
+    disk.read_block(1)
+    sequential_cost = clock.time.io_ms - random_cost
+    assert sequential_cost < random_cost
+
+
+def test_io_time_goes_to_io_bucket_only():
+    clock = SimClock()
+    disk = SimDisk(clock)
+    disk.allocate()
+    disk.read_block(0)
+    assert clock.time.io_ms > 0
+    assert clock.time.user_ms == 0
+    assert clock.time.system_ms == 0
+
+
+def test_capacity_enforced():
+    disk = SimDisk(SimClock(), capacity_blocks=2)
+    disk.allocate(2)
+    with pytest.raises(DiskFullError):
+        disk.allocate()
+
+
+def test_bytes_read_counter(disk):
+    disk.allocate(2)
+    disk.read_block(0)
+    disk.read_block(1)
+    assert disk.stats.bytes_read == 2 * BLOCK_SIZE
+
+
+def test_stats_delta_subtraction(disk):
+    disk.allocate(3)
+    disk.read_block(0)
+    before = disk.stats.copy()
+    disk.read_block(1)
+    disk.read_block(2)
+    delta = disk.stats - before
+    assert delta.blocks_read == 2
+
+
+def test_corrupt_block_fails_reads_until_rewritten(disk):
+    b = disk.allocate()
+    disk.write_block(b, block_of(1))
+    disk.corrupt_block(b)
+    with pytest.raises(BadBlockError):
+        disk.read_block(b)
+    disk.write_block(b, block_of(2))
+    assert disk.read_block(b) == block_of(2)
+
+
+def test_peek_does_not_charge_time_or_stats(disk):
+    b = disk.allocate()
+    disk.write_block(b, block_of(9))
+    reads_before = disk.stats.blocks_read
+    io_before = disk.clock.time.io_ms
+    assert disk.peek_block(b) == block_of(9)
+    assert disk.stats.blocks_read == reads_before
+    assert disk.clock.time.io_ms == io_before

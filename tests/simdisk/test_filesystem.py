@@ -1,0 +1,175 @@
+"""Unit tests for the simulated file system layer."""
+
+import pytest
+
+from repro.errors import FileNotFoundInStoreError, FileSystemError
+from repro.simdisk import BLOCK_SIZE, SimClock, SimDisk, SimFileSystem
+
+
+@pytest.fixture()
+def fs():
+    return SimFileSystem(SimDisk(SimClock()), cache_blocks=8)
+
+
+def test_create_and_open(fs):
+    f = fs.create("data")
+    assert fs.open("data") is f
+    assert fs.exists("data")
+    assert fs.names() == ["data"]
+
+
+def test_open_missing_raises(fs):
+    with pytest.raises(FileNotFoundInStoreError):
+        fs.open("ghost")
+
+
+def test_write_read_roundtrip_small(fs):
+    f = fs.create("data")
+    f.write(0, b"hello world")
+    assert f.read(0, 11) == b"hello world"
+    assert f.size == 11
+
+
+def test_write_read_roundtrip_spanning_blocks(fs):
+    f = fs.create("data")
+    payload = bytes(range(256)) * 100  # 25600 bytes, > 3 blocks
+    f.write(0, payload)
+    assert f.read(0, len(payload)) == payload
+    # unaligned interior read spanning a block boundary
+    assert f.read(BLOCK_SIZE - 10, 20) == payload[BLOCK_SIZE - 10:BLOCK_SIZE + 10]
+
+
+def test_sparse_write_at_offset_reads_zero_gap(fs):
+    f = fs.create("data")
+    f.write(10000, b"xyz")
+    assert f.size == 10003
+    assert f.read(0, 4) == b"\x00" * 4
+
+
+def test_read_past_eof_rejected(fs):
+    f = fs.create("data")
+    f.write(0, b"abc")
+    with pytest.raises(FileSystemError):
+        f.read(0, 4)
+
+
+def test_zero_length_read_free(fs):
+    f = fs.create("data")
+    f.write(0, b"abc")
+    before = f.stats.read_calls
+    assert f.read(1, 0) == b""
+    assert f.stats.read_calls == before
+
+
+def test_negative_offset_rejected(fs):
+    f = fs.create("data")
+    with pytest.raises(FileSystemError):
+        f.read(-1, 1)
+    with pytest.raises(FileSystemError):
+        f.write(-1, b"x")
+
+
+def test_append_returns_offset(fs):
+    f = fs.create("data")
+    assert f.append(b"aaa") == 0
+    assert f.append(b"bbb") == 3
+    assert f.read(0, 6) == b"aaabbb"
+
+
+def test_read_counts_accesses_and_bytes(fs):
+    f = fs.create("data")
+    f.write(0, b"x" * 100)
+    f.read(0, 40)
+    f.read(40, 60)
+    assert f.stats.read_calls == 2
+    assert f.stats.bytes_delivered == 100
+
+
+def test_each_read_charges_a_syscall(fs):
+    clock = fs.disk.clock
+    f = fs.create("data")
+    f.write(0, b"x" * 10)
+    before = clock.time.system_ms
+    f.read(0, 10)
+    assert clock.time.system_ms - before >= clock.cost.syscall_ms
+
+
+def test_fs_cache_absorbs_repeated_reads(fs):
+    f = fs.create("data")
+    f.write(0, b"x" * 100)
+    fs.chill()
+    reads0 = fs.disk.stats.blocks_read
+    f.read(0, 100)
+    first = fs.disk.stats.blocks_read - reads0
+    f.read(0, 100)
+    second = fs.disk.stats.blocks_read - reads0 - first
+    assert first == 1
+    assert second == 0  # served from FS cache
+
+
+def test_chill_purges_fs_cache(fs):
+    f = fs.create("data")
+    f.write(0, b"x" * 100)
+    f.read(0, 100)
+    fs.chill()
+    reads0 = fs.disk.stats.blocks_read
+    f.read(0, 100)
+    assert fs.disk.stats.blocks_read - reads0 == 1  # had to hit disk again
+
+
+def test_chill_charges_io_time(fs):
+    before = fs.disk.clock.time.io_ms
+    fs.chill()
+    assert fs.disk.clock.time.io_ms > before
+
+
+def test_write_through_keeps_cache_consistent(fs):
+    f = fs.create("data")
+    f.write(0, b"old data")
+    f.read(0, 8)            # cached
+    f.write(0, b"new data")  # write-through must update cache
+    assert f.read(0, 8) == b"new data"
+
+
+def test_partial_block_overwrite_preserves_rest(fs):
+    f = fs.create("data")
+    f.write(0, b"a" * 100)
+    f.write(10, b"B" * 5)
+    expect = b"a" * 10 + b"B" * 5 + b"a" * 85
+    assert f.read(0, 100) == expect
+
+
+def test_truncate_shrinks_and_invalidates(fs):
+    f = fs.create("data")
+    f.write(0, b"x" * (BLOCK_SIZE * 2))
+    f.truncate(5)
+    assert f.size == 5
+    with pytest.raises(FileSystemError):
+        f.read(0, 6)
+    with pytest.raises(FileSystemError):
+        f.truncate(10)  # cannot grow
+
+
+def test_interleaved_files_fragment_on_disk(fs):
+    a = fs.create("a")
+    b = fs.create("b")
+    a.write(0, b"x" * BLOCK_SIZE)
+    b.write(0, b"y" * BLOCK_SIZE)
+    a.write(BLOCK_SIZE, b"x" * BLOCK_SIZE)
+    # file "a" occupies disk blocks 0 and 2: reading it sequentially in file
+    # space is non-sequential on disk.
+    fs.chill()
+    seq0 = fs.disk.stats.sequential_reads
+    a.read(0, BLOCK_SIZE * 2)
+    assert fs.disk.stats.sequential_reads == seq0  # no sequential transfers
+
+
+def test_stats_delta(fs):
+    f = fs.create("data")
+    f.write(0, b"x" * 10)
+    f.read(0, 10)
+    before = f.stats.copy()
+    f.read(0, 5)
+    delta = f.stats - before
+    assert delta.read_calls == 1
+    assert delta.bytes_delivered == 5

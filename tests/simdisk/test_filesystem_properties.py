@@ -1,0 +1,63 @@
+"""Property-based tests: the simulated file behaves like a byte array."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+write_ops = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40000), st.binary(min_size=1, max_size=5000)),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(ops=write_ops)
+@settings(max_examples=60, deadline=None)
+def test_file_matches_bytearray_model(ops):
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=4)
+    f = fs.create("data")
+    model = bytearray()
+    for offset, data in ops:
+        f.write(offset, data)
+        if offset + len(data) > len(model):
+            model.extend(b"\x00" * (offset + len(data) - len(model)))
+        model[offset:offset + len(data)] = data
+    assert f.size == len(model)
+    assert f.read(0, len(model)) == bytes(model)
+
+
+@given(ops=write_ops, cache_blocks=st.integers(min_value=0, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_contents_independent_of_cache_size(ops, cache_blocks):
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=cache_blocks)
+    f = fs.create("data")
+    reference = SimFileSystem(SimDisk(SimClock()), cache_blocks=64).create("ref")
+    for offset, data in ops:
+        f.write(offset, data)
+    ref = SimFileSystem(SimDisk(SimClock()), cache_blocks=64)
+    rf = ref.create("data")
+    for offset, data in ops:
+        rf.write(offset, data)
+    fs.chill()
+    assert f.read(0, f.size) == rf.read(0, rf.size)
+
+
+@given(
+    ops=write_ops,
+    reads=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=40000), st.integers(min_value=0, max_value=3000)),
+        max_size=8,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_reads_never_mutate_contents(ops, reads):
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=4)
+    f = fs.create("data")
+    for offset, data in ops:
+        f.write(offset, data)
+    before = f.read(0, f.size)
+    for offset, length in reads:
+        if offset + length <= f.size:
+            f.read(offset, length)
+    assert f.read(0, f.size) == before

@@ -1,0 +1,116 @@
+"""Tests for disk image save/load (cross-process persistence)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.simdisk import (
+    BLOCK_SIZE,
+    SimClock,
+    SimDisk,
+    SimFileSystem,
+    load_image,
+    save_image,
+)
+
+
+@pytest.fixture()
+def fs():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=16)
+    a = fs.create("alpha")
+    a.write(0, b"alpha contents " * 1000)
+    b = fs.create("beta")
+    b.write(0, b"beta " * 40)
+    a.write(a.size, b"tail")  # interleave so layouts are non-trivial
+    return fs
+
+
+def test_roundtrip_contents(fs, tmp_path):
+    path = tmp_path / "machine.img"
+    size = save_image(fs, path)
+    assert size > 0
+    loaded = load_image(path)
+    assert loaded.names() == fs.names()
+    for name in fs.names():
+        original = fs.open(name)
+        copy = loaded.open(name)
+        assert copy.size == original.size
+        assert copy.read(0, copy.size) == original.read(0, original.size)
+
+
+def test_roundtrip_preserves_physical_layout(fs, tmp_path):
+    path = tmp_path / "machine.img"
+    save_image(fs, path)
+    loaded = load_image(path)
+    for name in fs.names():
+        assert loaded.open(name)._blocks == fs.open(name)._blocks
+    assert loaded.disk.blocks_allocated == fs.disk.blocks_allocated
+
+
+def test_loaded_machine_starts_cold(fs, tmp_path):
+    path = tmp_path / "machine.img"
+    fs.open("alpha").read(0, 100)  # warm original's cache
+    save_image(fs, path)
+    loaded = load_image(path)
+    reads_before = loaded.disk.stats.blocks_read
+    loaded.open("alpha").read(0, 100)
+    assert loaded.disk.stats.blocks_read > reads_before  # cache was cold
+
+
+def test_save_charges_no_simulated_time(fs, tmp_path):
+    before = fs.disk.clock.time.wall_ms
+    save_image(fs, tmp_path / "machine.img")
+    assert fs.disk.clock.time.wall_ms == before
+
+
+def test_bad_image_rejected(tmp_path):
+    path = tmp_path / "junk.img"
+    path.write_bytes(b"this is not an image at all")
+    with pytest.raises(StorageError):
+        load_image(path)
+
+
+def test_truncated_image_rejected(fs, tmp_path):
+    path = tmp_path / "machine.img"
+    save_image(fs, path)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) - BLOCK_SIZE // 2])
+    with pytest.raises(StorageError):
+        load_image(path)
+
+
+def test_index_survives_process_boundary(tmp_path):
+    """End to end: build an index, image it, reopen, query."""
+    from repro.inquery import (
+        CollectionIndex,
+        DocTable,
+        Document,
+        HashDictionary,
+        IndexBuilder,
+        MnemeInvertedFile,
+        RetrievalEngine,
+    )
+
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=64)
+    builder = IndexBuilder(fs, MnemeInvertedFile(fs), stem_fn=str)
+    builder.add_document(Document(1, tokens=["persistent", "object", "store"]))
+    builder.add_document(Document(2, tokens=["inverted", "file", "index"]))
+    index = builder.finalize()
+    index.save()
+    path = tmp_path / "index.img"
+    save_image(fs, path)
+
+    # "Another process": everything rebuilt from the image alone.
+    loaded_fs = load_image(path)
+    store = MnemeInvertedFile(loaded_fs)
+    reopened = CollectionIndex(
+        fs=loaded_fs,
+        dictionary=HashDictionary.load(loaded_fs.open("index.dict")),
+        doctable=DocTable.load(loaded_fs.open("index.docs")),
+        store=store,
+        stats=index.stats,
+        stopwords=frozenset(),
+        stem_fn=str,
+    )
+    engine = RetrievalEngine(reopened)
+    assert engine.run_query("object store").doc_ids()[0] == 1
+    assert engine.run_query("inverted index").doc_ids()[0] == 2

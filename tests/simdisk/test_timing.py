@@ -1,0 +1,83 @@
+"""Unit tests for the simulated clock and cost model."""
+
+import pytest
+
+from repro.simdisk import CostModel, SimClock, TimeBreakdown
+
+
+def test_clock_starts_at_zero():
+    clock = SimClock()
+    assert clock.time.wall_ms == 0.0
+    assert clock.time.system_io_ms == 0.0
+
+
+def test_charges_accumulate_in_their_buckets():
+    clock = SimClock()
+    clock.charge_user(5.0)
+    clock.charge_system(2.0)
+    clock.charge_io(10.0)
+    assert clock.time.user_ms == 5.0
+    assert clock.time.system_ms == 2.0
+    assert clock.time.io_ms == 10.0
+
+
+def test_wall_is_sum_of_buckets():
+    clock = SimClock()
+    clock.charge_user(1.0)
+    clock.charge_system(2.0)
+    clock.charge_io(3.0)
+    assert clock.time.wall_ms == pytest.approx(6.0)
+
+
+def test_system_io_excludes_user():
+    clock = SimClock()
+    clock.charge_user(100.0)
+    clock.charge_io(3.0)
+    clock.charge_system(4.0)
+    assert clock.time.system_io_ms == pytest.approx(7.0)
+
+
+def test_snapshot_is_independent_copy():
+    clock = SimClock()
+    clock.charge_user(1.0)
+    snap = clock.snapshot()
+    clock.charge_user(9.0)
+    assert snap.user_ms == 1.0
+    assert clock.time.user_ms == 10.0
+
+
+def test_since_returns_delta():
+    clock = SimClock()
+    clock.charge_io(5.0)
+    start = clock.snapshot()
+    clock.charge_io(7.0)
+    clock.charge_user(2.0)
+    delta = clock.since(start)
+    assert delta.io_ms == pytest.approx(7.0)
+    assert delta.user_ms == pytest.approx(2.0)
+    assert delta.system_ms == pytest.approx(0.0)
+
+
+def test_reset_zeroes_time():
+    clock = SimClock()
+    clock.charge_system(4.0)
+    clock.reset()
+    assert clock.time.wall_ms == 0.0
+
+
+def test_breakdown_subtraction():
+    a = TimeBreakdown(user_ms=10, system_ms=5, io_ms=3)
+    b = TimeBreakdown(user_ms=4, system_ms=1, io_ms=3)
+    d = a - b
+    assert (d.user_ms, d.system_ms, d.io_ms) == (6, 4, 0)
+
+
+def test_cost_model_is_frozen():
+    cost = CostModel()
+    with pytest.raises(Exception):
+        cost.syscall_ms = 99.0
+
+
+def test_custom_cost_model_is_used():
+    clock = SimClock(cost=CostModel(syscall_ms=42.0))
+    assert clock.cost.syscall_ms == 42.0

@@ -1,0 +1,127 @@
+"""Tests for block-level I/O tracing."""
+
+import pytest
+
+from repro.simdisk import (
+    AccessTracer,
+    BLOCK_SIZE,
+    SimClock,
+    SimDisk,
+    SimFileSystem,
+)
+
+
+@pytest.fixture()
+def traced_disk():
+    disk = SimDisk(SimClock())
+    tracer = AccessTracer()
+    disk.attach_tracer(tracer)
+    disk.allocate(16)
+    return disk, tracer
+
+
+def test_records_reads_and_writes(traced_disk):
+    disk, tracer = traced_disk
+    disk.write_block(0, bytes(BLOCK_SIZE))
+    disk.read_block(0)
+    disk.read_block(1)
+    assert tracer.reads == 2
+    assert tracer.writes == 1
+    assert [e.op for e in tracer.events] == ["write", "read", "read"]
+
+
+def test_sequential_flag_matches_disk_model(traced_disk):
+    disk, tracer = traced_disk
+    disk.read_block(3)
+    disk.read_block(4)   # sequential
+    disk.read_block(10)  # seek
+    flags = [e.sequential for e in tracer.events]
+    assert flags == [False, True, False]
+    assert tracer.sequential_reads == 1
+
+
+def test_summary_counts(traced_disk):
+    disk, tracer = traced_disk
+    for block in (0, 1, 2, 0, 9):
+        disk.read_block(block)
+    summary = tracer.summary()
+    assert summary.reads == 5
+    assert summary.distinct_blocks_read == 4
+    assert summary.rereads == 1
+    assert summary.reread_fraction == pytest.approx(0.2)
+    assert summary.sequential_fraction == pytest.approx(2 / 5)
+    assert summary.max_seek == 9
+
+
+def test_seek_histogram(traced_disk):
+    disk, tracer = traced_disk
+    for block in (0, 1, 2, 10, 11):
+        disk.read_block(block)
+    rows = dict(tracer.seek_histogram(buckets=(0, 1, 8)))
+    assert rows["0"] == 0          # seeks: 1,1,8,1
+    assert rows["1-7"] == 3
+    assert rows[">= 8"] == 1
+
+
+def test_reset(traced_disk):
+    disk, tracer = traced_disk
+    disk.read_block(0)
+    tracer.reset()
+    assert tracer.reads == 0
+    assert tracer.events == []
+    assert tracer.summary().reads == 0
+
+
+def test_ring_buffer_bounds_events():
+    disk = SimDisk(SimClock())
+    tracer = AccessTracer(max_events=3)
+    disk.attach_tracer(tracer)
+    disk.allocate(10)
+    for block in range(6):
+        disk.read_block(block)
+    assert len(tracer.events) == 3   # bounded
+    assert tracer.reads == 6         # counters keep counting
+
+
+def test_bad_max_events():
+    with pytest.raises(ValueError):
+        AccessTracer(max_events=0)
+
+
+def test_tracer_consistent_with_disk_stats_on_full_system():
+    """Integration: a traced query batch agrees with the disk counters."""
+    from repro.core import cold_start, config_by_name, materialize
+    from repro.core.prepared import prepare_collection
+    from repro.inquery import RetrievalEngine
+    from repro.synth import (
+        CollectionProfile,
+        QueryProfile,
+        SyntheticCollection,
+        generate_query_set,
+    )
+
+    collection = SyntheticCollection(CollectionProfile(
+        name="trace", models="t", documents=400, mean_doc_length=120,
+        doc_length_sigma=0.5, vocab_size=8000, seed=33,
+    ))
+    prepared = prepare_collection(collection)
+    queries = generate_query_set(
+        collection, QueryProfile(name="q", style="natural", n_queries=25,
+                                 bias_alpha=1.3, seed=44)
+    )
+    system = materialize(prepared, config_by_name("mneme-nocache"))
+    cold_start(system)
+    tracer = AccessTracer()
+    system.fs.disk.attach_tracer(tracer)
+    reads_before = system.fs.disk.stats.blocks_read
+    seq_before = system.fs.disk.stats.sequential_reads
+    RetrievalEngine(system.index).run_batch(queries.queries)
+    summary = tracer.summary()
+    assert summary.reads == system.fs.disk.stats.blocks_read - reads_before
+    assert summary.sequential_reads == (
+        system.fs.disk.stats.sequential_reads - seq_before
+    )
+    assert summary.reads > 0
+    assert summary.distinct_blocks_read <= summary.reads
+    # The chill purged the FS cache, so the batch re-reads hot blocks.
+    assert 0.0 <= summary.reread_fraction < 1.0

@@ -1,0 +1,96 @@
+"""Unit tests for synthetic collection generation."""
+
+import numpy as np
+import pytest
+
+from repro.synth import CollectionProfile, PROFILES, SyntheticCollection
+
+
+SMALL = CollectionProfile(
+    name="tiny", models="test", documents=200, mean_doc_length=60,
+    doc_length_sigma=0.5, vocab_size=3000, seed=5,
+)
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return SyntheticCollection(SMALL)
+
+
+def test_document_count(collection):
+    assert len(collection) == 200
+    assert len(collection.doc_tokens) == 200
+
+
+def test_lengths_positive_and_near_mean(collection):
+    assert collection.doc_lengths.min() >= 5
+    assert 40 <= collection.doc_lengths.mean() <= 80
+
+
+def test_total_tokens(collection):
+    assert collection.total_tokens == sum(len(t) for t in collection.doc_tokens)
+
+
+def test_deterministic():
+    a = SyntheticCollection(SMALL)
+    b = SyntheticCollection(SMALL)
+    assert np.array_equal(a.doc_lengths, b.doc_lengths)
+    assert all(np.array_equal(x, y) for x, y in zip(a.doc_tokens, b.doc_tokens))
+
+
+def test_different_seeds_differ():
+    import dataclasses
+
+    other = dataclasses.replace(SMALL, seed=6)
+    a = SyntheticCollection(SMALL)
+    b = SyntheticCollection(other)
+    assert not all(np.array_equal(x, y) for x, y in zip(a.doc_tokens, b.doc_tokens))
+
+
+def test_term_counts_match_tokens(collection):
+    counts = collection.term_counts()
+    assert counts.sum() == collection.total_tokens
+    # Zipf: rank 0 is the most frequent term.
+    assert counts[0] == counts.max()
+
+
+def test_flat_postings_consistent(collection):
+    ranks, doc_ids, positions = collection.flat_postings()
+    assert len(ranks) == len(doc_ids) == len(positions) == collection.total_tokens
+    assert doc_ids.min() == 1
+    assert doc_ids.max() == len(collection)
+    # Positions restart at 0 in each document.
+    first_doc = positions[doc_ids == 1]
+    assert list(first_doc) == list(range(len(first_doc)))
+
+
+def test_iter_documents(collection):
+    docs = list(collection.iter_documents())
+    assert len(docs) == 200
+    assert docs[0].doc_id == 1
+    assert len(docs[0].tokens) == collection.doc_lengths[0]
+    assert all(t.startswith("w") for t in docs[0].tokens)
+
+
+def test_fixed_length_profile():
+    import dataclasses
+
+    fixed = dataclasses.replace(SMALL, doc_length_sigma=0.0)
+    c = SyntheticCollection(fixed)
+    assert set(c.doc_lengths) == {60}
+
+
+def test_standard_profiles_exist():
+    assert set(PROFILES) == {"cacm-s", "legal-s", "tipster1-s", "tipster-s"}
+    # Relative scale preserved: CACM smallest, TIPSTER largest.
+    sizes = {
+        name: p.documents * p.mean_doc_length for name, p in PROFILES.items()
+    }
+    assert sizes["cacm-s"] < sizes["legal-s"] < sizes["tipster1-s"] < sizes["tipster-s"]
+
+
+def test_zipf_shape_half_vocabulary_rare(collection):
+    counts = collection.term_counts()
+    observed = counts[counts > 0]
+    rare = (observed <= 2).sum() / len(observed)
+    assert rare > 0.35  # "nearly half of the terms have only one or two occurrences"

@@ -1,0 +1,110 @@
+"""Tests for informetric analysis and the file-design suggestions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.synth import (
+    CollectionProfile,
+    SyntheticCollection,
+    fit_heaps,
+    fit_zipf,
+    partition_report,
+    profile_collection,
+    suggest_small_threshold,
+    vocabulary_growth,
+)
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return SyntheticCollection(CollectionProfile(
+        name="inf", models="t", documents=600, mean_doc_length=100,
+        doc_length_sigma=0.5, vocab_size=15000, zipf_s=1.1, zipf_q=2.0, seed=55,
+    ))
+
+
+class TestZipfFit:
+    def test_recovers_generation_parameters(self, collection):
+        s, q = fit_zipf(collection.term_counts())
+        assert 0.9 <= s <= 1.35   # generated with s=1.1
+        assert 0.0 <= q <= 8.0
+
+    def test_too_few_terms_rejected(self):
+        with pytest.raises(ConfigError):
+            fit_zipf(np.array([5, 3, 1]))
+
+
+class TestHeaps:
+    def test_growth_is_monotone(self, collection):
+        tokens, vocab = vocabulary_growth(collection)
+        assert tokens == sorted(tokens)
+        assert vocab == sorted(vocab)
+        assert len(tokens) == len(vocab) >= 2
+
+    def test_heaps_fit_sublinear(self, collection):
+        tokens, vocab = vocabulary_growth(collection)
+        k, beta = fit_heaps(tokens, vocab)
+        assert 0.3 < beta < 1.0   # vocabulary grows sublinearly
+        assert k > 0
+
+    def test_exact_power_law_recovered(self):
+        ns = [10**i for i in range(2, 7)]
+        vs = [int(3.5 * n**0.6) for n in ns]
+        k, beta = fit_heaps(ns, vs)
+        assert beta == pytest.approx(0.6, abs=0.02)
+        assert k == pytest.approx(3.5, rel=0.1)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigError):
+            fit_heaps([100], [50])
+
+    def test_growth_needs_two_points(self, collection):
+        with pytest.raises(ConfigError):
+            vocabulary_growth(collection, points=1)
+
+
+class TestProfile:
+    def test_full_profile(self, collection):
+        profile = profile_collection(collection)
+        assert profile.tokens == collection.total_tokens
+        assert profile.vocabulary == (collection.term_counts() > 0).sum()
+        # Zipf's signature: a large singleton tail, a heavy head.
+        assert 0.25 < profile.singleton_fraction < 0.8
+        assert profile.doubleton_fraction > profile.singleton_fraction
+        assert profile.top_percent_mass > 0.15
+        assert 0.3 < profile.heaps_beta < 1.0
+
+
+class TestFileDesignAdvice:
+    def test_suggest_small_threshold_hits_target(self, collection):
+        from repro.core import prepare_collection
+
+        prepared = prepare_collection(collection)
+        sizes = prepared.stats.record_sizes
+        threshold = suggest_small_threshold(sizes, target_fraction=0.5)
+        below = sum(1 for s in sizes if s <= threshold) / len(sizes)
+        assert 0.45 <= below <= 0.65
+        # And the suggested cut is in the neighbourhood of the paper's 12 B.
+        assert 4 <= threshold <= 32
+
+    def test_partition_report_shares_sum_to_one(self, collection):
+        from repro.core import prepare_collection
+
+        prepared = prepare_collection(collection)
+        report = partition_report(prepared.stats.record_sizes, 12, 4096)
+        assert sum(r["record_share"] for r in report.values()) == pytest.approx(1.0)
+        assert sum(r["byte_share"] for r in report.values()) == pytest.approx(1.0)
+        # The paper's observation: many records, few bytes, in "small".
+        assert report["small"]["record_share"] > 0.35
+        assert report["small"]["byte_share"] < report["small"]["record_share"]
+
+    def test_bad_arguments(self):
+        with pytest.raises(ConfigError):
+            suggest_small_threshold([])
+        with pytest.raises(ConfigError):
+            suggest_small_threshold([1, 2], target_fraction=1.5)
+        with pytest.raises(ConfigError):
+            partition_report([1, 2], 100, 50)
+        with pytest.raises(ConfigError):
+            partition_report([], 12, 4096)

@@ -1,0 +1,126 @@
+"""Unit tests for query-set generation."""
+
+import pytest
+
+from repro.errors import ConfigError, QueryError
+from repro.inquery import parse_query, query_terms
+from repro.synth import (
+    CollectionProfile,
+    QueryProfile,
+    SyntheticCollection,
+    generate_query_set,
+    relevance_from_postings,
+    term_rank,
+)
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return SyntheticCollection(
+        CollectionProfile(
+            name="qtest", models="test", documents=300, mean_doc_length=80,
+            doc_length_sigma=0.4, vocab_size=4000, seed=11,
+        )
+    )
+
+
+def make(collection, **kwargs):
+    defaults = dict(name="qs", style="natural", n_queries=30, seed=3)
+    defaults.update(kwargs)
+    return generate_query_set(collection, QueryProfile(**defaults))
+
+
+def test_right_number_of_queries(collection):
+    qs = make(collection)
+    assert len(qs) == 30
+    assert len(qs.term_ranks) == 30
+
+
+def test_all_queries_parse(collection):
+    for style in ("natural", "boolean", "phrase", "weighted"):
+        qs = make(collection, style=style, name=style)
+        for query in qs.queries:
+            tree = parse_query(query)  # must not raise
+            assert list(query_terms(tree))
+
+
+def test_deterministic(collection):
+    a = make(collection)
+    b = make(collection)
+    assert a.queries == b.queries
+
+
+def test_unknown_style_rejected(collection):
+    with pytest.raises(ConfigError):
+        make(collection, style="telepathic")
+
+
+def test_bad_parameters_rejected(collection):
+    with pytest.raises(ConfigError):
+        make(collection, n_queries=0)
+    with pytest.raises(ConfigError):
+        make(collection, reuse_rate=1.0)
+
+
+def test_terms_exist_in_collection(collection):
+    counts = collection.term_counts()
+    qs = make(collection)
+    for ranks in qs.term_ranks:
+        for rank in ranks:
+            assert counts[rank] >= 3  # the min_ctf floor
+
+
+def test_reuse_produces_repeats(collection):
+    reusing = make(collection, reuse_rate=0.8, name="hot", n_queries=40)
+    cold = make(collection, reuse_rate=0.0, name="cold", n_queries=40, seed=4)
+    def distinct_fraction(qs):
+        all_ranks = [r for ranks in qs.term_ranks for r in ranks]
+        return len(set(all_ranks)) / len(all_ranks)
+    assert distinct_fraction(reusing) < distinct_fraction(cold)
+
+
+def test_bias_prefers_frequent_terms(collection):
+    counts = collection.term_counts()
+    hot = make(collection, bias_alpha=1.6, name="hot")
+    mild = make(collection, bias_alpha=0.2, name="mild", seed=9)
+    def mean_ctf(qs):
+        ranks = [r for ranks in qs.term_ranks for r in ranks]
+        return sum(counts[r] for r in ranks) / len(ranks)
+    assert mean_ctf(hot) > mean_ctf(mild)
+
+
+def test_phrase_style_includes_real_bigram(collection):
+    qs = make(collection, style="phrase", name="ph")
+    found = 0
+    for query in qs.queries:
+        if "#phrase(" in query:
+            found += 1
+    assert found == len(qs)
+
+
+def test_relevance_from_postings():
+    term_ranks = [[1, 2], [3]]
+    postings = {1: [10, 11], 2: [11, 12], 3: [20]}
+    relevance = relevance_from_postings(term_ranks, lambda r: postings.get(r, ()))
+    assert relevance[0] == {10, 11, 12}  # threshold 1 of 2 terms
+    assert relevance[1] == {20}
+
+
+def test_relevance_threshold_majority():
+    term_ranks = [[1, 2, 3]]
+    postings = {1: [10, 11], 2: [11], 3: [11, 12]}
+    relevance = relevance_from_postings(term_ranks, lambda r: postings.get(r, ()))
+    # threshold = 2 of 3 distinct terms
+    assert relevance[0] == {11}
+
+
+def test_relevance_empty_when_no_match():
+    relevance = relevance_from_postings([[5]], lambda r: ())
+    assert relevance == {}
+
+
+def test_relevance_cap():
+    term_ranks = [[1]]
+    postings = {1: list(range(200))}
+    relevance = relevance_from_postings(term_ranks, lambda r: postings[r], max_relevant=25)
+    assert len(relevance[0]) == 25

@@ -1,0 +1,89 @@
+"""Unit and property tests for the Zipf samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.synth import ZipfSampler, rank_frequency_constant, zipf_mandelbrot_weights
+
+
+def test_weights_normalized_and_decreasing():
+    weights = zipf_mandelbrot_weights(1000)
+    assert weights.sum() == pytest.approx(1.0)
+    assert np.all(np.diff(weights) <= 0)
+
+
+def test_bad_parameters_rejected():
+    with pytest.raises(ConfigError):
+        zipf_mandelbrot_weights(0)
+    with pytest.raises(ConfigError):
+        zipf_mandelbrot_weights(10, s=0)
+    with pytest.raises(ConfigError):
+        zipf_mandelbrot_weights(10, q=-1)
+
+
+def test_sampler_deterministic_per_seed():
+    a = ZipfSampler(500, seed=42).sample(1000)
+    b = ZipfSampler(500, seed=42).sample(1000)
+    c = ZipfSampler(500, seed=43).sample(1000)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_sampler_range():
+    draws = ZipfSampler(100, seed=1).sample(10000)
+    assert draws.min() >= 0
+    assert draws.max() < 100
+
+
+def test_sample_zero():
+    assert len(ZipfSampler(10, seed=1).sample(0)) == 0
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ConfigError):
+        ZipfSampler(10, seed=1).sample(-1)
+
+
+def test_head_terms_dominate():
+    sampler = ZipfSampler(10000, seed=7)
+    draws = sampler.sample(100000)
+    counts = np.bincount(draws, minlength=10000)
+    # Top 100 ranks should hold a large share of the token mass.
+    assert counts[:100].sum() > 0.35 * len(draws)
+    # And close to half the observed vocabulary occurs once or twice
+    # (the paper's small object pool design point).
+    observed = counts[counts > 0]
+    rare = (observed <= 2).sum() / len(observed)
+    assert 0.35 < rare < 0.75
+
+
+def test_empirical_matches_theoretical_head():
+    sampler = ZipfSampler(1000, s=1.1, q=2.0, seed=3)
+    draws = sampler.sample(200000)
+    counts = np.bincount(draws, minlength=1000)
+    for rank in (0, 1, 2, 10):
+        expected = sampler.probability(rank) * len(draws)
+        assert counts[rank] == pytest.approx(expected, rel=0.15)
+
+
+def test_rank_frequency_constant_on_ideal_zipf():
+    # For pure Zipf (s=1) rank*frequency is constant by construction.
+    frequencies = np.array([10000 / r for r in range(1, 2001)])
+    _mean, cv = rank_frequency_constant(frequencies)
+    assert cv < 0.05
+
+
+@given(
+    vocab=st.integers(min_value=2, max_value=2000),
+    s=st.floats(min_value=0.8, max_value=1.5),
+    q=st.floats(min_value=0.0, max_value=5.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_weights_property(vocab, s, q):
+    weights = zipf_mandelbrot_weights(vocab, s, q)
+    assert len(weights) == vocab
+    assert weights.sum() == pytest.approx(1.0)
+    assert np.all(weights > 0)
+    assert np.all(np.diff(weights) <= 1e-18)
