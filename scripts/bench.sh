@@ -1,0 +1,25 @@
+#!/bin/sh
+# Run the benchmark suite.
+#
+#   scripts/bench.sh            # every benchmarks/bench_*.py (tables, figures,
+#                               # ablations, and the tier2 wall-clock bench)
+#   scripts/bench.sh wallclock  # just the fast-path wall-clock benchmark;
+#                               # also writes BENCH_wallclock.json at the root
+#
+# Tier-1 tests (`python -m pytest`) never run these: pytest's testpaths
+# points at tests/, and the wall-clock bench is additionally marked tier2.
+set -e
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+case "${1:-all}" in
+    wallclock)
+        python -m repro.bench.wallclock
+        ;;
+    all)
+        python -m pytest benchmarks -q
+        ;;
+    *)
+        python -m pytest "benchmarks/bench_$1.py" -q
+        ;;
+esac

@@ -1,0 +1,232 @@
+"""Real wall-clock benchmark: fast-path kernels vs. pure Python.
+
+Everything else in :mod:`repro.bench` reports *simulated* time — the
+paper's tables.  This module times the reproduction itself: how many
+real seconds the index build and the query runs take with the
+vectorized kernels (:mod:`repro.fastpath`) against the pure-Python
+reference path, while asserting the two paths are observationally
+identical — same rankings, same simulated wall/user/IO totals, same
+``I``/``A``/``B`` counters, same buffer hit statistics.  The fast path
+may only change how long the experiment takes to run, never what it
+measures.
+
+Run it directly::
+
+    PYTHONPATH=src python -m repro.bench.wallclock
+
+which writes ``BENCH_wallclock.json`` at the repository root.
+"""
+
+import argparse
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core.config import config_by_name
+from ..core.metrics import RunMetrics, measure_run
+from ..core.prepared import materialize, prepare_collection
+from ..fastpath import state as _fastpath
+from ..synth import PROFILES, SyntheticCollection, generate_query_set
+from .runner import PROFILE_ORDER
+
+#: Default workload: the paper's Legal collection, both query sets.
+DEFAULT_PROFILES = ("legal-s",)
+DEFAULT_CONFIG = "mneme-cache"
+
+
+@dataclass
+class PathTimings:
+    """Real seconds spent by one evaluation path on one profile."""
+
+    build_s: float = 0.0
+    query_s: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, RunMetrics] = field(default_factory=dict)
+
+    @property
+    def total_query_s(self) -> float:
+        return sum(self.query_s.values())
+
+    @property
+    def end_to_end_s(self) -> float:
+        return self.build_s + self.total_query_s
+
+
+def _run_path(
+    collection: SyntheticCollection,
+    query_sets,
+    config_name: str,
+    fast: bool,
+) -> PathTimings:
+    """Time index build + query evaluation for one path.
+
+    The global fast-path toggle gates every kernel dispatch (codec,
+    bulk encode, recount), and the system config routes the engine, so
+    flipping both switches the entire stack at once.
+    """
+    timings = PathTimings()
+    previous = _fastpath.set_enabled(fast)
+    try:
+        config = config_by_name(config_name, use_fastpath=fast)
+        start = time.perf_counter()
+        prepared = prepare_collection(collection)
+        system = materialize(prepared, config)
+        timings.build_s = time.perf_counter() - start
+        for query_set in query_sets:
+            start = time.perf_counter()
+            metrics = measure_run(
+                system, query_set.queries, query_set_name=query_set.name
+            )
+            timings.query_s[query_set.name] = time.perf_counter() - start
+            timings.metrics[query_set.name] = metrics
+    finally:
+        _fastpath.set_enabled(previous)
+    return timings
+
+
+def _identical(ref: RunMetrics, fast: RunMetrics) -> Dict[str, bool]:
+    """The invariance contract, checked term by term."""
+    rankings = all(
+        a.ranking == b.ranking and a.terms_looked_up == b.terms_looked_up
+        for a, b in zip(ref.results, fast.results)
+    ) and len(ref.results) == len(fast.results)
+    clock = (
+        ref.wall_s == fast.wall_s
+        and ref.user_s == fast.user_s
+        and ref.system_io_s == fast.system_io_s
+    )
+    io = (
+        ref.io_inputs == fast.io_inputs
+        and ref.file_accesses == fast.file_accesses
+        and ref.record_lookups == fast.record_lookups
+        and ref.bytes_from_file == fast.bytes_from_file
+    )
+    buffers = set(ref.buffer_stats) == set(fast.buffer_stats) and all(
+        (s.refs, s.hits) == (fast.buffer_stats[k].refs, fast.buffer_stats[k].hits)
+        for k, s in ref.buffer_stats.items()
+    )
+    return {
+        "rankings": rankings,
+        "simulated_clock": clock,
+        "io_counters": io,
+        "buffer_stats": buffers,
+    }
+
+
+def _speedup(reference_s: float, fast_s: float) -> float:
+    return reference_s / fast_s if fast_s > 0 else 0.0
+
+
+def bench_profile(profile_name: str, config_name: str = DEFAULT_CONFIG) -> dict:
+    """Benchmark one collection profile, both paths, all query sets."""
+    profile = PROFILES[profile_name]
+    collection = SyntheticCollection(profile)
+    collection.flat_postings()  # synthesize outside the timed region
+    query_sets = [
+        generate_query_set(collection, query_profile)
+        for query_profile in _query_profiles(profile_name)
+    ]
+
+    reference = _run_path(collection, query_sets, config_name, fast=False)
+    fast = _run_path(collection, query_sets, config_name, fast=True)
+
+    sets = {}
+    invariant = True
+    for query_set in query_sets:
+        name = query_set.name
+        checks = _identical(reference.metrics[name], fast.metrics[name])
+        invariant = invariant and all(checks.values())
+        sets[name] = {
+            "queries": len(query_set.queries),
+            "reference_s": round(reference.query_s[name], 4),
+            "fastpath_s": round(fast.query_s[name], 4),
+            "speedup": round(_speedup(reference.query_s[name], fast.query_s[name]), 2),
+            "identical": checks,
+        }
+    return {
+        "config": config_name,
+        "build": {
+            "reference_s": round(reference.build_s, 4),
+            "fastpath_s": round(fast.build_s, 4),
+            "speedup": round(_speedup(reference.build_s, fast.build_s), 2),
+        },
+        "query_sets": sets,
+        "end_to_end": {
+            "reference_s": round(reference.end_to_end_s, 4),
+            "fastpath_s": round(fast.end_to_end_s, 4),
+            "speedup": round(_speedup(reference.end_to_end_s, fast.end_to_end_s), 2),
+        },
+        "invariant": invariant,
+    }
+
+
+def _query_profiles(profile_name: str):
+    from ..core.experiment import QUERY_SET_PROFILES
+
+    return QUERY_SET_PROFILES.get(profile_name, [])
+
+
+def run_benchmark(
+    profiles: List[str] = list(DEFAULT_PROFILES),
+    config_name: str = DEFAULT_CONFIG,
+    out_path: Optional[Path] = None,
+) -> dict:
+    """Benchmark every requested profile and write the JSON report."""
+    report = {
+        "benchmark": "wallclock",
+        "description": (
+            "Real seconds for index build and query evaluation, "
+            "pure-Python reference vs. vectorized fast path.  The two "
+            "paths are asserted observationally identical (rankings, "
+            "simulated clock, I/A/B, buffer hits)."
+        ),
+        "numpy": _fastpath.HAVE_NUMPY,
+        "profiles": {},
+    }
+    for profile_name in profiles:
+        report["profiles"][profile_name] = bench_profile(profile_name, config_name)
+    if out_path is not None:
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile", action="append", dest="profiles", choices=PROFILE_ORDER,
+        help="collection profile to benchmark (repeatable; default legal-s)",
+    )
+    parser.add_argument("--config", default=DEFAULT_CONFIG)
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_wallclock.json"),
+        help="output JSON path (default ./BENCH_wallclock.json)",
+    )
+    args = parser.parse_args(argv)
+    profiles = args.profiles or list(DEFAULT_PROFILES)
+    report = run_benchmark(profiles, args.config, args.out)
+    for name, cell in report["profiles"].items():
+        build, total = cell["build"], cell["end_to_end"]
+        print(f"{name} ({cell['config']}):")
+        print(
+            f"  build   {build['reference_s']:8.3f}s -> "
+            f"{build['fastpath_s']:8.3f}s  ({build['speedup']:.2f}x)"
+        )
+        for set_name, row in cell["query_sets"].items():
+            ok = "identical" if all(row["identical"].values()) else "MISMATCH"
+            print(
+                f"  {set_name:<8}{row['reference_s']:8.3f}s -> "
+                f"{row['fastpath_s']:8.3f}s  ({row['speedup']:.2f}x, {ok})"
+            )
+        print(
+            f"  total   {total['reference_s']:8.3f}s -> "
+            f"{total['fastpath_s']:8.3f}s  ({total['speedup']:.2f}x)"
+        )
+        if not cell["invariant"]:
+            print("  INVARIANCE VIOLATION — fast path diverged from reference")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,9 @@ class SystemConfig:
     chunk_bytes: int = 16384     #: chunk size of the mneme-linked backend
     readahead_blocks: int = 0    #: FS sequential read-ahead (0 = off)
     use_reservation: bool = True
+    #: Evaluate on the vectorized kernels (:mod:`repro.fastpath`).
+    #: Bit-identical results and simulated charges; real time only.
+    use_fastpath: bool = True
     cost: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self):

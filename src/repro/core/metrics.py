@@ -88,7 +88,10 @@ def measure_run(
         buffers_start = {k: s.copy() for k, s in store.buffer_stats().items()}
 
     engine = RetrievalEngine(
-        system.index, top_k=top_k, use_reservation=system.config.use_reservation
+        system.index,
+        top_k=top_k,
+        use_reservation=system.config.use_reservation,
+        use_fastpath=system.config.use_fastpath,
     )
     results = engine.run_batch(queries)
 

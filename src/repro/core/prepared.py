@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigError
+from ..fastpath import state as _fastpath
 from ..inquery import (
     BTreeInvertedFile,
     CollectionIndex,
@@ -90,30 +91,47 @@ def prepare_collection(collection: SyntheticCollection, name: Optional[str] = No
     df: Dict[int, int] = {}
     ctf: Dict[int, int] = {}
 
-    distinct_ranks, starts = np.unique(ranks, return_index=True)
-    boundaries = list(starts) + [len(ranks)]
     # Term ids are assigned in rank order, so records stream out sorted by
     # term id — the order the B-tree bulk load requires.
-    for i, rank in enumerate(distinct_ranks):
-        term_id = i + 1
-        term_id_of_rank[int(rank)] = term_id
-        lo, hi = boundaries[i], boundaries[i + 1]
-        postings = []
-        docs = doc_ids[lo:hi]
-        poss = positions[lo:hi]
-        doc_breaks = np.nonzero(np.diff(docs))[0] + 1
-        for chunk_docs, chunk_pos in zip(
-            np.split(docs, doc_breaks), np.split(poss, doc_breaks)
-        ):
-            postings.append((int(chunk_docs[0]), tuple(int(p) for p in chunk_pos)))
-        record = encode_record(postings)
-        records.append((term_id, record))
-        df[term_id] = len(postings)
-        ctf[term_id] = hi - lo
-        stats.records += 1
-        stats.compressed_bytes += len(record)
-        stats.uncompressed_bytes += uncompressed_size(postings)
-        stats.record_sizes.append(len(record))
+    if _fastpath.ENABLED:
+        # One kernel pass over the whole collection; records are
+        # byte-identical to the per-term reference encodes below.
+        from ..fastpath.build import encode_collection
+
+        encoded = encode_collection(ranks, doc_ids, positions)
+        records = encoded.records
+        term_id_of_rank = {
+            int(rank): i + 1 for i, rank in enumerate(encoded.ranks)
+        }
+        df = {i + 1: int(n) for i, n in enumerate(encoded.df)}
+        ctf = {i + 1: int(n) for i, n in enumerate(encoded.ctf)}
+        stats.records = len(records)
+        stats.compressed_bytes = encoded.compressed_bytes
+        stats.uncompressed_bytes = encoded.uncompressed_bytes
+        stats.record_sizes = encoded.record_sizes.tolist()
+    else:
+        distinct_ranks, starts = np.unique(ranks, return_index=True)
+        boundaries = list(starts) + [len(ranks)]
+        for i, rank in enumerate(distinct_ranks):
+            term_id = i + 1
+            term_id_of_rank[int(rank)] = term_id
+            lo, hi = boundaries[i], boundaries[i + 1]
+            postings = []
+            docs = doc_ids[lo:hi]
+            poss = positions[lo:hi]
+            doc_breaks = np.nonzero(np.diff(docs))[0] + 1
+            for chunk_docs, chunk_pos in zip(
+                np.split(docs, doc_breaks), np.split(poss, doc_breaks)
+            ):
+                postings.append((int(chunk_docs[0]), tuple(int(p) for p in chunk_pos)))
+            record = encode_record(postings)
+            records.append((term_id, record))
+            df[term_id] = len(postings)
+            ctf[term_id] = hi - lo
+            stats.records += 1
+            stats.compressed_bytes += len(record)
+            stats.uncompressed_bytes += uncompressed_size(postings)
+            stats.record_sizes.append(len(record))
 
     doctable = DocTable()
     for doc_index, length in enumerate(collection.doc_lengths):

@@ -1,0 +1,147 @@
+"""Bulk record encoding: the whole collection in one kernel pass.
+
+``prepare_collection`` historically looped over every term, built
+Python posting tuples, and encoded each record one integer at a time —
+the "dominated by a sorting problem" indexing cost, paid in
+interpreter overhead.  :func:`encode_collection` takes the sorted
+(term-rank, doc-id, position) triples and produces every encoded
+record with a handful of vectorized passes: gap coding, value
+interleaving, and a single v-byte encode of the concatenated integer
+stream, sliced back into per-term records by byte offset.
+
+Output records are byte-identical to per-term ``encode_record`` calls
+(the concatenation of reference records *is* the encoded global value
+stream, cut at record boundaries).
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import IndexError_
+from .vbyte import encode_stream
+
+
+@dataclass
+class EncodedCollection:
+    """Every term's encoded record, plus the per-term statistics."""
+
+    #: (term id, record bytes), term ids 1..T assigned in rank order.
+    records: List[Tuple[int, bytes]]
+    ranks: np.ndarray          #: int64, distinct term ranks, ascending
+    df: np.ndarray             #: int64, documents per term
+    ctf: np.ndarray            #: int64, occurrences per term
+    record_sizes: np.ndarray   #: int64, encoded bytes per record
+
+    @property
+    def uncompressed_bytes(self) -> int:
+        """Plain 32-bit size: 4 * (df + ctf + 2 ints) summed over terms."""
+        return int(4 * (2 * len(self.records) + 2 * self.df.sum() + self.ctf.sum()))
+
+    @property
+    def compressed_bytes(self) -> int:
+        return int(self.record_sizes.sum())
+
+
+def encode_collection(
+    ranks: np.ndarray, doc_ids: np.ndarray, positions: np.ndarray
+) -> EncodedCollection:
+    """Encode one record per distinct rank from sorted posting triples.
+
+    ``ranks``/``doc_ids``/``positions`` must already be sorted
+    lexicographically by (rank, doc id, position) — the order the
+    indexing sort produces.
+    """
+    total = int(ranks.size)
+    if total == 0:
+        raise IndexError_("cannot encode an empty collection")
+    ranks = np.ascontiguousarray(ranks, dtype=np.int64)
+    doc_ids = np.ascontiguousarray(doc_ids, dtype=np.int64)
+    positions = np.ascontiguousarray(positions, dtype=np.int64)
+
+    # ranks are pre-sorted, so term boundaries are adjacent differences
+    # (np.unique would pay for a redundant sort).
+    new_term = np.empty(total, dtype=bool)
+    new_term[0] = True
+    new_term[1:] = ranks[1:] != ranks[:-1]
+    term_starts = np.nonzero(new_term)[0]
+    distinct = ranks[term_starts]
+    term_count = int(distinct.size)
+    term_ends = np.empty(term_count, dtype=np.int64)
+    term_ends[:-1] = term_starts[1:]
+    term_ends[-1] = total
+    ctf = term_ends - term_starts
+
+    # Posting entries: one per (term, document) pair.
+    new_entry = np.empty(total, dtype=bool)
+    new_entry[0] = True
+    new_entry[1:] = (ranks[1:] != ranks[:-1]) | (doc_ids[1:] != doc_ids[:-1])
+    entry_starts = np.nonzero(new_entry)[0]
+    entries = int(entry_starts.size)
+    tf = np.empty(entries, dtype=np.int64)
+    tf[:-1] = entry_starts[1:] - entry_starts[:-1]
+    tf[-1] = total - entry_starts[-1]
+
+    # Each term's first entry, and entries per term (df).
+    first_entry = np.searchsorted(entry_starts, term_starts)
+    df = np.empty(term_count, dtype=np.int64)
+    df[:-1] = first_entry[1:] - first_entry[:-1]
+    df[-1] = entries - first_entry[-1]
+
+    # Delta coding: document gaps within a term (first absolute),
+    # position gaps within a document (first absolute).
+    entry_docs = doc_ids[entry_starts]
+    dgaps = np.empty(entries, dtype=np.int64)
+    dgaps[0] = entry_docs[0]
+    dgaps[1:] = entry_docs[1:] - entry_docs[:-1]
+    dgaps[first_entry] = entry_docs[first_entry]
+    pgaps = np.empty(total, dtype=np.int64)
+    pgaps[0] = positions[0]
+    pgaps[1:] = positions[1:] - positions[:-1]
+    pgaps[entry_starts] = positions[entry_starts]
+
+    # Interleave df ctf (dgap tf pgap*tf)*df into one value stream.
+    values_per_term = 2 + 2 * df + ctf
+    term_val_starts = np.empty(term_count, dtype=np.int64)
+    term_val_starts[0] = 0
+    np.cumsum(values_per_term[:-1], out=term_val_starts[1:])
+    stream_len = int(term_val_starts[-1] + values_per_term[-1])
+    values = np.empty(stream_len, dtype=np.int64)
+    values[term_val_starts] = df
+    values[term_val_starts + 1] = ctf
+
+    tf_excl = np.empty(entries, dtype=np.int64)
+    tf_excl[0] = 0
+    np.cumsum(tf[:-1], out=tf_excl[1:])
+    rank_in_term = np.arange(entries, dtype=np.int64) - np.repeat(first_entry, df)
+    tf_before = tf_excl - np.repeat(tf_excl[first_entry], df)
+    entry_slots = (
+        np.repeat(term_val_starts, df) + 2 + 2 * rank_in_term + tf_before
+    )
+    values[entry_slots] = dgaps
+    values[entry_slots + 1] = tf
+    gap_slots = (
+        np.repeat(entry_slots + 2 - tf_excl, tf) + np.arange(total, dtype=np.int64)
+    )
+    values[gap_slots] = pgaps
+
+    buffer, lengths = encode_stream(values)
+    byte_ends = np.cumsum(lengths)
+    term_byte_starts = byte_ends[term_val_starts] - lengths[term_val_starts]
+    term_byte_ends = np.empty(term_count, dtype=np.int64)
+    term_byte_ends[:-1] = term_byte_starts[1:]
+    term_byte_ends[-1] = int(byte_ends[-1])
+
+    starts_list = term_byte_starts.tolist()
+    ends_list = term_byte_ends.tolist()
+    records = [
+        (i + 1, buffer[starts_list[i]:ends_list[i]]) for i in range(term_count)
+    ]
+    return EncodedCollection(
+        records=records,
+        ranks=distinct,
+        df=df,
+        ctf=ctf,
+        record_sizes=term_byte_ends - term_byte_starts,
+    )

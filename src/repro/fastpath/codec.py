@@ -1,0 +1,251 @@
+"""Vectorized postings-record codec.
+
+Decodes and encodes the INQUERY record format of
+:mod:`repro.inquery.postings` (``df ctf (gap(doc) tf gap(pos)*tf)*df``)
+with bulk v-byte kernels instead of per-integer Python loops.
+
+The contract is strict byte/structure equality with the reference
+codec: :func:`encode_record_fast` produces the exact bytes
+``encode_record`` would, and :func:`decode_record_fast` the exact
+posting lists ``decode_record`` would — including raising the same
+:class:`~repro.errors.IndexError_` on malformed input.  Anything the
+vector kernels cannot express (values beyond 63 bits, malformed
+structure) falls back to the scalar reference implementation, which
+either handles it or raises the canonical error.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import IndexError_
+from .vbyte import decode_stream, encode_stream
+
+#: One posting: (document id, sorted within-document positions).
+Posting = Tuple[int, Tuple[int, ...]]
+
+
+@dataclass
+class RecordArrays:
+    """A decoded record in columnar form.
+
+    ``positions`` holds every within-document position, flattened;
+    document ``i`` owns the slice ``positions[pos_starts[i]:
+    pos_starts[i] + tf[i]]``.
+    """
+
+    doc_ids: np.ndarray    #: int64, strictly increasing
+    tf: np.ndarray         #: int64, per-document term frequency
+    positions: np.ndarray  #: int64, flattened position lists
+    pos_starts: np.ndarray  #: int64, exclusive prefix sum of ``tf``
+
+    @property
+    def df(self) -> int:
+        return int(self.doc_ids.size)
+
+    @property
+    def ctf(self) -> int:
+        return int(self.positions.size)
+
+    def to_postings(self) -> List[Posting]:
+        """The reference representation (list of id/positions tuples)."""
+        docs = self.doc_ids.tolist()
+        tfs = self.tf.tolist()
+        flat = self.positions.tolist()
+        out: List[Posting] = []
+        start = 0
+        for doc_id, tf in zip(docs, tfs):
+            end = start + tf
+            out.append((doc_id, tuple(flat[start:end])))
+            start = end
+        return out
+
+
+class DecodeCache:
+    """Bounded LRU memo of decoded records.
+
+    Keys are the record *bytes*, so a record that is rewritten (e.g.
+    by an incremental document add) can never serve stale arrays.
+    Capacity is counted in cached integers (positions plus per-document
+    columns), bounding memory rather than entry count.  Cached
+    :class:`RecordArrays` are shared — callers must treat them as
+    read-only, which every fast-path kernel does.
+    """
+
+    def __init__(self, max_ints: int = 4_000_000):
+        self._max = max_ints
+        self._held = 0
+        self._entries: "OrderedDict[bytes, RecordArrays]" = OrderedDict()
+
+    @staticmethod
+    def _weight(arrays: "RecordArrays") -> int:
+        return arrays.ctf + 3 * arrays.df
+
+    def get(self, record: bytes):
+        arrays = self._entries.get(record)
+        if arrays is not None:
+            self._entries.move_to_end(record)
+        return arrays
+
+    def put(self, record: bytes, arrays: "RecordArrays") -> None:
+        if record in self._entries:
+            return
+        self._entries[record] = arrays
+        self._held += self._weight(arrays)
+        while self._held > self._max and len(self._entries) > 1:
+            _key, evicted = self._entries.popitem(last=False)
+            self._held -= self._weight(evicted)
+
+
+def _scalar():
+    # Imported lazily: postings dispatches *into* this module, so a
+    # top-level import would be circular during package init.
+    from ..inquery import postings as ref
+
+    return ref
+
+
+def decode_record_arrays(record: bytes) -> RecordArrays:
+    """Decode a record into columnar arrays (single bulk byte scan)."""
+    try:
+        values, _clean = decode_stream(record)
+    except IndexError_:
+        return _arrays_via_scalar(record)
+    if values.size < 2:
+        return _arrays_via_scalar(record)  # raises the canonical error
+    df = int(values[0])
+    ctf = int(values[1])
+    needed = 2 + 2 * df + ctf
+    if values.size < needed:
+        return _arrays_via_scalar(record)
+    if df == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return RecordArrays(empty, empty.copy(), empty.copy(), empty.copy())
+    body = values[2:needed].astype(np.int64)
+    # Term frequencies sit at data-dependent offsets; a short scan over
+    # documents (not over bytes) recovers them.
+    flat = body.tolist()
+    tf = np.empty(df, dtype=np.int64)
+    offset = 1
+    try:
+        for i in range(df):
+            count = flat[offset]
+            tf[i] = count
+            offset += count + 2
+    except IndexError:
+        return _arrays_via_scalar(record)
+    if offset != len(flat) + 1:
+        # Header ctf disagrees with the per-document counts; the scalar
+        # decoder trusts the counts, so defer to it.
+        return _arrays_via_scalar(record)
+    pos_starts = np.empty(df, dtype=np.int64)
+    pos_starts[0] = 0
+    np.cumsum(tf[:-1], out=pos_starts[1:])
+    doc_slots = 2 * np.arange(df, dtype=np.int64) + pos_starts
+    doc_ids = np.cumsum(body[doc_slots])
+    if ctf:
+        gap_slots = (np.repeat(doc_slots + 2 - pos_starts, tf)
+                     + np.arange(ctf, dtype=np.int64))
+        gaps = body[gap_slots]
+        running = np.cumsum(gaps)
+        bases = np.empty(df, dtype=np.int64)
+        bases[0] = 0
+        bases[1:] = running[pos_starts[1:] - 1]
+        positions = running - np.repeat(bases, tf)
+    else:
+        positions = np.empty(0, dtype=np.int64)
+    if (doc_ids < 0).any() or (positions.size and (positions < 0).any()):
+        return _arrays_via_scalar(record)  # int64 overflow — huge values
+    return RecordArrays(doc_ids, tf, positions, pos_starts)
+
+
+def _arrays_via_scalar(record: bytes) -> RecordArrays:
+    """Reference decode, repackaged as arrays (also the error path)."""
+    return arrays_from_postings(_scalar()._decode_record_py(record))
+
+
+def arrays_from_postings(postings: Sequence[Posting]) -> RecordArrays:
+    """Columnar form of an already-decoded posting list."""
+    df = len(postings)
+    doc_ids = np.fromiter((d for d, _p in postings), dtype=np.int64, count=df)
+    tf = np.fromiter((len(p) for _d, p in postings), dtype=np.int64, count=df)
+    ctf = int(tf.sum()) if df else 0
+    positions = np.fromiter(
+        (x for _d, ps in postings for x in ps), dtype=np.int64, count=ctf
+    )
+    pos_starts = np.empty(df, dtype=np.int64)
+    if df:
+        pos_starts[0] = 0
+        np.cumsum(tf[:-1], out=pos_starts[1:])
+    return RecordArrays(doc_ids, tf, positions, pos_starts)
+
+
+def decode_record_fast(record: bytes) -> List[Posting]:
+    """Bulk decode returning the reference posting-list structure."""
+    return decode_record_arrays(record).to_postings()
+
+
+def encode_record_fast(postings: Sequence[Posting]) -> bytes:
+    """Bulk encode; byte-identical to the reference encoder.
+
+    Falls back to the scalar encoder on any irregularity (unsorted or
+    negative input, oversized values) so error behavior — message and
+    all — matches the reference exactly.
+    """
+    df = len(postings)
+    if df == 0:
+        return _scalar()._encode_record_py(postings)
+    try:
+        arrays = arrays_from_postings(postings)
+    except (TypeError, ValueError, OverflowError):
+        return _scalar()._encode_record_py(postings)
+    return encode_from_arrays(arrays, _fallback=postings)
+
+
+def encode_from_arrays(arrays: RecordArrays, _fallback=None) -> bytes:
+    """Encode columnar postings; validates like the reference encoder."""
+    doc_ids, tf, positions = arrays.doc_ids, arrays.tf, arrays.positions
+    df = arrays.df
+    ctf = arrays.ctf
+
+    def bail():
+        postings = _fallback if _fallback is not None else arrays.to_postings()
+        return _scalar()._encode_record_py(postings)
+
+    if df == 0:
+        return bail()
+    if (tf < 1).any() or doc_ids[0] < 0:
+        return bail()
+    dgaps = np.empty(df, dtype=np.int64)
+    dgaps[0] = doc_ids[0]
+    dgaps[1:] = doc_ids[1:] - doc_ids[:-1]
+    if df > 1 and (dgaps[1:] <= 0).any():
+        return bail()
+    pos_starts = arrays.pos_starts
+    pgaps = positions.copy()
+    pgaps[1:] -= positions[:-1]
+    pgaps[pos_starts] = positions[pos_starts]
+    first_of_doc = np.zeros(ctf, dtype=bool)
+    first_of_doc[pos_starts] = True
+    if (pgaps[~first_of_doc] <= 0).any() or (pgaps[first_of_doc] < 0).any():
+        return bail()
+
+    total = 2 + 2 * df + ctf
+    values = np.empty(total, dtype=np.int64)
+    values[0] = df
+    values[1] = ctf
+    body = values[2:]
+    doc_slots = 2 * np.arange(df, dtype=np.int64) + pos_starts
+    body[doc_slots] = dgaps
+    body[doc_slots + 1] = tf
+    if ctf:
+        gap_slots = (np.repeat(doc_slots + 2 - pos_starts, tf)
+                     + np.arange(ctf, dtype=np.int64))
+        body[gap_slots] = pgaps
+    try:
+        buffer, _lengths = encode_stream(values)
+    except IndexError_:
+        return bail()  # values beyond the vector encoder's 63-bit range
+    return buffer

@@ -1,0 +1,140 @@
+"""Fast-path inference network: vectorized belief evaluation.
+
+:class:`FastInferenceNetwork` subclasses the reference
+:class:`~repro.inquery.network.InferenceNetwork` and swaps the
+per-document dict arithmetic for the array kernels in
+:mod:`repro.fastpath.beliefs`.  Structure, traversal order, storage
+accesses, and simulated-clock charges are identical to the reference
+network; only the real CPU time changes.
+
+Proximity and synonym operators keep the reference implementation
+(their position-merge logic is not a hot spot); their dict tables mix
+with array tables transparently inside the combination kernels.
+"""
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..inquery.network import (
+    DEFAULT_BELIEF,
+    InferenceNetwork,
+    TermProvider,
+    inquery_idf,
+)
+from ..inquery.query import OpNode, QueryNode
+from ..errors import QueryError
+from .beliefs import (
+    Table,
+    combine_and,
+    combine_max,
+    combine_not,
+    combine_or,
+    combine_sum,
+    combine_wsum,
+    term_beliefs,
+)
+from .codec import RecordArrays
+
+
+class ArrayTermProvider(TermProvider):
+    """Extended provider contract for the fast path.
+
+    ``postings_arrays`` must perform the same storage access and charge
+    the same simulated CPU as ``postings`` — it differs only in the
+    in-memory representation it returns.
+    """
+
+    def postings_arrays(self, term: str) -> Optional[RecordArrays]:
+        raise NotImplementedError
+
+    def doc_length_array(self, doc_ids: np.ndarray) -> np.ndarray:
+        """Document lengths for a vector of ids (int64 in, int64 out)."""
+        return np.fromiter(
+            (self.doc_length(int(d)) for d in doc_ids),
+            dtype=np.int64,
+            count=doc_ids.size,
+        )
+
+
+class FastInferenceNetwork(InferenceNetwork):
+    """Array-kernel evaluation with reference-identical results."""
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _eval_term(self, term: str) -> Table:
+        provider = self._provider
+        if not hasattr(provider, "postings_arrays"):
+            return super()._eval_term(term)
+        arrays = provider.postings_arrays(term)
+        if arrays is None or arrays.df == 0:
+            return {}, DEFAULT_BELIEF
+        return self._beliefs_from_arrays(arrays)
+
+    def _beliefs_from_arrays(self, arrays: RecordArrays) -> Table:
+        provider = self._provider
+        n_docs = max(provider.doc_count, 1)
+        avg_len = max(provider.average_doc_length, 1.0)
+        idf_w = inquery_idf(n_docs, arrays.df)
+        lengths_fn = getattr(provider, "doc_length_array", None)
+        if lengths_fn is not None:
+            lengths = lengths_fn(arrays.doc_ids)
+        else:
+            lengths = np.fromiter(
+                (provider.doc_length(int(d)) for d in arrays.doc_ids),
+                dtype=np.int64,
+                count=arrays.df,
+            )
+        scores = term_beliefs(
+            arrays.doc_ids, arrays.tf, lengths, idf_w, avg_len, DEFAULT_BELIEF
+        )
+        provider.charge_combine(len(scores))
+        return scores, DEFAULT_BELIEF
+
+    # -- combination operators -------------------------------------------------
+
+    def _children_tables(self, node: OpNode) -> List[Table]:
+        return [self.evaluate(child) for child in node.children]
+
+    def _charge_union(self, tables: List[Table], scores) -> None:
+        self._provider.charge_combine(len(scores) * len(tables))
+
+    def _eval_sum(self, node: OpNode) -> Table:
+        tables = self._children_tables(node)
+        scores, default = combine_sum(tables)
+        self._charge_union(tables, scores)
+        return scores, default
+
+    def _eval_wsum(self, node: OpNode) -> Table:
+        tables = self._children_tables(node)
+        weights = node.weights
+        total = sum(weights)
+        if total <= 0:
+            raise QueryError("#wsum weights must sum to a positive value")
+        scores, default = combine_wsum(tables, weights, total)
+        self._charge_union(tables, scores)
+        return scores, default
+
+    def _eval_and(self, node: OpNode) -> Table:
+        tables = self._children_tables(node)
+        scores, default = combine_and(tables)
+        self._charge_union(tables, scores)
+        return scores, default
+
+    def _eval_or(self, node: OpNode) -> Table:
+        tables = self._children_tables(node)
+        scores, default = combine_or(tables)
+        self._charge_union(tables, scores)
+        return scores, default
+
+    def _eval_not(self, node: OpNode) -> Table:
+        tables = self._children_tables(node)
+        scores, default = combine_not(tables)
+        self._charge_union(tables, scores)
+        return scores, default
+
+    def _eval_max(self, node: OpNode) -> Table:
+        tables = self._children_tables(node)
+        scores, default = combine_max(tables)
+        self._charge_union(tables, scores)
+        return scores, default

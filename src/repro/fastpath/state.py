@@ -1,0 +1,62 @@
+"""Global fast-path toggle.
+
+The fast path is a *real-time* optimization only: every kernel in
+:mod:`repro.fastpath` is required to produce byte-identical records,
+bit-identical beliefs, and identical simulated-clock charges to the
+pure-Python reference implementations.  Because of that invariant the
+toggle can default to on; the reference path is retained for
+verification and for environments without numpy.
+
+The toggle is deliberately tiny and dependency-free so that low-level
+modules (``repro.inquery.postings``) can consult it without import
+cycles.
+"""
+
+import os
+from contextlib import contextmanager
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except Exception:  # pragma: no cover - numpy is a hard dependency in CI
+    HAVE_NUMPY = False
+
+
+def _initial() -> bool:
+    env = os.environ.get("REPRO_FASTPATH", "").strip().lower()
+    if env in ("0", "off", "false", "no"):
+        return False
+    return HAVE_NUMPY
+
+
+#: Whether fast-path kernels are used where available.  Mutate through
+#: :func:`set_enabled` / :func:`use_fastpath`.
+ENABLED = _initial()
+
+
+def enabled() -> bool:
+    """Is the fast path currently active?"""
+    return ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Switch the fast path on or off; returns the previous setting.
+
+    Enabling without numpy installed silently stays off — callers never
+    need to guard on :data:`HAVE_NUMPY` themselves.
+    """
+    global ENABLED
+    previous = ENABLED
+    ENABLED = bool(flag) and HAVE_NUMPY
+    return previous
+
+
+@contextmanager
+def use_fastpath(flag: bool):
+    """Temporarily force the fast path on or off (tests, benchmarks)."""
+    previous = set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

@@ -1,0 +1,97 @@
+"""Bulk v-byte kernels: whole-buffer decode, whole-vector encode.
+
+The reference codec (:mod:`repro.inquery.postings`) walks one byte at a
+time per integer; these kernels scan the complete byte buffer (or value
+vector) with numpy primitives instead.  The encoding is the standard
+7-bit little-endian variable-byte format, so output bytes are identical
+to the reference encoder's.
+
+Both kernels stay within 63-bit magnitudes (9 v-byte groups).  The
+reference decoder accepts arbitrarily large Python integers; callers
+that may encounter wider values fall back to the scalar path — the
+structured record codec does exactly that.
+"""
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import IndexError_
+
+#: Largest value the vector kernels handle (9 seven-bit groups).
+MAX_GROUPS = 9
+MAX_VALUE = (1 << (7 * MAX_GROUPS)) - 1
+
+
+def decode_stream(data: bytes) -> Tuple[np.ndarray, bool]:
+    """Decode every complete v-byte integer in ``data`` at once.
+
+    Returns ``(values, clean)`` where ``values`` is a ``uint64`` vector
+    of the complete integers found and ``clean`` is ``False`` when the
+    buffer ends inside an unterminated integer (the trailing partial
+    group is dropped; the caller decides whether that is an error).
+
+    Raises
+    ------
+    IndexError_
+        If any integer spans more than :data:`MAX_GROUPS` bytes (the
+        caller should fall back to the scalar decoder).
+    """
+    raw = np.frombuffer(data, dtype=np.uint8)
+    if raw.size == 0:
+        return np.empty(0, dtype=np.uint64), True
+    ends = np.nonzero(raw < 0x80)[0]
+    clean = ends.size > 0 and int(ends[-1]) == raw.size - 1
+    if ends.size == 0:
+        return np.empty(0, dtype=np.uint64), False
+    used = raw[: int(ends[-1]) + 1]
+    starts = np.empty(ends.size, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    if int(lengths.max()) > MAX_GROUPS:
+        raise IndexError_("v-byte integer too wide for the vector decoder")
+    # Position of every byte within its integer, then the 7-bit payload
+    # shifted into place and summed per integer.
+    offsets = np.arange(used.size, dtype=np.int64) - np.repeat(starts, lengths)
+    contrib = (used & 0x7F).astype(np.uint64) << (7 * offsets).astype(np.uint64)
+    values = np.add.reduceat(contrib, starts)
+    return values, clean
+
+
+def encode_stream(values: np.ndarray) -> Tuple[bytes, np.ndarray]:
+    """Encode a vector of unsigned integers into one v-byte buffer.
+
+    Returns ``(buffer, byte_lengths)``; ``byte_lengths[i]`` is the
+    encoded size of ``values[i]``, so callers can slice the buffer into
+    sub-records with a cumulative sum.
+
+    Raises
+    ------
+    IndexError_
+        On negative input (mirrors the reference encoder) or values
+        beyond :data:`MAX_VALUE`.
+    """
+    v = np.asarray(values)
+    if v.size == 0:
+        return b"", np.empty(0, dtype=np.int64)
+    if v.dtype.kind not in "ui":
+        raise IndexError_("v-byte encoder requires integer input")
+    if v.dtype.kind == "i" and int(v.min()) < 0:
+        bad = int(v[v < 0][0])
+        raise IndexError_(f"cannot v-byte encode negative value {bad}")
+    v = v.astype(np.uint64)
+    if int(v.max()) > MAX_VALUE:
+        raise IndexError_("value too wide for the vector encoder")
+    lengths = np.ones(v.size, dtype=np.int64)
+    for k in range(1, MAX_GROUPS):
+        lengths += (v >= np.uint64(1 << (7 * k))).astype(np.int64)
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    out = np.empty(int(ends[-1]), dtype=np.uint8)
+    for k in range(int(lengths.max())):
+        mask = lengths > k
+        payload = (v[mask] >> np.uint64(7 * k)) & np.uint64(0x7F)
+        continuation = (lengths[mask] - 1 > k).astype(np.uint64) << np.uint64(7)
+        out[starts[mask] + k] = (payload | continuation).astype(np.uint8)
+    return out.tobytes(), lengths

@@ -18,7 +18,7 @@ document-at-a-time is classically defined for; structured operators stay
 on the term-at-a-time engine).
 """
 
-import math
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -26,7 +26,7 @@ from ..errors import QueryError
 from ..simdisk import SimClock
 from .engine import QueryResult
 from .indexer import CollectionIndex
-from .network import DEFAULT_BELIEF
+from .network import DEFAULT_BELIEF, inquery_idf
 from .query import OpNode, QueryNode, TermNode, count_nodes, parse_query
 from .streams import PostingStream, merge_streams
 
@@ -111,9 +111,7 @@ class DocumentAtATimeEngine:
                     (position, self.index.store.stream_postings(entry.storage_key))
                 )
                 lookups += 1
-                idf[position] = max(
-                    math.log((n_docs + 0.5) / entry.df) / math.log(n_docs + 1.0), 0.0
-                )
+                idf[position] = inquery_idf(n_docs, entry.df)
                 self.clock.charge_user(
                     cost.cpu_ms_per_kb_decode * (_record_bytes(entry) / 1024.0)
                 )
@@ -137,12 +135,16 @@ class DocumentAtATimeEngine:
                     beliefs[position] = (
                         DEFAULT_BELIEF + (1.0 - DEFAULT_BELIEF) * tf_w * idf[position]
                     )
-                if len(beliefs) == 1:
-                    scores[doc_id] = beliefs[0]
-                elif weighted:
+                # Fold in the exact order the term-at-a-time network
+                # does — #wsum in particular must be `(Σ w·b) / Σw` even
+                # for a single term, or the two engines drift by an ULP
+                # (e.g. (3·b)/3 != b in binary floating point).
+                if weighted:
                     scores[doc_id] = (
                         sum(w * b for w, b in zip(weights, beliefs)) / total_weight
                     )
+                elif len(beliefs) == 1:
+                    scores[doc_id] = beliefs[0]
                 else:
                     scores[doc_id] = sum(beliefs) / len(beliefs)
                 scored += 1
@@ -151,10 +153,13 @@ class DocumentAtATimeEngine:
             self.index.store.release_reservations()
 
         self.clock.charge_user(cost.cpu_ms_per_posting * len(scores))
-        ranking = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        # O(n log k) selection; identical ranking to the full sort.
+        ranking = heapq.nsmallest(
+            self.top_k, scores.items(), key=lambda item: (-item[1], item[0])
+        )
         return DAATResult(
             query=text,
-            ranking=ranking[: self.top_k],
+            ranking=ranking,
             terms_looked_up=lookups,
             peak_resident_bytes=peak_resident,
             documents_scored=scored,

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Tuple
 
 from ..errors import IndexError_
+from ..fastpath import state as _fastpath
 from ..simdisk import SimFileSystem
 from .dictionary import HashDictionary
 from .documents import Document, DocTable
@@ -249,8 +250,15 @@ class IndexBuilder:
         index.save()
         return index
 
+    #: Below this many triples the dict scan beats numpy's setup cost.
+    _RECOUNT_ARRAY_MIN = 4096
+
     def _recount_stats(self, by_id: Dict[int, object]) -> None:
         """Recompute df/ctf per term from the runs (single pass)."""
+        total = sum(len(run) for run in self._runs)
+        if _fastpath.ENABLED and total >= self._RECOUNT_ARRAY_MIN:
+            self._recount_stats_arrays(by_id)
+            return
         df: Dict[int, int] = {}
         ctf: Dict[int, int] = {}
         last: Dict[int, int] = {}
@@ -260,6 +268,37 @@ class IndexBuilder:
                 if last.get(term_id) != doc_id:
                     df[term_id] = df.get(term_id, 0) + 1
                     last[term_id] = doc_id
+        for term_id, entry in by_id.items():
+            entry.df = df.get(term_id, 0)
+            entry.ctf = ctf.get(term_id, 0)
+
+    def _recount_stats_arrays(self, by_id: Dict[int, object]) -> None:
+        """Vectorized recount: same per-term counts as the dict scan.
+
+        A stable sort by term id preserves run order within each term,
+        so counting rows whose doc id differs from the previous row of
+        the same term reproduces the scan's ``last.get(term_id) !=
+        doc_id`` transitions exactly.
+        """
+        import numpy as np
+
+        chunks = [np.asarray(run, dtype=np.int64) for run in self._runs if run]
+        triples = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        terms = triples[:, 0]
+        docs = triples[:, 1]
+        order = np.argsort(terms, kind="stable")
+        t_sorted = terms[order]
+        d_sorted = docs[order]
+        new_doc = np.empty(t_sorted.size, dtype=np.int64)
+        new_doc[0] = 1
+        new_doc[1:] = (
+            (t_sorted[1:] != t_sorted[:-1]) | (d_sorted[1:] != d_sorted[:-1])
+        )
+        uniq, ctf_counts = np.unique(t_sorted, return_counts=True)
+        starts = np.searchsorted(t_sorted, uniq)
+        df_counts = np.add.reduceat(new_doc, starts)
+        df = dict(zip(uniq.tolist(), df_counts.tolist()))
+        ctf = dict(zip(uniq.tolist(), ctf_counts.tolist()))
         for term_id, entry in by_id.items():
             entry.df = df.get(term_id, 0)
             entry.ctf = ctf.get(term_id, 0)

@@ -32,6 +32,17 @@ DEFAULT_BELIEF = 0.4
 BeliefTable = Tuple[Dict[int, float], float]
 
 
+def inquery_idf(n_docs: int, df: int) -> float:
+    """INQUERY's scaled idf: ``log((N+0.5)/df) / log(N+1)``, floored at 0.
+
+    Shared by the reference network, the document-at-a-time engine, and
+    the fast-path kernels so every evaluation path computes term
+    weights from one expression.
+    """
+    idf_w = math.log((n_docs + 0.5) / max(df, 1)) / math.log(n_docs + 1.0)
+    return max(idf_w, 0.0)
+
+
 class TermProvider:
     """What the network needs from the rest of the system.
 
@@ -84,8 +95,7 @@ class InferenceNetwork:
         provider = self._provider
         n_docs = max(provider.doc_count, 1)
         avg_len = max(provider.average_doc_length, 1.0)
-        idf_w = math.log((n_docs + 0.5) / max(df, 1)) / math.log(n_docs + 1.0)
-        idf_w = max(idf_w, 0.0)
+        idf_w = inquery_idf(n_docs, df)
         scores: Dict[int, float] = {}
         for doc_id, positions in postings:
             tf = len(positions)

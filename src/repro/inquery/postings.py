@@ -22,12 +22,31 @@ share this module.
 """
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import IndexError_
+from ..fastpath import state as _fastpath
 
 #: One posting: (document id, sorted within-document positions).
 Posting = Tuple[int, Tuple[int, ...]]
+
+# Record sizes below these cutovers stay on the scalar codec: numpy
+# call overhead beats the loop for the tiny records that make up about
+# half of a Zipf vocabulary.  Both codecs are byte-identical, so the
+# cutover is purely a real-time tuning knob.
+_FAST_DECODE_MIN_BYTES = 64
+_FAST_ENCODE_MIN_POSTINGS = 16
+
+_codec = None
+
+
+def _fast_codec():
+    global _codec
+    if _codec is None:
+        from ..fastpath import codec
+
+        _codec = codec
+    return _codec
 
 
 def vbyte_encode(value: int, out: bytearray) -> None:
@@ -76,17 +95,35 @@ class RecordHeader:
 def encode_record(postings: Sequence[Posting]) -> bytes:
     """Serialize postings (sorted by document id) into a record.
 
+    Dispatches to the vectorized codec for large records when the fast
+    path is enabled; both codecs emit identical bytes and raise
+    identical errors.
+
     Raises
     ------
     IndexError_
         If document ids are not strictly increasing, a posting has no
         positions, or positions are not strictly increasing.
     """
+    if _fastpath.ENABLED and len(postings) >= _FAST_ENCODE_MIN_POSTINGS:
+        return _fast_codec().encode_record_fast(postings)
+    return _encode_record_py(postings)
+
+
+def _encode_record_py(postings: Sequence[Posting]) -> bytes:
+    """The scalar reference encoder."""
     out = bytearray()
     ctf = sum(len(positions) for _, positions in postings)
     vbyte_encode(len(postings), out)
     vbyte_encode(ctf, out)
-    last_doc = -1
+    _encode_postings_body(postings, -1, out)
+    return bytes(out)
+
+
+def _encode_postings_body(
+    postings: Sequence[Posting], last_doc: int, out: bytearray
+) -> None:
+    """Delta-encode postings after ``last_doc`` onto ``out`` (no header)."""
     for doc_id, positions in postings:
         if doc_id <= last_doc:
             raise IndexError_(
@@ -106,7 +143,6 @@ def encode_record(postings: Sequence[Posting]) -> bytes:
             vbyte_encode(position - last_pos if last_pos >= 0 else position, out)
             last_pos = position
         last_doc = doc_id
-    return bytes(out)
 
 
 def decode_header(record: bytes) -> RecordHeader:
@@ -117,7 +153,18 @@ def decode_header(record: bytes) -> RecordHeader:
 
 
 def decode_record(record: bytes) -> List[Posting]:
-    """Deserialize a full record back into postings."""
+    """Deserialize a full record back into postings.
+
+    Dispatches to the vectorized codec for large records when the fast
+    path is enabled; both decoders return identical posting lists.
+    """
+    if _fastpath.ENABLED and len(record) >= _FAST_DECODE_MIN_BYTES:
+        return _fast_codec().decode_record_fast(record)
+    return _decode_record_py(record)
+
+
+def _decode_record_py(record: bytes) -> List[Posting]:
+    """The scalar reference decoder."""
     df, pos = vbyte_decode(record, 0)
     _ctf, pos = vbyte_decode(record, pos)
     postings: List[Posting] = []
@@ -146,11 +193,72 @@ def merge_records(base: bytes, extra: Sequence[Posting]) -> bytes:
     This is the record-level half of incremental update — the operation
     the paper says is awkward for large lists stored contiguously, and
     cheap for linked objects.
+
+    When every new document id follows the record's last (the common
+    append-as-documents-arrive case), only the new postings' deltas are
+    encoded onto the existing bytes instead of re-encoding the record.
     """
+    extra = [(doc, tuple(positions)) for doc, positions in extra]
+    appended = _try_append_records(base, extra)
+    if appended is not None:
+        return appended
     merged = {doc: positions for doc, positions in decode_record(base)}
     for doc, positions in extra:
-        merged[doc] = tuple(positions)
+        merged[doc] = positions
     return encode_record(sorted(merged.items()))
+
+
+def _try_append_records(base: bytes, extra: Sequence[Posting]) -> Optional[bytes]:
+    """Append-only fast path for :func:`merge_records`.
+
+    Returns ``None`` whenever the slow path is required — new ids not
+    strictly beyond the base record, or input that should raise the
+    canonical validation errors from :func:`encode_record`.
+    """
+    if not extra:
+        return None
+    last_new = None
+    for doc_id, positions in extra:
+        if last_new is not None and doc_id <= last_new:
+            return None  # unsorted or replacing: full merge handles it
+        if not positions or any(
+            b <= a for a, b in zip(positions, positions[1:])
+        ) or positions[0] < 0:
+            return None  # malformed: let encode_record raise
+        last_new = doc_id
+    header = decode_header(base)
+    if header.df == 0:
+        return None
+    last_doc = _last_doc_id(base, header.df)
+    if extra[0][0] <= last_doc:
+        return None
+    df = header.df + len(extra)
+    ctf = header.ctf + sum(len(positions) for _d, positions in extra)
+    out = bytearray()
+    vbyte_encode(df, out)
+    vbyte_encode(ctf, out)
+    _df, pos = vbyte_decode(base, 0)
+    _ctf, pos = vbyte_decode(base, pos)
+    out += base[pos:]
+    _encode_postings_body(extra, last_doc, out)
+    return bytes(out)
+
+
+def _last_doc_id(record: bytes, df: int) -> int:
+    """Final document id of a record (sum of the document-id gaps)."""
+    if _fastpath.ENABLED and len(record) >= _FAST_DECODE_MIN_BYTES:
+        arrays = _fast_codec().decode_record_arrays(record)
+        return int(arrays.doc_ids[-1])
+    _df, pos = vbyte_decode(record, 0)
+    _ctf, pos = vbyte_decode(record, pos)
+    doc_id = 0
+    for _ in range(df):
+        gap, pos = vbyte_decode(record, pos)
+        doc_id += gap
+        tf, pos = vbyte_decode(record, pos)
+        for _ in range(tf):
+            _gap, pos = vbyte_decode(record, pos)
+    return doc_id
 
 
 def remove_document(base: bytes, doc_ids: Iterable[int]) -> bytes:

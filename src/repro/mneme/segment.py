@@ -116,6 +116,13 @@ class DirectorySegment:
 
     pool_id: int
     objects: Dict[int, bytes] = field(default_factory=dict)  # oid -> payload
+    #: Running total of payload bytes, so ``byte_size`` is O(1) — pools
+    #: consult it on every create, which made the dataclass-default
+    #: recount quadratic over a bulk load.
+    _payload_bytes: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self):
+        self._payload_bytes = sum(len(v) for v in self.objects.values())
 
     def get(self, oid: int) -> bytes:
         try:
@@ -124,11 +131,16 @@ class DirectorySegment:
             raise PoolError(f"object {oid} not in this segment") from None
 
     def put(self, oid: int, data: bytes) -> None:
+        old = self.objects.get(oid)
+        if old is not None:
+            self._payload_bytes -= len(old)
         self.objects[oid] = bytes(data)
+        self._payload_bytes += len(data)
 
     def remove(self, oid: int) -> None:
         if oid not in self.objects:
             raise PoolError(f"object {oid} not in this segment")
+        self._payload_bytes -= len(self.objects[oid])
         del self.objects[oid]
 
     def __contains__(self, oid: int) -> bool:
@@ -143,7 +155,7 @@ class DirectorySegment:
         return (
             _DIR_HDR.size
             + _DIR_ENTRY.size * len(self.objects)
-            + sum(len(v) for v in self.objects.values())
+            + self._payload_bytes
         )
 
     def to_bytes(self, pad_to: int = 0) -> bytes:
@@ -180,5 +192,5 @@ class DirectorySegment:
         if zlib.crc32(bytes(data[_DIR_HDR.size:end])) != crc:
             raise BadBlockError("directory segment fails CRC")
         for oid, off, length in entries:
-            segment.objects[oid] = bytes(data[off:off + length])
+            segment.put(oid, data[off:off + length])
         return segment

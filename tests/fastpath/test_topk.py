@@ -1,0 +1,55 @@
+"""Top-k selection must reproduce the full sort's ranking exactly."""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fastpath.beliefs import ArrayBeliefs
+from repro.fastpath.topk import rank_arrays, rank_dict
+
+scores_st = st.dictionaries(
+    st.integers(min_value=1, max_value=500),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=0,
+    max_size=120,
+)
+
+k_st = st.integers(min_value=1, max_value=60)
+
+
+def full_sort(scores, k):
+    return sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:k]
+
+
+@given(scores=scores_st, k=k_st)
+@settings(max_examples=100, deadline=None)
+def test_rank_dict_equals_full_sort(scores, k):
+    assert rank_dict(scores, k) == full_sort(scores, k)
+
+
+@given(scores=scores_st, k=k_st)
+@settings(max_examples=100, deadline=None)
+def test_rank_arrays_equals_full_sort(scores, k):
+    doc_ids = np.fromiter(sorted(scores), dtype=np.int64, count=len(scores))
+    beliefs = np.fromiter(
+        (scores[d] for d in sorted(scores)), dtype=np.float64, count=len(scores)
+    )
+    arrays = ArrayBeliefs(doc_ids=doc_ids, beliefs=beliefs)
+    assert rank_arrays(arrays, k) == full_sort(scores, k)
+
+
+@given(
+    docs=st.lists(st.integers(min_value=1, max_value=50), min_size=1,
+                  max_size=40, unique=True).map(sorted),
+    belief=st.floats(min_value=0.1, max_value=0.9, allow_nan=False),
+    k=k_st,
+)
+@settings(max_examples=50, deadline=None)
+def test_rank_arrays_all_ties(docs, belief, k):
+    # Every document tied: ranking must fall back to ascending doc id.
+    doc_ids = np.asarray(docs, dtype=np.int64)
+    beliefs = np.full(doc_ids.size, belief, dtype=np.float64)
+    ranking = rank_arrays(ArrayBeliefs(doc_ids=doc_ids, beliefs=beliefs), k)
+    assert ranking == [(d, belief) for d in docs[:k]]
