@@ -5,6 +5,10 @@
 #                               # ablations, and the tier2 wall-clock bench)
 #   scripts/bench.sh wallclock  # just the fast-path wall-clock benchmark;
 #                               # also writes BENCH_wallclock.json at the root
+#   scripts/bench.sh --check    # regression gate: rerun the wall-clock bench
+#                               # over all four collections and fail if any
+#                               # phase's speedup fell out of the noise band
+#                               # of the committed BENCH_wallclock.json
 #
 # Tier-1 tests (`python -m pytest`) never run these: pytest's testpaths
 # points at tests/, and the wall-clock bench is additionally marked tier2.
@@ -14,7 +18,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 case "${1:-all}" in
     wallclock)
-        python -m repro.bench.wallclock
+        shift 2>/dev/null || true
+        python -m repro.bench.wallclock "$@"
+        ;;
+    --check)
+        shift
+        python -m repro.bench.wallclock --check "$@"
         ;;
     all)
         python -m pytest benchmarks -q

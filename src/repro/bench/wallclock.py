@@ -1,56 +1,98 @@
-"""Real wall-clock benchmark: fast-path kernels vs. pure Python.
+"""Real wall-clock regression gate: fast-path kernels vs. pure Python.
 
 Everything else in :mod:`repro.bench` reports *simulated* time — the
 paper's tables.  This module times the reproduction itself: how many
-real seconds the index build and the query runs take with the
-vectorized kernels (:mod:`repro.fastpath`) against the pure-Python
-reference path, while asserting the two paths are observationally
-identical — same rankings, same simulated wall/user/IO totals, same
-``I``/``A``/``B`` counters, same buffer hit statistics.  The fast path
-may only change how long the experiment takes to run, never what it
-measures.
+real seconds the index build, the term-at-a-time query runs, and the
+document-at-a-time runs take with the vectorized kernels
+(:mod:`repro.fastpath`) against the pure-Python reference path, while
+asserting the two paths are observationally identical — same rankings,
+same simulated wall/user/IO totals, same ``I``/``A``/``B`` counters,
+same buffer hit statistics.  The fast path may only change how long the
+experiment takes to run, never what it measures.
+
+It doubles as a per-PR regression gate: every phase is timed over
+repeated runs across all four paper collections, the medians and a
+run-to-run noise bound are written to ``BENCH_wallclock.json``, and
+``--check`` compares a fresh run against that committed baseline —
+failing on any invariance violation or on a fast-path *speedup* that
+drops out of the noise band.  Speedups (reference seconds over
+fast-path seconds) are compared rather than absolute seconds so the
+gate is meaningful across machines of different speeds.
 
 Run it directly::
 
-    PYTHONPATH=src python -m repro.bench.wallclock
+    PYTHONPATH=src python -m repro.bench.wallclock            # write baseline
+    PYTHONPATH=src python -m repro.bench.wallclock --check    # gate a change
 
-which writes ``BENCH_wallclock.json`` at the repository root.
+(or ``scripts/bench.sh wallclock`` / ``scripts/bench.sh --check``).
 """
 
 import argparse
 import json
+import statistics
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.config import config_by_name
-from ..core.metrics import RunMetrics, measure_run
+from ..core.metrics import RunMetrics, cold_start, measure_run
 from ..core.prepared import materialize, prepare_collection
+from ..errors import QueryError
 from ..fastpath import state as _fastpath
+from ..inquery.daat import DocumentAtATimeEngine
+from ..inquery.daat import _flatten as _daat_flatten
+from ..inquery.query import parse_query, query_terms
 from ..synth import PROFILES, SyntheticCollection, generate_query_set
 from .runner import PROFILE_ORDER
 
-#: Default workload: the paper's Legal collection, both query sets.
-DEFAULT_PROFILES = ("legal-s",)
+#: Default workload: all four paper collections, every query set.
+DEFAULT_PROFILES = tuple(PROFILE_ORDER)
 DEFAULT_CONFIG = "mneme-cache"
+#: Timing repetitions per path (median reported).
+DEFAULT_REPEATS = 3
+#: Speedups may drop by this fraction before the gate fails, noise aside.
+DEFAULT_MIN_BAND = 0.35
+#: The noise band is this multiple of the recorded run-to-run spread.
+DEFAULT_NOISE_FACTOR = 3.0
 
 
 @dataclass
-class PathTimings:
-    """Real seconds spent by one evaluation path on one profile."""
+class PathRun:
+    """Real seconds and observables of one pass over one profile."""
 
-    build_s: float = 0.0
-    query_s: Dict[str, float] = field(default_factory=dict)
+    phase_s: Dict[str, float] = field(default_factory=dict)
     metrics: Dict[str, RunMetrics] = field(default_factory=dict)
-
-    @property
-    def total_query_s(self) -> float:
-        return sum(self.query_s.values())
+    #: Per query set: (rankings, peak_resident, documents_scored, clock).
+    daat_obs: Dict[str, Tuple] = field(default_factory=dict)
 
     @property
     def end_to_end_s(self) -> float:
-        return self.build_s + self.total_query_s
+        return sum(self.phase_s.values())
+
+
+def _daat_queries(queries: List[str]) -> List[str]:
+    """The flat #sum/#wsum subset document-at-a-time evaluates.
+
+    Query sets with only structured queries (CACM's boolean/phrase
+    styles) are flattened to ``#sum`` over their terms so every
+    collection still exercises the document-at-a-time engine.
+    """
+    flat = []
+    for query in queries:
+        try:
+            _daat_flatten(parse_query(query))
+        except QueryError:
+            continue
+        flat.append(query)
+    if flat:
+        return flat
+    derived = []
+    for query in queries:
+        terms = query_terms(parse_query(query))
+        if terms:
+            derived.append("#sum( " + " ".join(terms) + " )")
+    return derived
 
 
 def _run_path(
@@ -58,31 +100,50 @@ def _run_path(
     query_sets,
     config_name: str,
     fast: bool,
-) -> PathTimings:
+) -> PathRun:
     """Time index build + query evaluation for one path.
 
     The global fast-path toggle gates every kernel dispatch (codec,
     bulk encode, recount), and the system config routes the engine, so
     flipping both switches the entire stack at once.
     """
-    timings = PathTimings()
+    run = PathRun()
     previous = _fastpath.set_enabled(fast)
     try:
         config = config_by_name(config_name, use_fastpath=fast)
         start = time.perf_counter()
         prepared = prepare_collection(collection)
         system = materialize(prepared, config)
-        timings.build_s = time.perf_counter() - start
+        run.phase_s["build"] = time.perf_counter() - start
         for query_set in query_sets:
             start = time.perf_counter()
             metrics = measure_run(
                 system, query_set.queries, query_set_name=query_set.name
             )
-            timings.query_s[query_set.name] = time.perf_counter() - start
-            timings.metrics[query_set.name] = metrics
+            run.phase_s[f"query:{query_set.name}"] = time.perf_counter() - start
+            run.metrics[query_set.name] = metrics
+        for query_set in query_sets:
+            flat = _daat_queries(query_set.queries)
+            if not flat:
+                continue
+            cold_start(system)
+            engine = DocumentAtATimeEngine(
+                system.index, top_k=50, use_fastpath=fast
+            )
+            clock_start = system.clock.snapshot()
+            start = time.perf_counter()
+            results = engine.run_batch(flat)
+            run.phase_s[f"daat:{query_set.name}"] = time.perf_counter() - start
+            elapsed = system.clock.since(clock_start)
+            run.daat_obs[query_set.name] = (
+                [r.ranking for r in results],
+                [r.peak_resident_bytes for r in results],
+                [r.documents_scored for r in results],
+                (elapsed.wall_ms, elapsed.user_ms, elapsed.system_io_ms),
+            )
     finally:
         _fastpath.set_enabled(previous)
-    return timings
+    return run
 
 
 def _identical(ref: RunMetrics, fast: RunMetrics) -> Dict[str, bool]:
@@ -114,11 +175,44 @@ def _identical(ref: RunMetrics, fast: RunMetrics) -> Dict[str, bool]:
     }
 
 
+def _daat_identical(ref_obs: Tuple, fast_obs: Tuple) -> Dict[str, bool]:
+    ref_rank, ref_peak, ref_scored, ref_clock = ref_obs
+    fast_rank, fast_peak, fast_scored, fast_clock = fast_obs
+    return {
+        "rankings": ref_rank == fast_rank,
+        "observables": ref_peak == fast_peak and ref_scored == fast_scored,
+        "simulated_clock": ref_clock == fast_clock,
+    }
+
+
 def _speedup(reference_s: float, fast_s: float) -> float:
     return reference_s / fast_s if fast_s > 0 else 0.0
 
 
-def bench_profile(profile_name: str, config_name: str = DEFAULT_CONFIG) -> dict:
+def _spread(samples: List[float]) -> float:
+    """Relative run-to-run spread: (max - min) / median."""
+    med = statistics.median(samples)
+    if med <= 0:
+        return 0.0
+    return (max(samples) - min(samples)) / med
+
+
+def _phase_row(ref_times: List[float], fast_times: List[float]) -> dict:
+    ref_med = statistics.median(ref_times)
+    fast_med = statistics.median(fast_times)
+    return {
+        "reference_s": round(ref_med, 4),
+        "fastpath_s": round(fast_med, 4),
+        "speedup": round(_speedup(ref_med, fast_med), 2),
+        "noise": round(max(_spread(ref_times), _spread(fast_times)), 3),
+    }
+
+
+def bench_profile(
+    profile_name: str,
+    config_name: str = DEFAULT_CONFIG,
+    repeats: int = DEFAULT_REPEATS,
+) -> dict:
     """Benchmark one collection profile, both paths, all query sets."""
     profile = PROFILES[profile_name]
     collection = SyntheticCollection(profile)
@@ -128,35 +222,46 @@ def bench_profile(profile_name: str, config_name: str = DEFAULT_CONFIG) -> dict:
         for query_profile in _query_profiles(profile_name)
     ]
 
-    reference = _run_path(collection, query_sets, config_name, fast=False)
-    fast = _run_path(collection, query_sets, config_name, fast=True)
+    reference = [
+        _run_path(collection, query_sets, config_name, fast=False)
+        for _ in range(repeats)
+    ]
+    fast = [
+        _run_path(collection, query_sets, config_name, fast=True)
+        for _ in range(repeats)
+    ]
 
-    sets = {}
+    phases: Dict[str, dict] = {}
     invariant = True
-    for query_set in query_sets:
-        name = query_set.name
-        checks = _identical(reference.metrics[name], fast.metrics[name])
-        invariant = invariant and all(checks.values())
-        sets[name] = {
-            "queries": len(query_set.queries),
-            "reference_s": round(reference.query_s[name], 4),
-            "fastpath_s": round(fast.query_s[name], 4),
-            "speedup": round(_speedup(reference.query_s[name], fast.query_s[name]), 2),
-            "identical": checks,
-        }
+    for phase in reference[0].phase_s:
+        row = _phase_row(
+            [run.phase_s[phase] for run in reference],
+            [run.phase_s[phase] for run in fast],
+        )
+        if phase.startswith("query:"):
+            set_name = phase.split(":", 1)[1]
+            checks = _identical(
+                reference[0].metrics[set_name], fast[0].metrics[set_name]
+            )
+            row["queries"] = reference[0].metrics[set_name].queries
+            row["identical"] = checks
+            invariant = invariant and all(checks.values())
+        elif phase.startswith("daat:"):
+            set_name = phase.split(":", 1)[1]
+            checks = _daat_identical(
+                reference[0].daat_obs[set_name], fast[0].daat_obs[set_name]
+            )
+            row["queries"] = len(reference[0].daat_obs[set_name][0])
+            row["identical"] = checks
+            invariant = invariant and all(checks.values())
+        phases[phase] = row
+
+    ref_total = [run.end_to_end_s for run in reference]
+    fast_total = [run.end_to_end_s for run in fast]
     return {
         "config": config_name,
-        "build": {
-            "reference_s": round(reference.build_s, 4),
-            "fastpath_s": round(fast.build_s, 4),
-            "speedup": round(_speedup(reference.build_s, fast.build_s), 2),
-        },
-        "query_sets": sets,
-        "end_to_end": {
-            "reference_s": round(reference.end_to_end_s, 4),
-            "fastpath_s": round(fast.end_to_end_s, 4),
-            "speedup": round(_speedup(reference.end_to_end_s, fast.end_to_end_s), 2),
-        },
+        "phases": phases,
+        "end_to_end": _phase_row(ref_total, fast_total),
         "invariant": invariant,
     }
 
@@ -168,62 +273,164 @@ def _query_profiles(profile_name: str):
 
 
 def run_benchmark(
-    profiles: List[str] = list(DEFAULT_PROFILES),
+    profiles: Optional[List[str]] = None,
     config_name: str = DEFAULT_CONFIG,
     out_path: Optional[Path] = None,
+    repeats: int = DEFAULT_REPEATS,
 ) -> dict:
     """Benchmark every requested profile and write the JSON report."""
     report = {
         "benchmark": "wallclock",
         "description": (
-            "Real seconds for index build and query evaluation, "
-            "pure-Python reference vs. vectorized fast path.  The two "
-            "paths are asserted observationally identical (rankings, "
-            "simulated clock, I/A/B, buffer hits)."
+            "Real seconds for index build, term-at-a-time and "
+            "document-at-a-time query evaluation, pure-Python reference "
+            "vs. vectorized fast path.  Medians over repeated runs with "
+            "a run-to-run noise bound; the two paths are asserted "
+            "observationally identical (rankings, simulated clock, "
+            "I/A/B, buffer hits)."
         ),
         "numpy": _fastpath.HAVE_NUMPY,
+        "repeats": repeats,
         "profiles": {},
     }
-    for profile_name in profiles:
-        report["profiles"][profile_name] = bench_profile(profile_name, config_name)
+    for profile_name in profiles or list(DEFAULT_PROFILES):
+        report["profiles"][profile_name] = bench_profile(
+            profile_name, config_name, repeats=repeats
+        )
     if out_path is not None:
         out_path.write_text(json.dumps(report, indent=2) + "\n")
     return report
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict,
+    min_band: float = DEFAULT_MIN_BAND,
+    noise_factor: float = DEFAULT_NOISE_FACTOR,
+) -> List[str]:
+    """Regressions of ``current`` against ``baseline`` (empty = pass).
+
+    A phase regresses when its fast-path speedup falls below the
+    baseline speedup by more than the noise band — ``max(min_band,
+    noise_factor * (baseline noise + current noise))``, as a fraction.
+    Any invariance violation or missing profile/phase is a failure
+    outright.
+    """
+    failures: List[str] = []
+    for profile_name, base_cell in baseline.get("profiles", {}).items():
+        cell = current.get("profiles", {}).get(profile_name)
+        if cell is None:
+            failures.append(f"{profile_name}: missing from the current run")
+            continue
+        if not cell.get("invariant", False):
+            failures.append(
+                f"{profile_name}: fast path diverged from the reference"
+            )
+        for phase_name, base_row in base_cell.get("phases", {}).items():
+            row = cell.get("phases", {}).get(phase_name)
+            if row is None:
+                failures.append(f"{profile_name}/{phase_name}: phase missing")
+                continue
+            identical = row.get("identical")
+            if identical is not None and not all(identical.values()):
+                broken = [k for k, ok in identical.items() if not ok]
+                failures.append(
+                    f"{profile_name}/{phase_name}: not identical ({', '.join(broken)})"
+                )
+            band = max(
+                min_band,
+                noise_factor
+                * (base_row.get("noise", 0.0) + row.get("noise", 0.0)),
+            )
+            floor = base_row["speedup"] / (1.0 + band)
+            if base_row["speedup"] > 0 and row["speedup"] < floor:
+                failures.append(
+                    f"{profile_name}/{phase_name}: speedup {row['speedup']:.2f}x "
+                    f"fell below {floor:.2f}x "
+                    f"(baseline {base_row['speedup']:.2f}x, band {band:.2f})"
+                )
+    return failures
+
+
+def _print_report(report: dict) -> None:
+    for name, cell in report["profiles"].items():
+        total = cell["end_to_end"]
+        print(f"{name} ({cell['config']}):")
+        for phase_name, row in cell["phases"].items():
+            ok = ""
+            if "identical" in row:
+                ok = (
+                    ", identical"
+                    if all(row["identical"].values())
+                    else ", MISMATCH"
+                )
+            print(
+                f"  {phase_name:<16}{row['reference_s']:8.3f}s -> "
+                f"{row['fastpath_s']:8.3f}s  ({row['speedup']:.2f}x"
+                f"{ok}, noise {row['noise']:.3f})"
+            )
+        print(
+            f"  {'total':<16}{total['reference_s']:8.3f}s -> "
+            f"{total['fastpath_s']:8.3f}s  ({total['speedup']:.2f}x)"
+        )
+        if not cell["invariant"]:
+            print("  INVARIANCE VIOLATION — fast path diverged from reference")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--profile", action="append", dest="profiles", choices=PROFILE_ORDER,
-        help="collection profile to benchmark (repeatable; default legal-s)",
+        help="collection profile to benchmark (repeatable; default: all four)",
     )
     parser.add_argument("--config", default=DEFAULT_CONFIG)
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_wallclock.json"),
-        help="output JSON path (default ./BENCH_wallclock.json)",
+        "--repeats", type=int, default=DEFAULT_REPEATS,
+        help="timing repetitions per path (median reported)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output JSON path (default ./BENCH_wallclock.json; "
+        "not written in --check mode unless given explicitly)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline instead of writing it; "
+        "exit non-zero on out-of-band regression",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=Path("BENCH_wallclock.json"),
+        help="baseline JSON to gate against (with --check)",
+    )
+    parser.add_argument(
+        "--min-band", type=float, default=DEFAULT_MIN_BAND,
+        help="minimum allowed fractional speedup drop (with --check)",
     )
     args = parser.parse_args(argv)
     profiles = args.profiles or list(DEFAULT_PROFILES)
-    report = run_benchmark(profiles, args.config, args.out)
-    for name, cell in report["profiles"].items():
-        build, total = cell["build"], cell["end_to_end"]
-        print(f"{name} ({cell['config']}):")
-        print(
-            f"  build   {build['reference_s']:8.3f}s -> "
-            f"{build['fastpath_s']:8.3f}s  ({build['speedup']:.2f}x)"
-        )
-        for set_name, row in cell["query_sets"].items():
-            ok = "identical" if all(row["identical"].values()) else "MISMATCH"
-            print(
-                f"  {set_name:<8}{row['reference_s']:8.3f}s -> "
-                f"{row['fastpath_s']:8.3f}s  ({row['speedup']:.2f}x, {ok})"
-            )
-        print(
-            f"  total   {total['reference_s']:8.3f}s -> "
-            f"{total['fastpath_s']:8.3f}s  ({total['speedup']:.2f}x)"
-        )
+
+    if args.check:
+        try:
+            baseline = json.loads(args.baseline.read_text())
+        except FileNotFoundError:
+            print(f"no baseline at {args.baseline}; run without --check first")
+            return 2
+        report = run_benchmark(profiles, args.config, args.out, args.repeats)
+        _print_report(report)
+        failures = compare_reports(report, baseline, min_band=args.min_band)
+        if failures:
+            print("\nREGRESSION GATE FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\nregression gate passed (all phases within the noise band)")
+        return 0
+
+    out_path = args.out if args.out is not None else Path("BENCH_wallclock.json")
+    report = run_benchmark(profiles, args.config, out_path, args.repeats)
+    _print_report(report)
+    for cell in report["profiles"].values():
         if not cell["invariant"]:
-            print("  INVARIANCE VIOLATION — fast path diverged from reference")
             return 1
     return 0
 

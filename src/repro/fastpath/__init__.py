@@ -16,6 +16,8 @@ Layout:
 * :mod:`~repro.fastpath.beliefs` — array belief tables + operator kernels;
 * :mod:`~repro.fastpath.topk`    — O(n log k) ranking selection;
 * :mod:`~repro.fastpath.network` — the vectorized inference network;
+* :mod:`~repro.fastpath.daat`    — windowed document-at-a-time scoring;
+* :mod:`~repro.fastpath.windows` — proximity/snippet position-window kernels;
 * :mod:`~repro.fastpath.build`   — whole-collection bulk record encoding.
 """
 

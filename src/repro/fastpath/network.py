@@ -7,9 +7,11 @@ per-document dict arithmetic for the array kernels in
 accesses, and simulated-clock charges are identical to the reference
 network; only the real CPU time changes.
 
-Proximity and synonym operators keep the reference implementation
-(their position-merge logic is not a hot spot); their dict tables mix
-with array tables transparently inside the combination kernels.
+Proximity operators (``#phrase``/``#odN``/``#uwN``) run the vectorized
+window matching in :mod:`repro.fastpath.windows`; synonym groups keep
+the reference implementation (their position union is not a hot spot).
+Reference dict tables mix with array tables transparently inside the
+combination kernels.
 """
 
 from typing import List, Optional
@@ -90,6 +92,41 @@ class FastInferenceNetwork(InferenceNetwork):
         )
         provider.charge_combine(len(scores))
         return scores, DEFAULT_BELIEF
+
+    # -- proximity operators ----------------------------------------------------
+
+    def _proximity(self, node: OpNode, ordered: bool, window: int) -> Table:
+        """Vectorized window matching; reference-identical virtual term.
+
+        Storage accesses and simulated charges replicate the reference
+        order exactly: children fetched left to right with an early
+        return on the first missing term, then one combine charge for
+        the merged document frequencies, then the virtual term's
+        belief charge.
+        """
+        provider = self._provider
+        if not hasattr(provider, "postings_arrays"):
+            return super()._proximity(node, ordered, window)
+        term_arrays = []
+        for child in node.children:
+            arrays = provider.postings_arrays(child.term)
+            if arrays is None or arrays.df == 0:
+                return {}, DEFAULT_BELIEF  # a missing word kills the phrase
+            term_arrays.append(arrays)
+        from .codec import RecordArrays
+        from .windows import match_counts_for_docs
+
+        common = term_arrays[0].doc_ids
+        for arrays in term_arrays[1:]:
+            common = common[np.isin(common, arrays.doc_ids, assume_unique=True)]
+        counts = match_counts_for_docs(term_arrays, common, ordered, window)
+        matched = counts > 0
+        provider.charge_combine(sum(arrays.df for arrays in term_arrays))
+        if not matched.any():
+            return {}, DEFAULT_BELIEF
+        empty = np.empty(0, dtype=np.int64)
+        virtual = RecordArrays(common[matched], counts[matched], empty, empty)
+        return self._beliefs_from_arrays(virtual)
 
     # -- combination operators -------------------------------------------------
 

@@ -1,0 +1,178 @@
+"""Vectorized position-window matching for proximity operators.
+
+The reference implementations — ``_match_count`` in
+:mod:`repro.inquery.network` (the ``#phrase``/``#odN``/``#uwN``
+position merge) and ``best_window`` in :mod:`repro.inquery.matches`
+(the snippet window scan) — walk Python position lists element by
+element.  These kernels compute the identical results with bulk numpy
+operations: same match counts (duplicate positions and window size 1
+included), same best-window tuple (first-maximum tie-breaking
+included).
+"""
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _as_array(positions: Sequence[int]) -> np.ndarray:
+    return np.asarray(positions, dtype=np.int64)
+
+
+def match_count(
+    position_lists: Sequence[Sequence[int]], ordered: bool, window: int
+) -> int:
+    """Co-occurrence matches of several terms within one document.
+
+    Bit-for-bit the reference
+    :func:`repro.inquery.network._match_count` — including its
+    ``set()`` deduplication on the phrase branch and duplicate counting
+    on the ordered/unordered branches.
+    """
+    lists = [_as_array(positions) for positions in position_lists]
+    if any(a.size == 0 for a in lists):
+        return 0
+    if ordered and window <= 1:
+        # Exact phrase: strictly adjacent positions, in order.  The
+        # reference iterates sorted(set(first)) — deduplicate.
+        first = np.unique(lists[0])
+        ok = np.ones(first.size, dtype=bool)
+        for offset, positions in enumerate(lists[1:]):
+            ok &= np.isin(first + (offset + 1), positions)
+        return int(np.count_nonzero(ok))
+    if ordered:
+        # Ordered window (#odN): increasing positions, each gap <=
+        # window.  Every occurrence of the first term (duplicates
+        # included) starts one candidate chain.
+        current = np.sort(lists[0])
+        ok = np.ones(current.size, dtype=bool)
+        for positions in lists[1:]:
+            rest = np.sort(positions)
+            # First element strictly after `current`...
+            nxt = np.searchsorted(rest, current, side="right")
+            has = nxt < rest.size
+            candidate = rest[np.minimum(nxt, rest.size - 1)]
+            # ...must fall within the window.  Failed lanes keep a
+            # stale `current`; their ok bit is already False.
+            ok &= has & (candidate <= current + window)
+            current = candidate
+        return int(np.count_nonzero(ok))
+    # Unordered (#uwN): an occurrence of the first term counts if every
+    # other term has some position within `window` of it.
+    anchors = lists[0]
+    ok = np.ones(anchors.size, dtype=bool)
+    for positions in lists[1:]:
+        rest = np.sort(positions)
+        right = np.searchsorted(rest, anchors, side="left")
+        near = np.zeros(anchors.size, dtype=bool)
+        has_right = right < rest.size
+        near[has_right] = (
+            rest[right[has_right]] - anchors[has_right] <= window
+        )
+        has_left = right > 0
+        near[has_left] |= (
+            anchors[has_left] - rest[right[has_left] - 1] <= window
+        )
+        ok &= near
+    return int(np.count_nonzero(ok))
+
+
+def match_counts_for_docs(
+    term_arrays: Sequence, common: np.ndarray, ordered: bool, window: int
+) -> np.ndarray:
+    """Per-document match counts over the terms' common documents.
+
+    ``term_arrays`` are :class:`~repro.fastpath.codec.RecordArrays`;
+    ``common`` the sorted intersection of their document ids.
+    """
+    starts = []
+    ends = []
+    for arrays in term_arrays:
+        idx = np.searchsorted(arrays.doc_ids, common)
+        start = arrays.pos_starts[idx]
+        starts.append(start)
+        ends.append(start + arrays.tf[idx])
+    counts = np.empty(common.size, dtype=np.int64)
+    for i in range(common.size):
+        lists = [
+            arrays.positions[starts[t][i]:ends[t][i]]
+            for t, arrays in enumerate(term_arrays)
+        ]
+        counts[i] = match_count(lists, ordered=ordered, window=window)
+    return counts
+
+
+def record_positions_for_doc(record: bytes, doc_id: int) -> Optional[Tuple[int, ...]]:
+    """One document's positions from an encoded record, or ``None``.
+
+    The array analogue of ``dict(decode_record(record)).get(doc_id)``
+    — it decodes columnar and slices one document instead of
+    materializing every posting tuple.
+    """
+    from .codec import decode_record_arrays
+
+    arrays = decode_record_arrays(record)
+    idx = int(np.searchsorted(arrays.doc_ids, doc_id))
+    if idx >= arrays.df or int(arrays.doc_ids[idx]) != doc_id:
+        return None
+    start = int(arrays.pos_starts[idx])
+    return tuple(arrays.positions[start:start + int(arrays.tf[idx])].tolist())
+
+
+def best_window(
+    by_term: Dict[str, Sequence[int]], window: int
+) -> Tuple[int, int, int]:
+    """The ``window``-token span covering the most distinct terms.
+
+    Identical to the reference sliding scan in
+    :mod:`repro.inquery.matches` — events ordered by ``(position,
+    term)``, the *first* window reaching the maximum distinct count
+    wins, and no matches yield ``(0, window, 0)``.
+    """
+    terms = sorted(by_term)
+    sizes = [len(by_term[term]) for term in terms]
+    total = sum(sizes)
+    if total == 0:
+        return 0, window, 0
+    positions = np.empty(total, dtype=np.int64)
+    term_ids = np.empty(total, dtype=np.int64)
+    offset = 0
+    for term_id, term in enumerate(terms):
+        chunk = _as_array(by_term[term])
+        positions[offset:offset + chunk.size] = chunk
+        term_ids[offset:offset + chunk.size] = term_id
+        offset += chunk.size
+    # Event order (position, term): term ids follow the terms' sort
+    # order, so this lexsort reproduces the reference tuple sort.
+    order = np.lexsort((term_ids, positions))
+    positions = positions[order]
+    term_ids = term_ids[order]
+    n = total
+
+    # Left edge of the window ending at each event.
+    left = np.searchsorted(positions, positions - window + 1, side="left")
+    # prev[i]: index of the previous event with the same term (-1 if none).
+    prev = np.full(n, -1, dtype=np.int64)
+    for term_id in range(len(terms)):
+        idx = np.nonzero(term_ids == term_id)[0]
+        prev[idx[1:]] = idx[:-1]
+    # Event i is a repeat inside the window ending at r exactly when
+    # l_r <= prev[i] and i <= r; since left is non-decreasing that is
+    # the index range [i, first r with l_r > prev[i]).
+    repeat_until = np.searchsorted(left, prev, side="right")
+    has_prev = prev >= 0
+    event_idx = np.arange(n)
+    active = has_prev & (repeat_until > event_idx)
+    delta = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(delta, event_idx[active], 1)
+    np.add.at(delta, repeat_until[active], -1)
+    repeats = np.cumsum(delta[:n])
+    distinct = event_idx - left + 1 - repeats
+
+    best = int(distinct.max())
+    if best <= 1:
+        start = int(positions[0])
+        return start, start + window, 1
+    r = int(np.argmax(distinct))  # first window reaching the maximum
+    start = int(positions[left[r]])
+    return start, start + window, best

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import QueryError
+from ..fastpath import state as _fastpath
 from ..simdisk import SimClock
 from .engine import QueryResult
 from .indexer import CollectionIndex
@@ -77,11 +78,16 @@ class DocumentAtATimeEngine:
         clock: Optional[SimClock] = None,
         top_k: int = 50,
         use_reservation: bool = True,
+        use_fastpath: Optional[bool] = None,
     ):
         self.index = index
         self.clock = clock if clock is not None else index.fs.disk.clock
         self.top_k = top_k
         self.use_reservation = use_reservation
+        # Same semantics as the term-at-a-time engine: the global
+        # toggle (REPRO_FASTPATH=0 / use_fastpath(False)) is a
+        # kill-switch overriding per-engine opt-in.
+        self.use_fastpath = (use_fastpath is not False) and _fastpath.enabled()
 
     def run_query(self, text: str) -> DAATResult:
         tree = parse_query(text)
@@ -120,6 +126,14 @@ class DocumentAtATimeEngine:
             # network's expressions (order of operations included), so
             # rankings are bit-identical across the two engines.
             weighted = isinstance(tree, OpNode) and tree.op == "wsum"
+            if self.use_fastpath and streams:
+                from ..fastpath.daat import score_streams
+
+                scores, peak_resident, scored = score_streams(
+                    streams, len(weights), weights, total_weight, weighted,
+                    idf, self.index.doctable, avg_len, self.clock,
+                )
+                return self._finish(text, scores, lookups, peak_resident, scored)
             scores: Dict[int, float] = {}
             peak_resident = 0
             scored = 0
@@ -151,12 +165,27 @@ class DocumentAtATimeEngine:
                 self.clock.charge_user(cost.cpu_ms_per_posting * (len(evidence) + 1))
         finally:
             self.index.store.release_reservations()
+        return self._finish(text, scores, lookups, peak_resident, scored)
 
-        self.clock.charge_user(cost.cpu_ms_per_posting * len(scores))
-        # O(n log k) selection; identical ranking to the full sort.
-        ranking = heapq.nsmallest(
-            self.top_k, scores.items(), key=lambda item: (-item[1], item[0])
-        )
+    def _finish(
+        self, text: str, scores, lookups: int, peak_resident: int, scored: int
+    ) -> DAATResult:
+        """Charge the ranking pass and select the top k.
+
+        ``scores`` is a dict on the reference path and an
+        :class:`~repro.fastpath.beliefs.ArrayBeliefs` on the fast path;
+        both selections produce the identical ranked list.
+        """
+        self.clock.charge_user(self.clock.cost.cpu_ms_per_posting * len(scores))
+        if isinstance(scores, dict):
+            # O(n log k) selection; identical ranking to the full sort.
+            ranking = heapq.nsmallest(
+                self.top_k, scores.items(), key=lambda item: (-item[1], item[0])
+            )
+        else:
+            from ..fastpath.topk import rank_arrays
+
+            ranking = rank_arrays(scores, self.top_k)
         return DAATResult(
             query=text,
             ranking=ranking,

@@ -118,26 +118,11 @@ class _FastIndexProvider(_IndexProvider):
         return arrays
 
     def doc_length_array(self, doc_ids):
-        import numpy as np
-
         if self._doc_length_lut is None:
-            lengths = self._index.doctable.lengths
-            max_id = max(lengths) if lengths else 0
-            if max_id <= 2 * len(lengths) + 1024:
-                lut = np.zeros(max_id + 1, dtype=np.int64)
-                for doc_id, length in lengths.items():
-                    lut[doc_id] = length
-                self._doc_length_lut = lut
-            else:  # pathologically sparse ids: per-doc dict lookups
-                self._doc_length_lut = False
-        if self._doc_length_lut is False:
-            lengths = self._index.doctable.lengths
-            return np.fromiter(
-                (lengths[int(d)] for d in doc_ids),
-                dtype=np.int64,
-                count=doc_ids.size,
-            )
-        return self._doc_length_lut[doc_ids]
+            from ..fastpath.daat import doc_length_lookup
+
+            self._doc_length_lut = doc_length_lookup(self._index.doctable)
+        return self._doc_length_lut(doc_ids)
 
 
 class RetrievalEngine:

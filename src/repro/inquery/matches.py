@@ -9,6 +9,7 @@ document, without touching any other storage.
 
 from typing import Dict, List, Tuple
 
+from ..fastpath import state as _fastpath
 from .indexer import CollectionIndex
 from .postings import decode_record
 from .query import parse_query, query_terms
@@ -22,16 +23,29 @@ def term_match_positions(
     Returns a mapping from the (stemmed) term to its positions; terms
     not present in the document (or collection) are omitted.  Repeated
     query terms are looked up once.
+
+    With the fast path enabled the record is decoded columnar and one
+    document sliced out instead of materializing every posting tuple;
+    the storage accesses and the returned mapping are identical.
     """
     tree = parse_query(query_text)
     positions: Dict[str, Tuple[int, ...]] = {}
     seen = set()
+    fast = _fastpath.enabled()
     for raw_term in query_terms(tree):
         entry = index.term_entry(raw_term)
         if entry is None or entry.storage_key == 0 or entry.term in seen:
             continue
         seen.add(entry.term)
-        postings = dict(decode_record(index.store.fetch(entry.storage_key)))
+        record = index.store.fetch(entry.storage_key)
+        if fast:
+            from ..fastpath.windows import record_positions_for_doc
+
+            doc_positions = record_positions_for_doc(record, doc_id)
+            if doc_positions is not None:
+                positions[entry.term] = doc_positions
+            continue
+        postings = dict(decode_record(record))
         if doc_id in postings:
             positions[entry.term] = postings[doc_id]
     return positions
@@ -47,6 +61,10 @@ def best_window(
     ``(0, window, 0)``.
     """
     by_term = term_match_positions(index, query_text, doc_id)
+    if _fastpath.enabled():
+        from ..fastpath.windows import best_window as best_window_fast
+
+        return best_window_fast(by_term, window)
     events: List[Tuple[int, str]] = sorted(
         (position, term)
         for term, positions in by_term.items()

@@ -36,7 +36,25 @@ class PostingStream:
         self.exhausted = False
 
     def _refill(self) -> Optional[List[Posting]]:
-        """Return the next batch of postings, or ``None`` at the end."""
+        """Return the next batch of postings, or ``None`` at the end.
+
+        The default decodes whatever :meth:`_refill_raw` supplies;
+        subclasses may override either method.
+        """
+        raw = self._refill_raw()
+        if raw is None:
+            return None
+        return decode_record(raw)
+
+    def _refill_raw(self) -> Optional[bytes]:
+        """Return the next undecoded record piece, or ``None`` at the end.
+
+        Implementations must update ``resident_bytes`` to reflect the
+        bytes held once the piece is loaded.  Exposing the raw bytes
+        (rather than only decoded postings) lets the fast-path
+        document-at-a-time scorer decode straight into columnar arrays
+        while reusing the exact refill (and therefore I/O) sequence.
+        """
         raise NotImplementedError
 
     def peek(self) -> Optional[Posting]:
@@ -80,12 +98,12 @@ class WholeRecordStream(PostingStream):
         self._record: Optional[bytes] = record
         self.resident_bytes = len(record)
 
-    def _refill(self) -> Optional[List[Posting]]:
+    def _refill_raw(self) -> Optional[bytes]:
         if self._record is None:
             return None
         record, self._record = self._record, None
         # The decoded postings stay resident until the stream ends.
-        return decode_record(record)
+        return record
 
 
 class ChunkedRecordStream(PostingStream):
@@ -95,12 +113,12 @@ class ChunkedRecordStream(PostingStream):
         super().__init__()
         self._chunks = iter(chunks)
 
-    def _refill(self) -> Optional[List[Posting]]:
+    def _refill_raw(self) -> Optional[bytes]:
         chunk = next(self._chunks, None)
         if chunk is None:
             return None
         self.resident_bytes = len(chunk)
-        return decode_record(chunk)
+        return chunk
 
 
 def merge_streams(

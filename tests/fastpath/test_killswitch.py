@@ -1,0 +1,148 @@
+"""The fast-path kill switch must be honored end to end.
+
+``REPRO_FASTPATH=0`` (read once at import) and the ``use_fastpath``
+context manager both have to route the document-at-a-time engine and
+the proximity operators through the pure-Python reference code — no
+fast kernel may run.  Verified by poisoning the kernel entry points and
+evaluating real queries.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.fastpath import state, use_fastpath
+from repro.inquery import (
+    Document,
+    DocumentAtATimeEngine,
+    IndexBuilder,
+    MnemeInvertedFile,
+    RetrievalEngine,
+)
+from repro.inquery.matches import best_window, term_match_positions
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+CORPUS = [
+    ["apple", "banana", "cherry", "apple", "date"],
+    ["banana", "cherry", "banana", "apple"],
+    ["cherry", "date", "apple", "banana", "cherry"],
+]
+
+
+def build():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=64)
+    store = MnemeInvertedFile(fs)
+    builder = IndexBuilder(fs, store, stem_fn=str)
+    for doc_id, tokens in enumerate(CORPUS, start=1):
+        builder.add_document(Document(doc_id, tokens=tokens))
+    return builder.finalize()
+
+
+def _poison(monkeypatch):
+    """Make every relevant fast kernel entry point explode if reached."""
+    import repro.fastpath.daat as fast_daat
+    import repro.fastpath.windows as fast_windows
+
+    def boom(*args, **kwargs):
+        raise AssertionError("fast kernel invoked with the fast path disabled")
+
+    monkeypatch.setattr(fast_daat, "score_streams", boom)
+    monkeypatch.setattr(fast_windows, "match_counts_for_docs", boom)
+    monkeypatch.setattr(fast_windows, "record_positions_for_doc", boom)
+    monkeypatch.setattr(fast_windows, "best_window", boom)
+
+
+def _run_everything():
+    """One pass through every fast-path dispatch point."""
+    index = build()
+    DocumentAtATimeEngine(index, top_k=10).run_query("#sum( apple banana )")
+    engine = RetrievalEngine(index, top_k=10)
+    engine.run_query("#phrase( apple banana )")
+    engine.run_query("#od3( apple cherry )")
+    engine.run_query("#uw5( banana date )")
+    term_match_positions(index, "#sum( apple banana )", 1)
+    best_window(index, "#sum( apple banana )", 1, window=3)
+
+
+def test_context_manager_disables_all_kernels(monkeypatch):
+    _poison(monkeypatch)
+    with use_fastpath(False):
+        _run_everything()  # must not touch any poisoned kernel
+
+
+def test_explicit_engine_flag_overrides_global(monkeypatch):
+    import repro.fastpath.daat as fast_daat
+
+    def boom(*args, **kwargs):
+        raise AssertionError("fast kernel invoked despite use_fastpath=False")
+
+    monkeypatch.setattr(fast_daat, "score_streams", boom)
+    with use_fastpath(True):
+        index = build()
+        engine = DocumentAtATimeEngine(index, top_k=10, use_fastpath=False)
+        engine.run_query("#sum( apple banana )")
+
+
+def test_kernels_actually_dispatch_when_enabled():
+    # Sanity check on the poison points themselves: with the fast path
+    # on, the kernels must be reached — otherwise the kill-switch tests
+    # above would pass vacuously.
+    if not state.HAVE_NUMPY:
+        pytest.skip("numpy unavailable")
+    calls = []
+    import repro.fastpath.daat as fast_daat
+
+    original = fast_daat.score_streams
+
+    def spy(*args, **kwargs):
+        calls.append(True)
+        return original(*args, **kwargs)
+
+    fast_daat.score_streams = spy
+    try:
+        with use_fastpath(True):
+            index = build()
+            DocumentAtATimeEngine(index, top_k=10).run_query("#sum( apple )")
+    finally:
+        fast_daat.score_streams = original
+    assert calls
+
+
+def test_env_kill_switch_end_to_end():
+    # REPRO_FASTPATH is read at import time, so the check needs a fresh
+    # interpreter: with the variable set, the toggle must come up off
+    # and the reference path must evaluate everything.
+    program = (
+        "import sys\n"
+        "from repro.fastpath import state\n"
+        "assert not state.enabled(), 'REPRO_FASTPATH=0 ignored'\n"
+        "import repro.fastpath.daat as fd\n"
+        "import repro.fastpath.windows as fw\n"
+        "def boom(*a, **k):\n"
+        "    raise AssertionError('fast kernel invoked under REPRO_FASTPATH=0')\n"
+        "fd.score_streams = boom\n"
+        "fw.match_counts_for_docs = boom\n"
+        "fw.record_positions_for_doc = boom\n"
+        "fw.best_window = boom\n"
+        "from test_killswitch import _run_everything\n"
+        "_run_everything()\n"
+        "print('reference path OK')\n"
+    )
+    env = dict(os.environ, REPRO_FASTPATH="0")
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    here = os.path.dirname(__file__)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.abspath(src), here, env.get("PYTHONPATH", "")]
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", program],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "reference path OK" in proc.stdout
