@@ -410,10 +410,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     profiles = args.profiles or list(DEFAULT_PROFILES)
 
     if args.check:
+        # Fail fast with a one-line diagnosis — a missing or mangled
+        # baseline is an operator error, not a traceback-worthy crash.
         try:
             baseline = json.loads(args.baseline.read_text())
         except FileNotFoundError:
             print(f"no baseline at {args.baseline}; run without --check first")
+            return 2
+        except OSError as error:
+            print(f"cannot read baseline {args.baseline}: {error.strerror or error}")
+            return 2
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            print(
+                f"baseline {args.baseline} is not valid JSON ({error}); "
+                "regenerate it by running without --check"
+            )
+            return 2
+        if not isinstance(baseline, dict) or "profiles" not in baseline:
+            print(
+                f"baseline {args.baseline} is not a wallclock report "
+                "(no 'profiles' key); regenerate it by running without --check"
+            )
             return 2
         report = run_benchmark(profiles, args.config, args.out, args.repeats)
         _print_report(report)

@@ -12,7 +12,8 @@ self-contained and deterministic):
 * ``report``   — everything above in one text report;
 * ``informetrics`` — Zipf/Heaps profile + pool-partition audit;
 * ``evaluate`` — recall/precision of a query set against synthetic judgments;
-* ``validate`` — integrity-check a freshly built system.
+* ``validate`` — integrity-check a freshly built system;
+* ``chaos``    — fault-tolerant serving under seeded fault injection.
 """
 
 import argparse
@@ -108,6 +109,17 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--profile", default="cacm-s", choices=sorted(PROFILES))
     validate.add_argument("--config", default="mneme-cache", choices=ALL_CONFIGS)
     validate.add_argument("--sample-every", type=int, default=1)
+
+    chaos = commands.add_parser(
+        "chaos", help="fault-tolerant query serving under seeded fault injection"
+    )
+    chaos.add_argument("--profile", action="append", dest="profiles",
+                       help="collection profile (repeatable; default: all four)")
+    chaos.add_argument("--config", default="mneme-linked")
+    chaos.add_argument("--seed", type=int, default=1337)
+    chaos.add_argument("--sweep", type=int, default=1,
+                       help="consecutive seeds to test per profile")
+    chaos.add_argument("--out", default=None, help="write the JSON report here")
 
     return parser
 
@@ -349,6 +361,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_evaluate(args)
     if args.command == "validate":
         return cmd_validate(args)
+    if args.command == "chaos":
+        from pathlib import Path
+
+        from .bench.chaos import main as chaos_main
+
+        argv2 = []
+        for profile in args.profiles or []:
+            argv2 += ["--profile", profile]
+        argv2 += ["--config", args.config, "--seed", str(args.seed),
+                  "--sweep", str(args.sweep)]
+        if args.out:
+            argv2 += ["--out", str(Path(args.out))]
+        return chaos_main(argv2)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

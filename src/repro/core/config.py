@@ -47,6 +47,10 @@ class SystemConfig:
     #: Evaluate on the vectorized kernels (:mod:`repro.fastpath`).
     #: Bit-identical results and simulated charges; real time only.
     use_fastpath: bool = True
+    #: Attach a redo log (write-ahead log) to the Mneme file.  Enables
+    #: crash recovery and checksum read-repair; costs extra writes
+    #: during the (untimed) build.  Mneme backends only.
+    use_wal: bool = False
     cost: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self):
@@ -54,6 +58,8 @@ class SystemConfig:
             raise ConfigError(f"unknown backend {self.backend!r}")
         if self.backend == "btree" and self.cached:
             raise ConfigError("the B-tree version has no record cache")
+        if self.backend == "btree" and self.use_wal:
+            raise ConfigError("the B-tree version has no redo log")
 
 
 def config_by_name(name: str, **overrides) -> SystemConfig:

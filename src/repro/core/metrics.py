@@ -42,6 +42,10 @@ class RunMetrics:
     bytes_from_file: int
     buffer_stats: Dict[str, BufferStats] = field(default_factory=dict)
     results: List[QueryResult] = field(default_factory=list)
+    #: Queries that completed with at least one unreadable term skipped.
+    degraded_queries: int = 0
+    #: Stored-term reads that stayed unreadable, summed over the run.
+    terms_failed: int = 0
 
     @property
     def accesses_per_lookup(self) -> float:
@@ -118,6 +122,8 @@ def measure_run(
         bytes_from_file=bytes_read,
         buffer_stats=buffer_stats,
         results=results if keep_results else [],
+        degraded_queries=sum(1 for r in results if r.degraded),
+        terms_failed=sum(r.terms_failed for r in results),
     )
 
 

@@ -165,14 +165,28 @@ class IRSystem:
         return self.config.name
 
 
-def materialize(prepared: PreparedCollection, config: SystemConfig) -> IRSystem:
-    """Build one configuration's system on a fresh simulated machine."""
+def materialize(
+    prepared: PreparedCollection, config: SystemConfig, fault_plan=None
+) -> IRSystem:
+    """Build one configuration's system on a fresh simulated machine.
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) is attached
+    to the disk *before* the index build, so chaos harnesses can inject
+    torn writes or mid-build space exhaustion into the build itself.
+    """
     clock = SimClock(cost=config.cost)
     fs = SimFileSystem(
         SimDisk(clock),
         cache_blocks=config.fs_cache_blocks,
         readahead_blocks=config.readahead_blocks,
     )
+    if fault_plan is not None:
+        fs.disk.attach_fault_plan(fault_plan)
+    wal = None
+    if config.use_wal and config.backend != "btree":
+        from ..mneme import RedoLog
+
+        wal = RedoLog(fs.create("invfile.wal"))
     if config.backend == "btree":
         store = BTreeInvertedFile(fs)
     elif config.backend == "mneme-linked":
@@ -183,12 +197,14 @@ def materialize(prepared: PreparedCollection, config: SystemConfig) -> IRSystem:
             medium_segment_bytes=config.medium_segment_bytes,
             medium_max_bytes=config.medium_max_bytes,
             chunk_bytes=config.chunk_bytes,
+            wal=wal,
         )
     else:
         store = MnemeInvertedFile(
             fs,
             medium_segment_bytes=config.medium_segment_bytes,
             medium_max_bytes=config.medium_max_bytes,
+            wal=wal,
         )
     keys = store.bulk_build(iter(prepared.records))
     if config.backend.startswith("mneme") and config.cached:

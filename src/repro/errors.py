@@ -22,6 +22,19 @@ class BadBlockError(StorageError):
     """A block read failed verification (torn write / corruption)."""
 
 
+class ReadFailedError(BadBlockError):
+    """A read kept failing after bounded retries (and any repair attempt).
+
+    This is the storage layer's explicit "I give up" signal: engines may
+    catch it (and its :class:`BadBlockError` siblings) to degrade
+    gracefully instead of aborting a whole query batch.
+    """
+
+
+class ChecksumError(BadBlockError):
+    """Segment bytes failed checksum verification (silent corruption)."""
+
+
 class FileSystemError(StorageError):
     """Errors from the simulated file system layer."""
 
@@ -68,6 +81,27 @@ class BufferError_(MnemeError):
 
 class RecoveryError(MnemeError):
     """The redo log is unusable or inconsistent at restart."""
+
+
+class TransactionError(MnemeError):
+    """Base class for transaction failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction can no longer be used (conflict or explicit abort)."""
+
+
+class LockConflictError(TransactionAborted):
+    """A lock request conflicted; the requesting transaction was aborted."""
+
+    def __init__(self, oid: int, holder: int, requester: int):
+        super().__init__(
+            f"transaction {requester} aborted: object {oid} is locked by "
+            f"transaction {holder}"
+        )
+        self.oid = oid
+        self.holder = holder
+        self.requester = requester
 
 
 class IndexError_(ReproError):

@@ -1,0 +1,33 @@
+"""Deterministic fault injection for the simulated storage stack.
+
+The subsystem has three pieces:
+
+* :class:`FaultPlan` / :class:`FaultEvent` — a seeded schedule of disk
+  faults (transient read errors, at-rest bit flips, torn writes, latency
+  spikes, mid-build disk-full) attached to a
+  :class:`~repro.simdisk.disk.SimDisk`;
+* :class:`RetryPolicy` — the bounded-backoff retry the Mneme read path
+  applies before giving up, with every wait charged to the simulated
+  clock;
+* :mod:`repro.faults.state` — the ``REPRO_FAULTS`` kill switch that
+  disarms attached plans entirely.
+
+Degraded serving on top of these lives in the engines
+(:mod:`repro.inquery.engine`, :mod:`repro.inquery.daat`); the end-to-end
+chaos harness is :mod:`repro.bench.chaos`.
+"""
+
+from .plan import CHANNELS, FaultEvent, FaultPlan, FaultStats
+from .retry import RetryPolicy
+from .state import enabled, set_enabled, use_faults
+
+__all__ = [
+    "CHANNELS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultStats",
+    "RetryPolicy",
+    "enabled",
+    "set_enabled",
+    "use_faults",
+]

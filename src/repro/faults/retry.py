@@ -1,0 +1,40 @@
+"""Bounded retry-with-backoff policy for the Mneme read path.
+
+A transient fault (controller timeout, torn sector re-read) is retried a
+bounded number of times; every wait is charged to the *simulated* clock
+so degraded runs show up in the Table 3/4-style timings instead of
+silently costing nothing.  The policy object is immutable so one
+instance can be shared by every file of a store.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently a failed segment read is retried.
+
+    ``max_attempts`` counts the initial read: the default of 4 means one
+    read plus up to three retries.  The wait before retry ``n`` (1-based)
+    is ``backoff_ms * multiplier ** (n - 1)``, charged as I/O wait.
+    """
+
+    max_attempts: int = 4
+    backoff_ms: float = 2.0
+    multiplier: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_ms < 0 or self.multiplier <= 0:
+            raise ValueError("backoff_ms must be >= 0 and multiplier > 0")
+
+    def wait_before(self, retry: int) -> float:
+        """Simulated milliseconds to wait before 1-based retry ``retry``."""
+        if retry < 1:
+            raise ValueError("retries are numbered from 1")
+        return self.backoff_ms * self.multiplier ** (retry - 1)
+
+    @property
+    def max_retries(self) -> int:
+        return self.max_attempts - 1

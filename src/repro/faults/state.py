@@ -1,0 +1,49 @@
+"""Global fault-injection kill switch.
+
+Mirrors :mod:`repro.fastpath.state`: a tiny, dependency-free toggle so
+the disk layer can consult it without import cycles.  Unlike the fast
+path, fault injection defaults *on* only in the sense that an attached
+:class:`~repro.faults.plan.FaultPlan` is honoured; with no plan attached
+nothing in the stack changes.  ``REPRO_FAULTS=0`` (or ``off`` / ``false``
+/ ``no``) disarms every attached plan — hooks stop counting operations
+and never fire, so a run with the switch off is byte-identical to a run
+with no plan at all.
+"""
+
+import os
+from contextlib import contextmanager
+
+
+def _initial() -> bool:
+    env = os.environ.get("REPRO_FAULTS", "").strip().lower()
+    if env in ("0", "off", "false", "no"):
+        return False
+    return True
+
+
+#: Whether attached fault plans are honoured.  Mutate through
+#: :func:`set_enabled` / :func:`use_faults`.
+ENABLED = _initial()
+
+
+def enabled() -> bool:
+    """Is fault injection currently armed?"""
+    return ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Arm or disarm fault injection; returns the previous setting."""
+    global ENABLED
+    previous = ENABLED
+    ENABLED = bool(flag)
+    return previous
+
+
+@contextmanager
+def use_faults(flag: bool):
+    """Temporarily arm or disarm fault injection (tests, harnesses)."""
+    previous = set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

@@ -64,13 +64,20 @@ from .query import (
     query_terms,
 )
 from .stem import stem
-from .streams import ChunkedRecordStream, PostingStream, WholeRecordStream, merge_streams
+from .streams import (
+    ChunkedRecordStream,
+    FaultTolerantStream,
+    PostingStream,
+    WholeRecordStream,
+    merge_streams,
+)
 from .stopwords import DEFAULT_STOPWORDS, is_stopword
 from .text import tokenize
 
 __all__ = [
     "BTreeInvertedFile",
     "ChunkedRecordStream",
+    "FaultTolerantStream",
     "DAATResult",
     "DocumentAtATimeEngine",
     "LinkedMnemeInvertedFile",

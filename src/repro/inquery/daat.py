@@ -22,19 +22,27 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import QueryError
+from ..errors import BadBlockError, QueryError
 from ..fastpath import state as _fastpath
 from ..simdisk import SimClock
 from .engine import QueryResult
 from .indexer import CollectionIndex
 from .network import DEFAULT_BELIEF, inquery_idf
 from .query import OpNode, QueryNode, TermNode, count_nodes, parse_query
-from .streams import PostingStream, merge_streams
+from .streams import FaultTolerantStream, PostingStream, merge_streams
 
 
 @dataclass
 class DAATResult(QueryResult):
-    """A ranked result plus the stream-memory high-water mark."""
+    """A ranked result plus the stream-memory high-water mark.
+
+    Degraded-mode nuance for streamed evaluation: a chunked record that
+    fails *mid-stream* counts in ``terms_failed`` but its already-read
+    chunks did contribute evidence — the stream ends early rather than
+    un-scoring documents already finished.  A record unreadable at
+    stream creation contributes nothing, as in the term-at-a-time
+    engine.
+    """
 
     peak_resident_bytes: int = 0
     documents_scored: int = 0
@@ -109,12 +117,24 @@ class DocumentAtATimeEngine:
         streams: List[Tuple[int, PostingStream]] = []
         idf: Dict[int, float] = {}
         lookups = 0
+        attempted = 0
+        failed = [0]  # list so mid-stream failure callbacks can bump it
         try:
             for position, entry in enumerate(entries):
                 if entry is None or entry.df == 0 or entry.storage_key == 0:
                     continue
+                attempted += 1
+                try:
+                    inner = self.index.store.stream_postings(entry.storage_key)
+                except BadBlockError:
+                    # Whole-record streams read eagerly; an unreadable
+                    # record degrades to "term contributes no evidence".
+                    failed[0] += 1
+                    continue
                 streams.append(
-                    (position, self.index.store.stream_postings(entry.storage_key))
+                    (position, FaultTolerantStream(
+                        inner, lambda _error: failed.__setitem__(0, failed[0] + 1)
+                    ))
                 )
                 lookups += 1
                 idf[position] = inquery_idf(n_docs, entry.df)
@@ -133,7 +153,10 @@ class DocumentAtATimeEngine:
                     streams, len(weights), weights, total_weight, weighted,
                     idf, self.index.doctable, avg_len, self.clock,
                 )
-                return self._finish(text, scores, lookups, peak_resident, scored)
+                return self._finish(
+                    text, scores, lookups, peak_resident, scored,
+                    attempted, failed[0],
+                )
             scores: Dict[int, float] = {}
             peak_resident = 0
             scored = 0
@@ -165,10 +188,19 @@ class DocumentAtATimeEngine:
                 self.clock.charge_user(cost.cpu_ms_per_posting * (len(evidence) + 1))
         finally:
             self.index.store.release_reservations()
-        return self._finish(text, scores, lookups, peak_resident, scored)
+        return self._finish(
+            text, scores, lookups, peak_resident, scored, attempted, failed[0]
+        )
 
     def _finish(
-        self, text: str, scores, lookups: int, peak_resident: int, scored: int
+        self,
+        text: str,
+        scores,
+        lookups: int,
+        peak_resident: int,
+        scored: int,
+        attempted: int = 0,
+        failed: int = 0,
     ) -> DAATResult:
         """Charge the ranking pass and select the top k.
 
@@ -190,6 +222,9 @@ class DocumentAtATimeEngine:
             query=text,
             ranking=ranking,
             terms_looked_up=lookups,
+            degraded=failed > 0,
+            terms_attempted=attempted,
+            terms_failed=failed,
             peak_resident_bytes=peak_resident,
             documents_scored=scored,
         )

@@ -23,6 +23,7 @@ import heapq
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..errors import BadBlockError
 from ..fastpath import state as _fastpath
 from ..simdisk import SimClock
 from .indexer import CollectionIndex
@@ -33,14 +34,32 @@ from .query import QueryNode, count_nodes, parse_query, query_terms
 
 @dataclass
 class QueryResult:
-    """Ranked output of one query."""
+    """Ranked output of one query.
+
+    ``degraded`` means at least one term's inverted list stayed
+    unreadable after the store's bounded retries (and repair, where a
+    redo log was attached) and was evaluated as contributing no
+    evidence.  The ranking is still deterministic and correctly ordered
+    *for the evidence that was readable*; ``completeness`` quantifies
+    how much evidence that was.
+    """
 
     query: str
     ranking: List[Tuple[int, float]]  #: (doc id, belief), best first
     terms_looked_up: int = 0
+    degraded: bool = False
+    terms_attempted: int = 0  #: stored terms the evaluation tried to read
+    terms_failed: int = 0     #: stored terms skipped as unreadable
 
     def doc_ids(self) -> List[int]:
         return [doc for doc, _score in self.ranking]
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of attempted stored terms whose evidence was used."""
+        if not self.terms_attempted:
+            return 1.0
+        return 1.0 - self.terms_failed / self.terms_attempted
 
 
 class _IndexProvider(TermProvider):
@@ -51,6 +70,8 @@ class _IndexProvider(TermProvider):
         self._clock = clock
         self._reserve = reserve
         self.lookups = 0
+        self.attempts = 0   #: stored-term reads attempted
+        self.failures = 0   #: stored-term reads that stayed unreadable
 
     @property
     def doc_count(self) -> int:
@@ -64,11 +85,23 @@ class _IndexProvider(TermProvider):
         return self._index.doctable.length_of(doc_id)
 
     def _fetch(self, term: str) -> Optional[bytes]:
-        """Common storage access for both posting representations."""
+        """Common storage access for both posting representations.
+
+        An unreadable record (after the store's own retries and repair)
+        degrades to "no evidence for this term" instead of aborting the
+        query; the engine surfaces the failure count on the result.
+        Only :class:`~repro.errors.BadBlockError` and subclasses degrade
+        — anything else is a bug and propagates.
+        """
         entry = self._index.term_entry(term)
         if entry is None or entry.df == 0 or entry.storage_key == 0:
             return None
-        record = self._index.store.fetch(entry.storage_key)
+        self.attempts += 1
+        try:
+            record = self._index.store.fetch(entry.storage_key)
+        except BadBlockError:
+            self.failures += 1
+            return None
         self.lookups += 1
         cost = self._clock.cost
         self._clock.charge_user(cost.cpu_ms_per_kb_decode * (len(record) / 1024.0))
@@ -192,7 +225,14 @@ class RetrievalEngine:
             ranking = self._rank(scores)
         finally:
             self.index.store.release_reservations()
-        return QueryResult(query=text, ranking=ranking, terms_looked_up=provider.lookups)
+        return QueryResult(
+            query=text,
+            ranking=ranking,
+            terms_looked_up=provider.lookups,
+            degraded=provider.failures > 0,
+            terms_attempted=provider.attempts,
+            terms_failed=provider.failures,
+        )
 
     def run_batch(self, queries: List[str]) -> List[QueryResult]:
         """Process a query set in batch mode, as the paper's runs do."""

@@ -16,8 +16,9 @@ document-at-a-time memory benchmark measures.
 """
 
 import heapq
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
+from ..errors import BadBlockError
 from .postings import Posting, decode_record
 
 
@@ -119,6 +120,65 @@ class ChunkedRecordStream(PostingStream):
             return None
         self.resident_bytes = len(chunk)
         return chunk
+
+
+class FaultTolerantStream(PostingStream):
+    """Wraps a stream so storage faults end it early instead of raising.
+
+    The document-at-a-time engine reads linked records chunk by chunk;
+    a chunk that stays unreadable after the store's bounded retries
+    surfaces as :class:`~repro.errors.BadBlockError` *mid-query*.  This
+    wrapper converts that into a clean early end-of-stream, reports the
+    failure through ``on_failure``, and leaves every other stream (and
+    the documents already scored) intact — the degraded-serving
+    contract.
+
+    Both refill entry points are proxied: the reference merge consumes
+    decoded batches via ``_refill``, while the fast-path scorer drives
+    ``_refill_raw`` directly; with no fault either path is
+    observationally identical to the unwrapped stream (same refill
+    sequence, same ``resident_bytes`` transitions).
+    """
+
+    def __init__(
+        self,
+        inner: PostingStream,
+        on_failure: Optional[Callable[[BaseException], None]] = None,
+    ):
+        super().__init__()
+        self._inner = inner
+        self._on_failure = on_failure
+        self.failed = False
+        self.resident_bytes = inner.resident_bytes
+
+    def _fail(self, error: BaseException) -> None:
+        self.failed = True
+        self._inner.resident_bytes = 0
+        self.resident_bytes = 0
+        if self._on_failure is not None:
+            self._on_failure(error)
+
+    def _refill_raw(self) -> Optional[bytes]:
+        if self.failed:
+            return None
+        try:
+            raw = self._inner._refill_raw()
+        except BadBlockError as error:
+            self._fail(error)
+            return None
+        self.resident_bytes = self._inner.resident_bytes
+        return raw
+
+    def _refill(self) -> Optional[List[Posting]]:
+        if self.failed:
+            return None
+        try:
+            batch = self._inner._refill()
+        except BadBlockError as error:
+            self._fail(error)
+            return None
+        self.resident_bytes = self._inner.resident_bytes
+        return batch
 
 
 def merge_streams(

@@ -47,7 +47,7 @@ from .segment import (
     DirectorySegment,
     FixedSlotSegment,
 )
-from .store import MnemeFile, MnemeStore
+from .store import MnemeFile, MnemeStore, ResilienceStats
 from .tables import PagedTable
 from .txn import (
     EXCLUSIVE,
@@ -88,6 +88,7 @@ __all__ = [
     "Pool",
     "RecoveryReport",
     "RedoLog",
+    "ResilienceStats",
     "SMALL_OBJECT_MAX",
     "SHARED",
     "SMALL_SEGMENT_BYTES",

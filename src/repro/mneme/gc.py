@@ -11,6 +11,7 @@ and tombstones leave behind (the "holes in the inverted lists" space
 problem of the paper's Section 2, solved at the storage layer).
 """
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List
 
@@ -124,6 +125,7 @@ def compact(mfile: MnemeFile) -> CompactionReport:
     scratch_name = f"{mfile.name}.mn.compact"
     new_main = mfile.fs.create(scratch_name)
     new_main.write(0, b"MNEMEFILE\x00v1\x00\x00\x00\x00")
+    new_crcs = {}
 
     def migrate(pool: Pool, align: int) -> None:
         for seg_ordinal in range(len(pool._segs)):
@@ -137,6 +139,7 @@ def compact(mfile: MnemeFile) -> CompactionReport:
                 new_main.write(end, b"\x00" * (align - end % align))
                 end = new_main.size
             new_main.write(end, data)
+            new_crcs[end] = (length, zlib.crc32(data))
             pool._segs.set(seg_ordinal, end, length)
             report.segments_copied += 1
 
@@ -152,6 +155,8 @@ def compact(mfile: MnemeFile) -> CompactionReport:
     mfile.fs.remove(old_name)
     mfile.fs.rename(scratch_name, old_name)
     mfile.main = new_main
+    # Segment checksums are keyed by offset; every offset just moved.
+    mfile._crcs = new_crcs
     if mfile.wal is not None:
         # Redo records target the old layout; the new file is durable as
         # written, so the log restarts empty.

@@ -19,7 +19,7 @@ file is known durable.
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..errors import RecoveryError
 from ..simdisk import SimFile
@@ -58,6 +58,21 @@ class RedoLog:
         """Discard the log: the main file is durable up to this point."""
         self._file.truncate(0)
         self._end = 0
+
+    def latest_for(self, target_offset: int) -> "Optional[bytes]":
+        """The most recent complete logged payload for one main-file offset.
+
+        This is the read-repair source: when a segment read fails
+        verification, the last copy the WAL logged for that offset is
+        known good (each record carries its own CRC).  Returns ``None``
+        if the log holds no complete record for the offset — e.g. after
+        a checkpoint, or when the matching record itself is torn.
+        """
+        found: Optional[bytes] = None
+        for offset, data in self.records()[0]:
+            if offset == target_offset:
+                found = data
+        return found
 
     def records(self) -> "Tuple[List[Tuple[int, bytes]], bool]":
         """Parse the log.

@@ -14,9 +14,19 @@ the open files and the global identifier space.
 """
 
 import struct
-from typing import Callable, Dict, List
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..errors import FileNotFoundInStoreError, MnemeError, ObjectNotFoundError
+from ..errors import (
+    BadBlockError,
+    ChecksumError,
+    FileNotFoundInStoreError,
+    MnemeError,
+    ObjectNotFoundError,
+    ReadFailedError,
+)
+from ..faults import RetryPolicy
 from ..simdisk import SimFile, SimFileSystem
 from .ids import logical_segment, make_global, split_global
 from .pool import Pool
@@ -25,6 +35,39 @@ from .tables import PagedTable
 _META = struct.Struct("<4sIIH")        # magic, file number, next logseg, pools
 _META_POOL = struct.Struct("<HQQ")     # pool id, objects created, live objects
 _META_MAGIC = b"MMET"
+
+
+@dataclass
+class ResilienceStats:
+    """What the fault-tolerant read path did for one Mneme file.
+
+    Surfaced the same way :class:`~repro.simdisk.disk.DiskStats` and
+    :class:`~repro.mneme.buffers.BufferStats` are: copyable and
+    subtractable, so harnesses snapshot-and-diff per measured run.
+    """
+
+    read_faults: int = 0          #: segment reads that raised BadBlockError
+    checksum_failures: int = 0    #: segment reads that failed CRC verification
+    retries: int = 0              #: re-reads attempted after a failure
+    retry_wait_ms: float = 0.0    #: simulated backoff charged to the clock
+    read_repairs: int = 0         #: segments rewritten from the redo log
+    unrecovered_reads: int = 0    #: reads given up on (error surfaced)
+
+    _FIELDS = (
+        "read_faults", "checksum_failures", "retries",
+        "retry_wait_ms", "read_repairs", "unrecovered_reads",
+    )
+
+    def copy(self) -> "ResilienceStats":
+        return ResilienceStats(*(getattr(self, name) for name in self._FIELDS))
+
+    def __sub__(self, other: "ResilienceStats") -> "ResilienceStats":
+        return ResilienceStats(
+            *(getattr(self, name) - getattr(other, name) for name in self._FIELDS)
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self._FIELDS}
 
 
 class MnemeFile:
@@ -36,13 +79,31 @@ class MnemeFile:
     call :meth:`load` to restore any previously persisted state.
     """
 
-    def __init__(self, fs: SimFileSystem, name: str, file_no: int, wal=None):
+    def __init__(
+        self,
+        fs: SimFileSystem,
+        name: str,
+        file_no: int,
+        wal=None,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.fs = fs
         self.name = name
         self.file_no = file_no
         #: Optional :class:`~repro.mneme.recovery.RedoLog`; when present,
-        #: every segment write is logged before it reaches the main file.
+        #: every segment write is logged before it reaches the main file,
+        #: and a segment that fails checksum verification is repaired
+        #: from the log's last known-good copy (read repair).
         self.wal = wal
+        #: Bounded-backoff policy for failed segment reads.  Always
+        #: present; it only acts on exception paths, so fault-free runs
+        #: are unchanged.
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.resilience = ResilienceStats()
+        #: Per-segment (length, CRC-32) recorded at write time; verified
+        #: on every :meth:`read_segment` so silent at-rest corruption is
+        #: caught before decoded garbage reaches a pool.
+        self._crcs: Dict[int, Tuple[int, int]] = {}
         main_name = f"{name}.mn"
         self.main = fs.open(main_name) if fs.exists(main_name) else fs.create(main_name)
         if self.main.size == 0:
@@ -94,6 +155,7 @@ class MnemeFile:
         if self.wal is not None:
             self.wal.log_write(offset, data)
         self.main.write(offset, data)
+        self._crcs[offset] = (len(data), zlib.crc32(data))
         return offset
 
     def write_segment(self, offset: int, data: bytes) -> None:
@@ -101,10 +163,72 @@ class MnemeFile:
         if self.wal is not None:
             self.wal.log_write(offset, data)
         self.main.write(offset, data)
+        self._crcs[offset] = (len(data), zlib.crc32(data))
 
     def read_segment(self, offset: int, length: int) -> bytes:
-        """Transfer a physical segment from the main file: one file access."""
-        return self.main.read(offset, length)
+        """Transfer a physical segment from the main file, verified.
+
+        One file access on the fault-free path, exactly as before.  On a
+        failed transfer the read is retried under :attr:`retry` with the
+        backoff charged to the simulated clock; on a checksum mismatch
+        the cached copies are invalidated and, if a WAL is attached, the
+        segment is rewritten from the log's last known-good copy (read
+        repair) before one final verify.
+
+        Raises
+        ------
+        ReadFailedError
+            The transfer kept failing after the retry budget.
+        ChecksumError
+            The bytes stayed corrupt after retries (and repair, if a
+            WAL was available).
+        """
+        policy = self.retry
+        expected = self._crcs.get(offset)
+        verify = expected is not None and expected[0] == length
+        attempt = 0
+        repaired = False
+        while True:
+            attempt += 1
+            try:
+                data = self.main.read(offset, length)
+            except BadBlockError as exc:
+                self.resilience.read_faults += 1
+                if attempt >= policy.max_attempts:
+                    self.resilience.unrecovered_reads += 1
+                    raise ReadFailedError(
+                        f"segment at offset {offset} unreadable after"
+                        f" {attempt} attempts: {exc}"
+                    ) from exc
+                self._backoff(attempt)
+                continue
+            if verify and zlib.crc32(data) != expected[1]:
+                self.resilience.checksum_failures += 1
+                self.main.invalidate_cached(offset, length)
+                if self.wal is not None and not repaired:
+                    copy = self.wal.latest_for(offset)
+                    if copy is not None and len(copy) == length:
+                        self.write_segment(offset, copy)
+                        self.resilience.read_repairs += 1
+                        repaired = True
+                        continue
+                if attempt >= policy.max_attempts:
+                    self.resilience.unrecovered_reads += 1
+                    raise ChecksumError(
+                        f"segment at offset {offset} failed checksum"
+                        f" verification after {attempt} attempts"
+                        + (" (read repair attempted)" if repaired else "")
+                    )
+                self._backoff(attempt)
+                continue
+            return data
+
+    def _backoff(self, attempt: int) -> None:
+        """Charge one bounded-backoff wait to the simulated clock."""
+        wait = self.retry.wait_before(attempt)
+        self.fs.disk.clock.charge_io(wait)
+        self.resilience.retries += 1
+        self.resilience.retry_wait_ms += wait
 
     # -- pool management -------------------------------------------------------
 
@@ -260,7 +384,9 @@ class MnemeStore:
         self._by_no: Dict[int, MnemeFile] = {}
         self._next_file_no = 0
 
-    def open_file(self, name: str, wal=None) -> MnemeFile:
+    def open_file(
+        self, name: str, wal=None, retry: Optional[RetryPolicy] = None
+    ) -> MnemeFile:
         """Open (or create) a Mneme file and assign it a file number.
 
         Callers register pools on the returned file and then call its
@@ -268,7 +394,7 @@ class MnemeStore:
         """
         if name in self._files:
             return self._files[name]
-        file = MnemeFile(self.fs, name, self._next_file_no, wal=wal)
+        file = MnemeFile(self.fs, name, self._next_file_no, wal=wal, retry=retry)
         self._next_file_no += 1
         self._files[name] = file
         self._by_no[file.file_no] = file

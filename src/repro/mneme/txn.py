@@ -19,29 +19,11 @@ attached.  Reads see the transaction's own pending writes.
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
-from ..errors import MnemeError
+# The transaction error classes live in the shared hierarchy so the
+# public-API boundary catches one base class; re-exported here because
+# this module defined them originally.
+from ..errors import LockConflictError, TransactionAborted, TransactionError
 from .store import MnemeFile
-
-
-class TransactionError(MnemeError):
-    """Base class for transaction failures."""
-
-
-class TransactionAborted(TransactionError):
-    """The transaction can no longer be used (conflict or explicit abort)."""
-
-
-class LockConflictError(TransactionAborted):
-    """A lock request conflicted; the requesting transaction was aborted."""
-
-    def __init__(self, oid: int, holder: int, requester: int):
-        super().__init__(
-            f"transaction {requester} aborted: object {oid} is locked by "
-            f"transaction {holder}"
-        )
-        self.oid = oid
-        self.holder = holder
-        self.requester = requester
 
 
 SHARED, EXCLUSIVE = "S", "X"

@@ -27,6 +27,10 @@ class DiskStats:
     blocks_written: int = 0
     sequential_reads: int = 0
     random_reads: int = 0
+    #: Transfers that failed (bad block or injected transient fault).
+    #: The head still moved and the rotation was charged, but no data
+    #: was delivered, so these do not count toward ``blocks_read``.
+    failed_reads: int = 0
 
     @property
     def bytes_read(self) -> int:
@@ -42,6 +46,7 @@ class DiskStats:
             self.blocks_written,
             self.sequential_reads,
             self.random_reads,
+            self.failed_reads,
         )
 
     def __sub__(self, other: "DiskStats") -> "DiskStats":
@@ -50,6 +55,7 @@ class DiskStats:
             self.blocks_written - other.blocks_written,
             self.sequential_reads - other.sequential_reads,
             self.random_reads - other.random_reads,
+            self.failed_reads - other.failed_reads,
         )
 
 
@@ -81,10 +87,24 @@ class SimDisk:
         #: tests; reading one raises :class:`~repro.errors.BadBlockError`.
         self.bad_blocks: set = set()
         self._tracer = None
+        self._fault_plan = None
 
     def attach_tracer(self, tracer) -> None:
         """Attach an :class:`~repro.simdisk.trace.AccessTracer` (or None)."""
         self._tracer = tracer
+
+    def attach_fault_plan(self, plan) -> None:
+        """Attach a :class:`~repro.faults.plan.FaultPlan` (or None).
+
+        The plan observes every transfer and allocation and decides
+        which ones to fault; with no plan attached (the default) this
+        class behaves exactly as before the fault subsystem existed.
+        """
+        self._fault_plan = plan
+
+    @property
+    def fault_plan(self):
+        return self._fault_plan
 
     @property
     def clock(self) -> SimClock:
@@ -105,6 +125,13 @@ class SimDisk:
         """
         if count < 1:
             raise ValueError("must allocate at least one block")
+        if self._fault_plan is not None:
+            fault = self._fault_plan.observe_alloc()
+            if fault is not None and fault.kind == "disk-full":
+                raise DiskFullError(
+                    f"disk full (injected): allocation of {count} blocks"
+                    f" refused at block {self._next_block}"
+                )
         if self._capacity is not None and self._next_block + count > self._capacity:
             raise DiskFullError(
                 f"disk full: {self._next_block} of {self._capacity} blocks in use,"
@@ -122,14 +149,41 @@ class SimDisk:
         self._check_block_no(block_no)
         if block_no in self.bad_blocks:
             raise BadBlockError(f"block {block_no} failed read verification")
+        fault = (
+            self._fault_plan.observe_read(block_no)
+            if self._fault_plan is not None
+            else None
+        )
         sequential = block_no == self._head + 1
         cost = self._clock.cost
+        if fault is not None and fault.kind == "transient-read":
+            # The head moved and the rotation was wasted, but no data
+            # came back: charge the transfer, count a failed read, and
+            # let the layers above decide whether to retry.
+            self._clock.charge_io(
+                cost.block_read_sequential_ms
+                if sequential
+                else cost.block_read_random_ms
+            )
+            self.stats.failed_reads += 1
+            self._head = block_no
+            raise BadBlockError(
+                f"block {block_no} transfer failed (injected transient fault)"
+            )
+        if fault is not None and fault.kind == "bit-flip":
+            # Silent at-rest corruption: flip one stored bit, then serve
+            # the read normally.  Only checksums above can notice.
+            stored = bytearray(self._blocks.get(block_no, bytes(BLOCK_SIZE)))
+            stored[(fault.bit // 8) % BLOCK_SIZE] ^= 1 << (fault.bit % 8)
+            self._blocks[block_no] = bytes(stored)
         if sequential:
             self.stats.sequential_reads += 1
             self._clock.charge_io(cost.block_read_sequential_ms)
         else:
             self.stats.random_reads += 1
             self._clock.charge_io(cost.block_read_random_ms)
+        if fault is not None and fault.kind == "read-latency":
+            self._clock.charge_io(fault.extra_ms)
         self.stats.blocks_read += 1
         self._head = block_no
         if self._tracer is not None:
@@ -146,12 +200,23 @@ class SimDisk:
             raise ValueError(
                 f"write_block needs exactly {BLOCK_SIZE} bytes, got {len(data)}"
             )
+        fault = (
+            self._fault_plan.observe_write(block_no)
+            if self._fault_plan is not None
+            else None
+        )
+        if fault is not None and fault.kind == "torn-write":
+            # The write "succeeds" but only the first half reached the
+            # platter — the torn page the redo log exists to repair.
+            data = data[: BLOCK_SIZE // 2] + bytes(BLOCK_SIZE - BLOCK_SIZE // 2)
         sequential = block_no == self._head + 1
         cost = self._clock.cost
         if sequential:
             self._clock.charge_io(cost.block_write_sequential_ms)
         else:
             self._clock.charge_io(cost.block_write_random_ms)
+        if fault is not None and fault.kind == "write-latency":
+            self._clock.charge_io(fault.extra_ms)
         self.stats.blocks_written += 1
         self._head = block_no
         if self._tracer is not None:

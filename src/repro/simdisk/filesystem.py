@@ -161,6 +161,22 @@ class SimFile:
         self.write(offset, data)
         return offset
 
+    def invalidate_cached(self, offset: int, length: int) -> None:
+        """Drop the FS-cached copies of the blocks covering a byte range.
+
+        The read-repair path uses this when delivered bytes fail
+        verification: a corrupted block may have been cached on the way
+        up, and retrying through the cache would just re-serve the
+        poison.  No simulated time is charged — invalidation is a
+        user-space bookkeeping operation.
+        """
+        if length <= 0:
+            return
+        first = offset // BLOCK_SIZE
+        last = (offset + length - 1) // BLOCK_SIZE
+        for file_block in range(first, min(last + 1, len(self._blocks))):
+            self._fs.cache.invalidate((self.name, file_block))
+
     def truncate(self, size: int = 0) -> None:
         """Shrink the file; freed blocks are not reused (append-era FS)."""
         if size < 0:

@@ -1,0 +1,43 @@
+"""Fixtures: one small WAL-backed linked-Mneme system per test session."""
+
+import pytest
+
+from repro.core import config_by_name, materialize, prepare_collection
+from repro.synth import (
+    CollectionProfile,
+    QueryProfile,
+    SyntheticCollection,
+    generate_query_set,
+)
+
+FAULTY = CollectionProfile(
+    name="tiny-faults", models="test", documents=250, mean_doc_length=70,
+    doc_length_sigma=0.5, vocab_size=3500, seed=17,
+)
+
+
+@pytest.fixture(scope="session")
+def faulty_collection():
+    return SyntheticCollection(FAULTY)
+
+
+@pytest.fixture(scope="session")
+def faulty_prepared(faulty_collection):
+    return prepare_collection(faulty_collection)
+
+
+@pytest.fixture(scope="session")
+def faulty_queries(faulty_collection):
+    return generate_query_set(
+        faulty_collection,
+        QueryProfile(name="faults-qs", style="natural", n_queries=10,
+                     mean_terms=4, seed=23),
+    )
+
+
+@pytest.fixture()
+def wal_system(faulty_prepared):
+    """A fresh WAL-backed linked-Mneme build (per test: plans mutate it)."""
+    return materialize(
+        faulty_prepared, config_by_name("mneme-linked", use_wal=True)
+    )

@@ -1,0 +1,139 @@
+"""Retry, backoff, checksum, and read-repair behavior of the Mneme read path."""
+
+import pytest
+
+from repro.errors import BadBlockError, ChecksumError, DiskFullError, ReadFailedError
+from repro.faults import FaultEvent, FaultPlan, RetryPolicy
+from repro.mneme import MnemeStore, RedoLog
+from repro.simdisk import BLOCK_SIZE, SimClock, SimDisk, SimFileSystem
+
+
+SEGMENT = bytes(range(256)) * 64  # 16 KB: spans two full blocks
+
+
+def _mneme(with_wal=True, retry=None):
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=8)
+    store = MnemeStore(fs)
+    wal = RedoLog(fs.create("wal")) if with_wal else None
+    f = store.open_file("inv", wal=wal, retry=retry)
+    offset = f.append_segment(SEGMENT, align=BLOCK_SIZE)
+    return fs, f, offset
+
+
+def _arm(fs, f, events):
+    """Chill caches and attach a plan aimed at the main file's blocks."""
+    fs.chill()
+    plan = FaultPlan(events, eligible_blocks=set(f.main._blocks))
+    fs.disk.attach_fault_plan(plan)
+    return plan
+
+
+def test_retry_policy_backoff_is_bounded_and_validated():
+    policy = RetryPolicy(max_attempts=4, backoff_ms=2.0, multiplier=2.0)
+    assert [policy.wait_before(n) for n in (1, 2, 3)] == [2.0, 4.0, 8.0]
+    assert policy.max_retries == 3
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+
+
+def test_transient_fault_recovers_within_the_retry_budget():
+    fs, f, offset = _mneme()
+    plan = _arm(fs, f, [FaultEvent("transient-read", at_op=0, times=2)])
+    io_before = fs.disk.clock.snapshot().io_ms
+
+    assert f.read_segment(offset, len(SEGMENT)) == SEGMENT
+    assert plan.stats.transient_reads == 2
+    assert f.resilience.read_faults == 2
+    assert f.resilience.retries == 2
+    assert f.resilience.unrecovered_reads == 0
+    # The bounded backoff was charged to the simulated clock.
+    assert f.resilience.retry_wait_ms > 0
+    assert fs.disk.clock.snapshot().io_ms - io_before >= f.resilience.retry_wait_ms
+
+
+def test_stuck_sector_exhausts_retries_and_raises_read_failed():
+    fs, f, offset = _mneme()
+    _arm(fs, f, [FaultEvent("transient-read", at_op=0, times=f.retry.max_attempts)])
+
+    with pytest.raises(ReadFailedError) as excinfo:
+        f.read_segment(offset, len(SEGMENT))
+    assert isinstance(excinfo.value, BadBlockError)  # engines catch the base
+    assert f.resilience.unrecovered_reads == 1
+    assert f.resilience.retries == f.retry.max_retries
+
+
+def test_bit_flip_is_caught_by_checksum_and_repaired_from_the_wal():
+    fs, f, offset = _mneme(with_wal=True)
+    # Flip a bit inside the segment's first block.
+    plan = _arm(fs, f, [FaultEvent("bit-flip", at_op=0, bit=(offset % BLOCK_SIZE + 100) * 8)])
+
+    assert f.read_segment(offset, len(SEGMENT)) == SEGMENT
+    assert plan.stats.bit_flips == 1
+    assert f.resilience.checksum_failures == 1
+    assert f.resilience.read_repairs == 1
+    # Repair rewrote the segment: the at-rest corruption is healed.
+    fs.chill()
+    fs.disk.attach_fault_plan(None)
+    assert f.read_segment(offset, len(SEGMENT)) == SEGMENT
+    assert f.resilience.checksum_failures == 1  # no new failure
+
+
+def test_bit_flip_without_a_wal_raises_checksum_error():
+    fs, f, offset = _mneme(with_wal=False)
+    _arm(fs, f, [FaultEvent("bit-flip", at_op=0, bit=(offset % BLOCK_SIZE + 100) * 8)])
+
+    with pytest.raises(ChecksumError) as excinfo:
+        f.read_segment(offset, len(SEGMENT))
+    assert isinstance(excinfo.value, BadBlockError)
+    assert f.resilience.unrecovered_reads == 1
+    assert f.resilience.read_repairs == 0
+
+
+def test_torn_write_is_detected_and_repaired_on_next_read():
+    fs, f, offset = _mneme(with_wal=True)
+    # Tear a segment rewrite: the plan is scoped to the main file, so
+    # the WAL record (a different file) lands intact first, then the
+    # main-file block write is torn.
+    plan = _arm(fs, f, [FaultEvent("torn-write", at_op=0)])
+    f.write_segment(offset, SEGMENT)
+    assert plan.stats.torn_writes == 1
+
+    fs.chill()  # drop the write-through cache's intact copy
+    assert f.read_segment(offset, len(SEGMENT)) == SEGMENT
+    assert f.resilience.checksum_failures >= 1
+    assert f.resilience.read_repairs == 1
+
+
+def test_latency_spike_charges_the_clock_but_returns_good_data():
+    fs, f, offset = _mneme()
+    fs.chill()
+    baseline_start = fs.disk.clock.snapshot()
+    assert f.read_segment(offset, len(SEGMENT)) == SEGMENT
+    baseline_io = fs.disk.clock.since(baseline_start).io_ms
+
+    plan = _arm(fs, f, [FaultEvent("read-latency", at_op=0, extra_ms=40.0)])
+    start = fs.disk.clock.snapshot()
+    assert f.read_segment(offset, len(SEGMENT)) == SEGMENT
+    spiked_io = fs.disk.clock.since(start).io_ms
+    assert plan.stats.read_latencies == 1
+    assert spiked_io >= baseline_io + 40.0
+    assert f.resilience.retries == 0  # success: no retry machinery involved
+
+
+def test_scheduled_disk_full_aborts_allocation():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=8)
+    fs.disk.attach_fault_plan(FaultPlan([FaultEvent("disk-full", at_op=1)]))
+    f = fs.create("victim")
+    f.write(0, b"x")  # first allocation passes
+    with pytest.raises(DiskFullError):
+        f.write(BLOCK_SIZE, b"x")  # second allocation is refused
+
+
+def test_resilience_stats_delta_arithmetic():
+    fs, f, offset = _mneme()
+    before = f.resilience.copy()
+    _arm(fs, f, [FaultEvent("transient-read", at_op=0)])
+    f.read_segment(offset, len(SEGMENT))
+    delta = f.resilience - before
+    assert delta.read_faults == 1 and delta.retries == 1
+    assert delta.as_dict()["read_faults"] == 1

@@ -1,0 +1,118 @@
+"""Exhaustive crash-point tests for redo-log recovery.
+
+A crash can truncate the write-ahead log at *any* byte: exactly between
+records, inside a record header, or inside a payload.  These tests
+enumerate every cut position of a multi-record log and assert the
+recovery invariant at each one: :meth:`RedoLog.records` returns exactly
+the longest complete prefix of records, flags ``torn_tail`` iff the cut
+is not on a record boundary, and :func:`recover` replays that prefix —
+no more, no less — then checkpoints.
+"""
+
+import pytest
+
+from repro.mneme import RedoLog, recover
+from repro.mneme.recovery import _REC
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+#: Payload sizes chosen to cross interesting shapes: tiny, odd-sized,
+#: empty, and larger-than-header.
+PAYLOADS = (b"alpha", b"z", b"", b"0123456789" * 7, b"tail-record")
+
+
+def _fresh_fs():
+    return SimFileSystem(SimDisk(SimClock()), cache_blocks=128)
+
+
+def _build_log_image():
+    """One WAL with every payload, plus its record boundaries and targets."""
+    fs = _fresh_fs()
+    log = RedoLog(fs.create("wal"))
+    boundaries = [0]
+    targets = []
+    offset = 0
+    for payload in PAYLOADS:
+        log.log_write(offset, payload)
+        targets.append((offset, payload))
+        offset += max(len(payload), 1)
+        boundaries.append(boundaries[-1] + _REC.size + len(payload))
+    image = log._file.read(0, log.size)
+    return image, boundaries, targets
+
+
+IMAGE, BOUNDARIES, TARGETS = _build_log_image()
+
+
+def _expected_prefix(cut: int):
+    """Records fully contained in the first ``cut`` bytes of the log."""
+    complete = 0
+    while complete < len(TARGETS) and BOUNDARIES[complete + 1] <= cut:
+        complete += 1
+    return TARGETS[:complete]
+
+
+@pytest.mark.parametrize("cut", range(len(IMAGE) + 1))
+def test_every_cut_position_recovers_the_complete_prefix(cut):
+    fs = _fresh_fs()
+    wal_file = fs.create("wal")
+    if cut:
+        wal_file.write(0, IMAGE[:cut])
+    log = RedoLog(wal_file)
+
+    expected = _expected_prefix(cut)
+    records, torn = log.records()
+    assert records == expected
+    assert torn == (cut not in BOUNDARIES)
+
+    # Replay onto a main file large enough for every expected target.
+    main = fs.create("main")
+    main.write(0, b"\x00" * 128)
+    report = recover(log, main)
+    assert report.replayed == len(expected)
+    assert report.bytes_replayed == sum(len(p) for _o, p in expected)
+    assert report.torn_tail == (cut not in BOUNDARIES)
+    for offset, payload in expected:
+        assert main.read(offset, len(payload)) == payload
+
+    # Recovery checkpointed: the log is empty and a rerun replays nothing.
+    assert log.size == 0
+    again = recover(log, main)
+    assert again.replayed == 0 and not again.torn_tail
+
+
+def test_mid_log_magic_corruption_stops_the_replay():
+    """A corrupt *interior* header ends trust at that record, not at EOF."""
+    fs = _fresh_fs()
+    wal_file = fs.create("wal")
+    wal_file.write(0, IMAGE)
+    # Stomp the magic of the third record.
+    wal_file.write(BOUNDARIES[2], b"XXXX")
+    records, torn = RedoLog(wal_file).records()
+    assert records == TARGETS[:2]
+    assert torn
+
+
+def test_mid_log_payload_corruption_stops_the_replay():
+    fs = _fresh_fs()
+    wal_file = fs.create("wal")
+    wal_file.write(0, IMAGE)
+    # Flip a byte inside the first record's payload (after its header).
+    wal_file.write(BOUNDARIES[0] + _REC.size, b"\xff")
+    records, torn = RedoLog(wal_file).records()
+    assert records == []
+    assert torn
+
+
+def test_length_field_pointing_past_eof_is_a_torn_tail():
+    """A header whose length overruns the file must not read garbage."""
+    fs = _fresh_fs()
+    wal_file = fs.create("wal")
+    log = RedoLog(wal_file)
+    log.log_write(0, b"ok")
+    size_before = log.size
+    log.log_write(2, b"x" * 50)
+    # Keep the second header but only part of its payload.
+    wal_file.truncate(size_before + _REC.size + 10)
+    records, torn = RedoLog(wal_file).records()
+    assert records == [(0, b"ok")]
+    assert torn

@@ -1,0 +1,168 @@
+"""Reservation lifecycle under pressure and on error paths.
+
+The reserve optimization pins buffered segments for the duration of one
+query.  Two properties keep it safe: a reserved segment must survive
+any eviction pressure (the buffer tolerates overflow rather than evict
+a pin), and *every* pin must be dropped when the query ends — including
+when evaluation dies mid-query with an arbitrary exception, or the
+buffer slowly fills with unevictable segments and degrades to a
+sequential scan of the disk.
+"""
+
+import pytest
+
+from repro.inquery import RetrievalEngine
+from repro.inquery.daat import DocumentAtATimeEngine
+from repro.inquery.query import parse_query, query_terms
+from repro.mneme import LRUBuffer, PartitionedBuffer
+from repro.core import config_by_name, materialize, prepare_collection
+from repro.synth import (
+    CollectionProfile,
+    QueryProfile,
+    SyntheticCollection,
+    generate_query_set,
+)
+
+
+# -- buffer level -------------------------------------------------------------
+
+
+def test_lru_reserved_entry_survives_pressure_until_release():
+    buffer = LRUBuffer(100)
+    buffer.insert("a", object(), 60)
+    assert buffer.reserve("a")
+    buffer.insert("b", object(), 60)  # over budget; "a" is pinned
+    assert buffer.resident("a") and buffer.resident("b")
+    assert buffer.used_bytes == 120  # overflow tolerated, not evicted
+
+    buffer.release_reservations()
+    buffer.insert("c", object(), 10)  # now "a" is fair game (LRU victim)
+    assert not buffer.resident("a")
+    assert buffer.used_bytes <= buffer.capacity_bytes
+    assert buffer._reserved == {}
+
+
+def test_lru_take_drops_the_reservation():
+    buffer = LRUBuffer(100)
+    buffer.insert("a", object(), 40)
+    buffer.reserve("a")
+    assert buffer.take("a") is not None
+    assert not buffer.reserved("a")
+    assert buffer._reserved == {}
+
+
+def test_lru_clear_drops_reservations():
+    buffer = LRUBuffer(100)
+    buffer.insert("a", object(), 40)
+    buffer.reserve("a")
+    buffer.clear()
+    assert not buffer.reserved("a")
+    assert buffer._reserved == {}
+
+
+def test_lru_reserve_absent_key_is_refused():
+    buffer = LRUBuffer(100)
+    assert not buffer.reserve("ghost")
+    assert buffer._reserved == {}
+
+
+def test_partitioned_release_empties_both_partitions():
+    buffer = PartitionedBuffer(100, 100, threshold_bytes=50)
+    buffer.insert("small", object(), 10)   # low partition
+    buffer.insert("large", object(), 90)   # high partition
+    assert buffer.reserve("small") and buffer.reserve("large")
+
+    low, high = buffer.partitions
+    assert low._reserved and high._reserved
+    buffer.release_reservations()
+    assert low._reserved == {} and high._reserved == {}
+
+
+def test_partitioned_pin_shields_only_its_own_partition():
+    buffer = PartitionedBuffer(60, 100, threshold_bytes=50)
+    buffer.insert("s1", object(), 40)
+    buffer.reserve("s1")
+    buffer.insert("s2", object(), 40)  # low partition over budget, s1 pinned
+    low, _high = buffer.partitions
+    assert low.used_bytes == 80  # overflow tolerated
+    buffer.insert("l1", object(), 90)
+    buffer.insert("l2", object(), 90)  # high partition evicts l1 normally
+    assert not buffer.resident("l1") and buffer.resident("l2")
+
+
+# -- engine level: pins released even when the query dies ---------------------
+
+
+@pytest.fixture(scope="module")
+def system():
+    profile = CollectionProfile(
+        name="tiny-res", models="test", documents=200, mean_doc_length=60,
+        doc_length_sigma=0.5, vocab_size=2500, seed=29,
+    )
+    collection = SyntheticCollection(profile)
+    prepared = prepare_collection(collection)
+    built = materialize(prepared, config_by_name("mneme-cache"))
+    queries = generate_query_set(
+        collection,
+        QueryProfile(name="res-qs", style="natural", n_queries=4, mean_terms=4, seed=31),
+    ).queries
+    return built, queries
+
+
+def _reserved_maps(store):
+    maps = []
+    for pool in (store.small, store.medium, store.large):
+        buffer = pool.buffer
+        if isinstance(buffer, PartitionedBuffer):
+            maps.extend(side._reserved for side in buffer.partitions)
+        elif isinstance(buffer, LRUBuffer):
+            maps.append(buffer._reserved)
+    return maps
+
+
+def _flaky_fetch(store, monkeypatch, fail_from: int):
+    calls = {"n": 0}
+    real = store.fetch
+
+    def fetch(key):
+        calls["n"] += 1
+        if calls["n"] >= fail_from:
+            raise RuntimeError("injected mid-query failure")
+        return real(key)
+
+    monkeypatch.setattr(store, "fetch", fetch)
+
+
+def test_taat_releases_reservations_when_evaluation_raises(system, monkeypatch):
+    built, queries = system
+    store = built.index.store
+    engine = RetrievalEngine(built.index, top_k=10)
+    engine.run_batch(queries)  # warm the buffers so reserve() really pins
+
+    _flaky_fetch(store, monkeypatch, fail_from=2)
+    with pytest.raises(RuntimeError):
+        engine.run_query(queries[0])
+    assert all(reserved == {} for reserved in _reserved_maps(store))
+
+    monkeypatch.undo()
+    result = engine.run_query(queries[0])  # engine is healthy again
+    assert result.ranking
+
+
+def test_daat_releases_reservations_when_stream_creation_raises(system, monkeypatch):
+    built, queries = system
+    store = built.index.store
+    flat = "#sum( " + " ".join(query_terms(parse_query(queries[0]))) + " )"
+    engine = DocumentAtATimeEngine(built.index, top_k=10)
+    engine.run_query(flat)  # warm
+
+    # The default posting stream fetches eagerly, so the second term's
+    # stream creation raises; the reservations from the reserve pass
+    # must still be dropped.
+    _flaky_fetch(store, monkeypatch, fail_from=2)
+    with pytest.raises(RuntimeError):
+        engine.run_query(flat)
+    assert all(reserved == {} for reserved in _reserved_maps(store))
+
+    monkeypatch.undo()
+    assert engine.run_query(flat).ranking
