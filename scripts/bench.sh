@@ -9,6 +9,10 @@
 #                               # over all four collections and fail if any
 #                               # phase's speedup fell out of the noise band
 #                               # of the committed BENCH_wallclock.json
+#   scripts/bench.sh shards     # document-partitioned scaling + invariance
+#                               # gate; writes BENCH_shards.json at the root.
+#                               # Extra args pass through, e.g.
+#                               #   scripts/bench.sh shards --shards 1 2 4 8
 #
 # Tier-1 tests (`python -m pytest`) never run these: pytest's testpaths
 # points at tests/, and the wall-clock bench is additionally marked tier2.
@@ -20,6 +24,10 @@ case "${1:-all}" in
     wallclock)
         shift 2>/dev/null || true
         python -m repro.bench.wallclock "$@"
+        ;;
+    shards)
+        shift 2>/dev/null || true
+        python -m repro.bench.shards "$@"
         ;;
     --check)
         shift

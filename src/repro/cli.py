@@ -13,7 +13,13 @@ self-contained and deterministic):
 * ``informetrics`` — Zipf/Heaps profile + pool-partition audit;
 * ``evaluate`` — recall/precision of a query set against synthetic judgments;
 * ``validate`` — integrity-check a freshly built system;
-* ``chaos``    — fault-tolerant serving under seeded fault injection.
+* ``chaos``    — fault-tolerant serving under seeded fault injection;
+* ``shards``   — document-partitioned scaling and invariance benchmark.
+
+``demo`` additionally accepts ``--shards N`` (with ``--partitioner``) to
+serve the queries from an N-machine document-partitioned build instead
+of a single disk; rankings are identical by construction, so the knob
+exists to demonstrate the per-shard provenance it prints.
 """
 
 import argparse
@@ -69,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--daat", action="store_true",
         help="use the document-at-a-time engine (flat #sum/#wsum only)",
     )
+    demo.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="serve from an N-shard document-partitioned build",
+    )
+    demo.add_argument(
+        "--partitioner", default="hash", choices=("hash", "range"),
+        help="document partitioning scheme for --shards",
+    )
 
     compare = commands.add_parser(
         "compare", help="run one query set on all three paper configurations"
@@ -121,6 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="consecutive seeds to test per profile")
     chaos.add_argument("--out", default=None, help="write the JSON report here")
 
+    shards = commands.add_parser(
+        "shards", help="document-partitioned scaling and invariance benchmark"
+    )
+    shards.add_argument("--profile", action="append", dest="profiles",
+                        help="collection profile (repeatable; default: all four)")
+    shards.add_argument("--config", default="mneme-cache")
+    shards.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4],
+                        dest="shard_counts", help="shard counts to compare")
+    shards.add_argument("--min-speedup", type=float, default=1.5,
+                        help="critical-path speedup floor at the largest N")
+    shards.add_argument("--out", default=None, help="write the JSON report here")
+
     return parser
 
 
@@ -145,6 +171,29 @@ def cmd_profiles() -> int:
 def cmd_demo(args) -> int:
     print(f"Building {args.profile!r} on {args.config!r} ...")
     workload = load_workload(args.profile)
+    if args.shards and args.shards > 1:
+        sharded = materialize(
+            workload.prepared, config_by_name(args.config),
+            shards=args.shards, partitioner=args.partitioner,
+        )
+        scheduler = sharded.scheduler(
+            top_k=args.top_k, engine="daat" if args.daat else "taat"
+        )
+        outcome = scheduler.run_batch(list(args.queries))
+        for result in outcome.results:
+            print(f"\nQuery: {result.query}")
+            if not result.ranking:
+                print("  (no matching documents)")
+            for rank, (doc_id, belief) in enumerate(result.ranking, start=1):
+                home = sharded.shard_of_doc(doc_id)
+                print(f"  {rank:>3d}. doc {doc_id:<8d} belief={belief:.4f}"
+                      f"  (shard {home})")
+            contributions = ", ".join(
+                f"{shard}:{count}"
+                for shard, count in sorted(result.shard_contributions.items())
+            )
+            print(f"  top-{args.top_k} contributions by shard: {contributions}")
+        return 0
     system = materialize(workload.prepared, config_by_name(args.config))
     engine_cls = DocumentAtATimeEngine if args.daat else RetrievalEngine
     engine = engine_cls(system.index, top_k=args.top_k)
@@ -374,6 +423,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out:
             argv2 += ["--out", str(Path(args.out))]
         return chaos_main(argv2)
+    if args.command == "shards":
+        from .bench.shards import main as shards_main
+
+        argv2 = []
+        for profile in args.profiles or []:
+            argv2 += ["--profile", profile]
+        argv2 += ["--config", args.config]
+        argv2 += ["--shards"] + [str(n) for n in args.shard_counts]
+        argv2 += ["--min-speedup", str(args.min_speedup)]
+        if args.out:
+            argv2 += ["--out", args.out]
+        return shards_main(argv2)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

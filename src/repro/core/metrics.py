@@ -71,6 +71,65 @@ def cold_start(system: IRSystem) -> None:
     system.clock.reset()
 
 
+class SystemSnapshot:
+    """Every counter a run is measured as a delta against.
+
+    Factored out of :func:`measure_run` so harnesses that drive engines
+    themselves (the shard scheduler, custom replay loops) measure with
+    the identical methodology: snapshot, run, difference.
+    """
+
+    def __init__(self, system: IRSystem):
+        store = system.index.store
+        self._system = system
+        self._clock = system.clock.snapshot()
+        self._disk = system.fs.disk.stats.copy()
+        self._files = [(f, f.stats.copy()) for f in store.files]
+        self._lookups = store.record_lookups
+        self._buffers: Dict[str, BufferStats] = {}
+        if isinstance(store, MnemeInvertedFile):
+            self._buffers = {
+                k: s.copy() for k, s in store.buffer_stats().items()
+            }
+
+    def metrics(
+        self,
+        results: List[QueryResult],
+        query_set_name: str = "",
+        queries: int = 0,
+        keep_results: bool = True,
+    ) -> RunMetrics:
+        """The paper's metrics accumulated since this snapshot."""
+        system = self._system
+        store = system.index.store
+        elapsed = system.clock.since(self._clock)
+        disk_delta = system.fs.disk.stats - self._disk
+        accesses = sum((f.stats - s).read_calls for f, s in self._files)
+        bytes_read = sum((f.stats - s).bytes_delivered for f, s in self._files)
+        buffer_stats: Dict[str, BufferStats] = {}
+        if isinstance(store, MnemeInvertedFile):
+            buffer_stats = {
+                name: stats - self._buffers[name]
+                for name, stats in store.buffer_stats().items()
+            }
+        return RunMetrics(
+            system=system.config.name,
+            query_set=query_set_name,
+            queries=queries or len(results),
+            wall_s=elapsed.wall_ms / 1000.0,
+            user_s=elapsed.user_ms / 1000.0,
+            system_io_s=elapsed.system_io_ms / 1000.0,
+            io_inputs=disk_delta.blocks_read,
+            file_accesses=accesses,
+            record_lookups=store.record_lookups - self._lookups,
+            bytes_from_file=bytes_read,
+            buffer_stats=buffer_stats,
+            results=results if keep_results else [],
+            degraded_queries=sum(1 for r in results if r.degraded),
+            terms_failed=sum(r.terms_failed for r in results),
+        )
+
+
 def measure_run(
     system: IRSystem,
     queries: List[str],
@@ -82,15 +141,7 @@ def measure_run(
     """Run a query set against a system and collect the paper's metrics."""
     if cold:
         cold_start(system)
-    store = system.index.store
-    clock_start = system.clock.snapshot()
-    disk_start = system.fs.disk.stats.copy()
-    file_starts = [(f, f.stats.copy()) for f in store.files]
-    lookups_start = store.record_lookups
-    buffers_start: Dict[str, BufferStats] = {}
-    if isinstance(store, MnemeInvertedFile):
-        buffers_start = {k: s.copy() for k, s in store.buffer_stats().items()}
-
+    snapshot = SystemSnapshot(system)
     engine = RetrievalEngine(
         system.index,
         top_k=top_k,
@@ -98,32 +149,11 @@ def measure_run(
         use_fastpath=system.config.use_fastpath,
     )
     results = engine.run_batch(queries)
-
-    elapsed = system.clock.since(clock_start)
-    disk_delta = system.fs.disk.stats - disk_start
-    accesses = sum((f.stats - start).read_calls for f, start in file_starts)
-    bytes_read = sum((f.stats - start).bytes_delivered for f, start in file_starts)
-    buffer_stats: Dict[str, BufferStats] = {}
-    if isinstance(store, MnemeInvertedFile):
-        buffer_stats = {
-            name: stats - buffers_start[name]
-            for name, stats in store.buffer_stats().items()
-        }
-    return RunMetrics(
-        system=system.config.name,
-        query_set=query_set_name,
+    return snapshot.metrics(
+        results,
+        query_set_name=query_set_name,
         queries=len(queries),
-        wall_s=elapsed.wall_ms / 1000.0,
-        user_s=elapsed.user_ms / 1000.0,
-        system_io_s=elapsed.system_io_ms / 1000.0,
-        io_inputs=disk_delta.blocks_read,
-        file_accesses=accesses,
-        record_lookups=store.record_lookups - lookups_start,
-        bytes_from_file=bytes_read,
-        buffer_stats=buffer_stats,
-        results=results if keep_results else [],
-        degraded_queries=sum(1 for r in results if r.degraded),
-        terms_failed=sum(r.terms_failed for r in results),
+        keep_results=keep_results,
     )
 
 

@@ -166,14 +166,35 @@ class IRSystem:
 
 
 def materialize(
-    prepared: PreparedCollection, config: SystemConfig, fault_plan=None
-) -> IRSystem:
+    prepared: PreparedCollection,
+    config: SystemConfig,
+    fault_plan=None,
+    shards: Optional[int] = None,
+    partitioner: str = "hash",
+):
     """Build one configuration's system on a fresh simulated machine.
 
     ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) is attached
     to the disk *before* the index build, so chaos harnesses can inject
     torn writes or mid-build space exhaustion into the build itself.
+
+    With ``shards`` set, the collection is document-partitioned across
+    that many independent simulated machines (each its own disk, pools,
+    and Table 2 buffers) and a
+    :class:`~repro.shard.system.ShardedIRSystem` is returned instead;
+    ``partitioner`` selects the document partitioning scheme ("hash" or
+    "range") and ``fault_plan`` may then be a per-shard list.
     """
+    if shards is not None:
+        from ..shard import materialize_sharded
+
+        return materialize_sharded(
+            prepared,
+            config,
+            n_shards=shards,
+            partitioner=partitioner,
+            fault_plans=fault_plan,
+        )
     clock = SimClock(cost=config.cost)
     fs = SimFileSystem(
         SimDisk(clock),
@@ -207,7 +228,9 @@ def materialize(
             wal=wal,
         )
     keys = store.bulk_build(iter(prepared.records))
-    if config.backend.startswith("mneme") and config.cached:
+    # An empty shard of a partitioned build has no records to size
+    # buffers from; it serves nothing, so it needs no cache either.
+    if config.backend.startswith("mneme") and config.cached and prepared.largest_record > 0:
         store.attach_buffers(
             table2_buffer_sizes(
                 prepared.largest_record,

@@ -35,6 +35,25 @@ class ChecksumError(BadBlockError):
     """Segment bytes failed checksum verification (silent corruption)."""
 
 
+class ShardUnavailableError(StorageError):
+    """A shard of a partitioned index cannot serve requests.
+
+    Raised inside the shard scheduler when a shard has been marked down
+    (administratively or by its health checks); the scheduler catches it
+    and degrades the merged result (``completeness`` < 1) instead of
+    failing the query.  It escapes to callers only when a shard is
+    addressed directly.
+    """
+
+    def __init__(self, shard_id: int, reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"shard {shard_id} is unavailable{detail}")
+        self.shard_id = shard_id
+        self.reason = reason
+        self.shard_id = shard_id
+        self.reason = reason
+
+
 class FileSystemError(StorageError):
     """Errors from the simulated file system layer."""
 

@@ -72,6 +72,12 @@ class FaultEvent:
     times: int = 1
     extra_ms: float = 0.0     #: additional simulated wait (latency kinds)
     bit: int = 0              #: which bit of the block to flip (bit-flip)
+    #: Sticky events (the default) latch onto the block they first hit
+    #: and keep firing only on re-accesses of that block.  Non-sticky
+    #: events fire on *consecutive eligible operations* regardless of
+    #: block — ``times`` large enough models a dead actuator that fails
+    #: every transfer (see :meth:`FaultPlan.dead_disk`).
+    sticky: bool = True
     fired: int = 0            #: firings so far (mutated by the plan)
     bound_block: Optional[int] = None  #: block a sticky event latched onto
 
@@ -172,7 +178,8 @@ class FaultPlan:
                 continue
             if event.fired > 0:
                 # Sticky: already triggered, keep failing the same block.
-                if event.bound_block == block_no:
+                # Non-sticky: keep failing every eligible operation.
+                if not event.sticky or event.bound_block == block_no:
                     event.fired += 1
                     self.stats.count(event.kind)
                     return event
@@ -205,6 +212,23 @@ class FaultPlan:
         dropped = self.unfired
         self.events = [event for event in self.events if event.spent]
         return dropped
+
+    @classmethod
+    def dead_disk(
+        cls, eligible_blocks: Optional[Set[int]] = None
+    ) -> "FaultPlan":
+        """A plan under which every eligible read fails, forever.
+
+        Models a dead disk (or a dead shard of a partitioned index):
+        from the first read on, every transfer raises
+        :class:`~repro.errors.BadBlockError`, exhausting the reader's
+        retry budget each time.  Writes and allocations still succeed —
+        the platter spins, the heads are gone.
+        """
+        return cls(
+            [FaultEvent("transient-read", at_op=0, times=1 << 62, sticky=False)],
+            eligible_blocks=eligible_blocks,
+        )
 
     # -- seeded generation --------------------------------------------------------
 

@@ -108,9 +108,14 @@ class DocumentAtATimeEngine:
 
         entries = [self.index.term_entry(term) for term in terms]
         if self.use_reservation:
+            # Best-effort, like the term-at-a-time engine: a storage
+            # failure while probing residency pins nothing and moves on.
             for entry in entries:
                 if entry is not None and entry.storage_key:
-                    self.index.store.reserve(entry.storage_key)
+                    try:
+                        self.index.store.reserve(entry.storage_key)
+                    except BadBlockError:
+                        break
 
         n_docs = max(len(self.index.doctable), 1)
         avg_len = max(self.index.doctable.average_length, 1.0)

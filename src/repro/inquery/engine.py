@@ -239,11 +239,20 @@ class RetrievalEngine:
         return [self.run_query(text) for text in queries]
 
     def _reserve_resident_objects(self, tree: QueryNode) -> None:
-        """The pre-evaluation scan that pins already-resident objects."""
+        """The pre-evaluation scan that pins already-resident objects.
+
+        Reservation is an optimization, never a requirement: a storage
+        failure while probing residency (e.g. an auxiliary table read on
+        a failing disk) degrades to "nothing pinned" — the evaluation
+        itself handles the real read failures.
+        """
         for term in query_terms(tree):
             entry = self.index.term_entry(term)
             if entry is not None and entry.storage_key:
-                self.index.store.reserve(entry.storage_key)
+                try:
+                    self.index.store.reserve(entry.storage_key)
+                except BadBlockError:
+                    return
 
     def _rank(self, scores) -> List[Tuple[int, float]]:
         """Document ranking is a selection problem (charged as user CPU).

@@ -129,6 +129,18 @@ class InferenceNetwork:
         document) and the result is scored like a single term whose
         document frequency is the union's size.
         """
+        merged = self._synonym_postings(node)
+        if merged is None:
+            return {}, DEFAULT_BELIEF
+        return self._belief_from_postings(merged, df=len(merged))
+
+    def _synonym_postings(self, node: OpNode) -> Optional[List[Posting]]:
+        """The synonym group's unioned postings, or ``None`` if empty.
+
+        Factored out of :meth:`_eval_syn` (storage accesses and clock
+        charges included) so the shard statistics collector computes the
+        identical virtual record without scoring it.
+        """
         by_doc: Dict[int, set] = {}
         for child in node.children:
             postings = self._provider.postings(child.term)
@@ -137,21 +149,34 @@ class InferenceNetwork:
             for doc_id, positions in postings:
                 by_doc.setdefault(doc_id, set()).update(positions)
         if not by_doc:
-            return {}, DEFAULT_BELIEF
+            return None
         merged: List[Posting] = [
             (doc_id, tuple(sorted(positions)))
             for doc_id, positions in sorted(by_doc.items())
         ]
         self._provider.charge_combine(len(merged))
-        return self._belief_from_postings(merged, df=len(merged))
+        return merged
 
     def _proximity(self, node: OpNode, ordered: bool, window: int) -> BeliefTable:
         """Build a virtual term from co-occurrence within a window."""
+        virtual = self._proximity_postings(node, ordered, window)
+        if not virtual:
+            return {}, DEFAULT_BELIEF
+        return self._belief_from_postings(virtual, df=len(virtual))
+
+    def _proximity_postings(
+        self, node: OpNode, ordered: bool, window: int
+    ) -> Optional[List[Posting]]:
+        """The proximity node's virtual postings (``None``: missing word).
+
+        Performs the storage accesses and clock charges of the reference
+        evaluation; shared with the shard statistics collector.
+        """
         term_postings = []
         for child in node.children:
             postings = self._provider.postings(child.term)
             if postings is None or not postings:
-                return {}, DEFAULT_BELIEF  # a missing word kills the phrase
+                return None  # a missing word kills the phrase
             term_postings.append(dict(postings))
         common = set(term_postings[0])
         for positions_by_doc in term_postings[1:]:
@@ -163,9 +188,7 @@ class InferenceNetwork:
             if count > 0:
                 virtual.append((doc_id, tuple(range(count))))
         self._provider.charge_combine(sum(len(tp) for tp in term_postings))
-        if not virtual:
-            return {}, DEFAULT_BELIEF
-        return self._belief_from_postings(virtual, df=len(virtual))
+        return virtual
 
     # -- combination operators ----------------------------------------------------
 

@@ -1,0 +1,126 @@
+"""Measuring a sharded run with the paper's methodology, per shard.
+
+Each shard is measured exactly like a single-disk system — cold start,
+:class:`~repro.core.metrics.SystemSnapshot` before, difference after —
+so every per-shard breakdown is a bona fide :class:`RunMetrics` directly
+comparable with the unsharded tables.  On top of those the sharded
+metrics add the two quantities that only exist with N machines:
+
+* ``wall_s`` becomes the **critical path** — per query phase, the
+  slowest shard's simulated time plus the coordinator's serial exchange
+  and merge work.  This is what an N-machine deployment's wall clock
+  would read, and what the scaling benchmark's speedup is computed from.
+* ``wall_s_sum`` is total simulated machine time across shards and
+  coordinator — the resource bill.  ``wall_s_sum / wall_s`` close to N
+  means the fan-out actually ran in parallel; ``shard_skew`` near 1.0
+  means the partitioner spread the load evenly.
+
+I/A/B counters and per-pool buffer statistics are summed across shards:
+they count physical work, which does not care which machine did it.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.metrics import RunMetrics, SystemSnapshot, cold_start
+from ..mneme import BufferStats
+from .system import ShardedIRSystem
+
+
+@dataclass
+class ShardRunMetrics(RunMetrics):
+    """RunMetrics over the merged results, plus the sharding ledger."""
+
+    #: Total simulated machine-time across shards + coordinator (seconds).
+    wall_s_sum: float = 0.0
+    #: Coordinator-only time (df exchange + merge), part of ``wall_s``.
+    coordinator_wall_s: float = 0.0
+    per_shard: List[RunMetrics] = field(default_factory=list)
+    tasks: int = 0
+    barriers: int = 0
+    max_queue_depth: int = 0
+    shard_skew: float = 1.0
+    shards_down: Tuple[int, ...] = ()
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """``wall_s_sum / (N * wall_s)``: 1.0 is perfect scaling."""
+        if self.wall_s <= 0 or not self.per_shard:
+            return 0.0
+        return self.wall_s_sum / (len(self.per_shard) * self.wall_s)
+
+
+def _sum_buffer_stats(per_shard: List[RunMetrics]) -> Dict[str, BufferStats]:
+    """Element-wise sum of each shard's per-pool buffer counters."""
+    totals: Dict[str, BufferStats] = {}
+    for metrics in per_shard:
+        for pool, stats in metrics.buffer_stats.items():
+            if pool not in totals:
+                totals[pool] = BufferStats()
+            total = totals[pool]
+            total.refs += stats.refs
+            total.hits += stats.hits
+            total.insertions += stats.insertions
+            total.evictions += stats.evictions
+    return totals
+
+
+def measure_sharded_run(
+    sharded: ShardedIRSystem,
+    queries: List[str],
+    query_set_name: str = "",
+    top_k: int = 50,
+    engine: str = "taat",
+    cold: bool = True,
+    keep_results: bool = True,
+    max_workers=None,
+) -> ShardRunMetrics:
+    """Run a query set through the shard scheduler and measure everything."""
+    live = sharded.live_shards
+    if cold:
+        for shard_id in live:
+            cold_start(sharded.shards[shard_id])
+        sharded.clock.reset()
+    snapshots = {
+        shard_id: SystemSnapshot(sharded.shards[shard_id]) for shard_id in live
+    }
+    coordinator_start = sharded.clock.snapshot()
+    scheduler = sharded.scheduler(top_k=top_k, engine=engine, max_workers=max_workers)
+    outcome = scheduler.run_batch(queries)
+    coordinator = sharded.clock.since(coordinator_start)
+
+    per_shard = [
+        snapshots[shard_id].metrics(
+            outcome.per_shard_results[shard_id],
+            query_set_name=query_set_name,
+            queries=len(queries),
+            keep_results=keep_results,
+        )
+        for shard_id in live
+    ]
+    shard_wall_sum = sum(m.wall_s for m in per_shard)
+    results = outcome.results
+    return ShardRunMetrics(
+        system=sharded.name,
+        query_set=query_set_name,
+        queries=len(queries),
+        wall_s=outcome.critical.wall_ms / 1000.0,
+        user_s=outcome.critical.user_ms / 1000.0,
+        system_io_s=outcome.critical.system_io_ms / 1000.0,
+        io_inputs=sum(m.io_inputs for m in per_shard),
+        file_accesses=sum(m.file_accesses for m in per_shard),
+        record_lookups=sum(m.record_lookups for m in per_shard),
+        bytes_from_file=sum(m.bytes_from_file for m in per_shard),
+        buffer_stats=_sum_buffer_stats(per_shard),
+        results=results if keep_results else [],
+        degraded_queries=sum(1 for r in results if r.degraded),
+        terms_failed=sum(r.terms_failed for r in results),
+        wall_s_sum=shard_wall_sum + coordinator.wall_ms / 1000.0,
+        coordinator_wall_s=coordinator.wall_ms / 1000.0,
+        per_shard=per_shard,
+        tasks=outcome.stats.tasks,
+        barriers=outcome.stats.barriers,
+        max_queue_depth=outcome.stats.max_queue_depth,
+        shard_skew=outcome.stats.shard_skew,
+        shards_down=tuple(sharded.shards_down),
+    )

@@ -1,0 +1,213 @@
+"""Document partitioners and per-shard index preparation.
+
+A shard owns a contiguous or hashed subset of the *documents*; every
+posting of a document lives in that document's home shard.  This is the
+document-partitioned ("local index") organization: each shard holds a
+complete miniature inverted file over its own documents, queries fan out
+to every shard, and per-shard top-k results merge losslessly because no
+document's evidence is split across shards.
+
+The partitioners are pure integer functions of the document id, so the
+same document always lands on the same shard for a given (scheme, N) —
+builds are reproducible and a re-partition is an explicit operation, not
+an accident of iteration order.
+
+:func:`partition_prepared` splits an already-prepared collection
+(:class:`~repro.core.prepared.PreparedCollection`) without re-running
+the indexing sort: each global record is decoded once, its postings are
+routed by document id, and each shard re-encodes its slice.  Term ids
+stay *global*, so shard dictionaries, merge bookkeeping, and the N=1
+degenerate case line up with the unsharded build exactly (for N=1 the
+shard's records are byte-for-byte the unsharded records).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..inquery import DocTable, IndexStats, decode_record, encode_record, uncompressed_size
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finalizer: a deterministic, platform-stable int hash."""
+    mask = (1 << 64) - 1
+    value = (value + 0x9E3779B97F4A7C15) & mask
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & mask
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & mask
+    return value ^ (value >> 31)
+
+
+class Partitioner:
+    """Maps a document id to its home shard."""
+
+    scheme = "?"
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ConfigError("a partitioned index needs at least one shard")
+        self.n_shards = n_shards
+
+    def shard_of(self, doc_id: int) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {"scheme": self.scheme, "shards": self.n_shards}
+
+
+class HashPartitioner(Partitioner):
+    """Deterministic hash partitioning: uniform load, no locality.
+
+    Uses the SplitMix64 finalizer rather than Python's salted ``hash``
+    so shard assignment is identical across processes and platforms.
+    """
+
+    scheme = "hash"
+
+    def shard_of(self, doc_id: int) -> int:
+        return _mix64(doc_id) % self.n_shards
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous document-id ranges: locality-preserving partitioning.
+
+    Shard ``i`` owns an equal-width slice of ``[1, n_docs]``; with the
+    synthetic collections' dense 1-based ids this balances document
+    counts to within one.
+    """
+
+    scheme = "range"
+
+    def __init__(self, n_shards: int, n_docs: int):
+        super().__init__(n_shards)
+        if n_docs < 1:
+            raise ConfigError("cannot range-partition an empty collection")
+        self.n_docs = n_docs
+
+    def shard_of(self, doc_id: int) -> int:
+        if doc_id < 1:
+            raise ConfigError(f"document id {doc_id} outside [1, {self.n_docs}]")
+        scaled = (min(doc_id, self.n_docs) - 1) * self.n_shards
+        return scaled // self.n_docs
+
+    def describe(self) -> dict:
+        return {**super().describe(), "n_docs": self.n_docs}
+
+
+def make_partitioner(scheme: str, n_shards: int, n_docs: int) -> Partitioner:
+    """Partitioner factory used by ``materialize(..., partitioner=...)``."""
+    if scheme == "hash":
+        return HashPartitioner(n_shards)
+    if scheme == "range":
+        return RangePartitioner(n_shards, n_docs)
+    raise ConfigError(f"unknown partitioning scheme {scheme!r}")
+
+
+@dataclass
+class ShardPrepared:
+    """One shard's slice of a prepared collection.
+
+    ``records`` keep the *global* term ids; ``df``/``ctf``/``doctable``
+    /``stats`` here are **shard-local** — they describe what this shard
+    actually stores, and summing them across shards reconstructs the
+    global statistics exactly (the partitioner round-trip invariant the
+    tests assert).  The *serving* view handed to ``materialize`` is
+    built by :meth:`serving_view`, which swaps in the global document
+    table and global per-term df/ctf so every shard scores with
+    collection-wide statistics.
+    """
+
+    shard_id: int
+    n_shards: int
+    doc_ids: List[int]
+    records: List[Tuple[int, bytes]]
+    df: Dict[int, int] = field(default_factory=dict)
+    ctf: Dict[int, int] = field(default_factory=dict)
+    doctable: DocTable = field(default_factory=DocTable)
+    stats: IndexStats = field(default_factory=IndexStats)
+
+    @property
+    def largest_record(self) -> int:
+        return max(self.stats.record_sizes) if self.stats.record_sizes else 0
+
+    def serving_view(self, prepared) -> "PreparedCollection":
+        """A PreparedCollection materializable as this shard's machine.
+
+        Shard-local records and record-size statistics (Table 2 buffers
+        are sized per shard) combined with the *global* document table
+        and *global* df/ctf: the inference networks read ``doc_count``,
+        ``average_doc_length``, document lengths, and dictionary term
+        statistics from the index they are attached to, and those must
+        be collection-wide for sharded rankings to be bit-identical to
+        the single-disk engine's.
+        """
+        from ..core.prepared import PreparedCollection
+
+        shard_terms = {term_id for term_id, _record in self.records}
+        term_id_of_rank = {
+            rank: term_id
+            for rank, term_id in prepared.term_id_of_rank.items()
+            if term_id in shard_terms
+        }
+        return PreparedCollection(
+            name=f"{prepared.name}#shard{self.shard_id}of{self.n_shards}",
+            collection=prepared.collection,
+            records=self.records,
+            term_id_of_rank=term_id_of_rank,
+            rank_of_term_id={t: r for r, t in term_id_of_rank.items()},
+            df={t: prepared.df[t] for t in shard_terms},
+            ctf={t: prepared.ctf[t] for t in shard_terms},
+            doctable=prepared.doctable,
+            stats=self.stats,
+        )
+
+
+def partition_prepared(
+    prepared, partitioner: Partitioner
+) -> List[ShardPrepared]:
+    """Split a prepared collection into per-shard slices.
+
+    Every posting is routed by its document's home shard; a term whose
+    postings all live elsewhere simply has no record (and no dictionary
+    entry) in this shard.  Record encoding is identical to the global
+    build's, so the N=1 partition reproduces the unsharded records
+    byte for byte.
+    """
+    n = partitioner.n_shards
+    shards = [
+        ShardPrepared(shard_id=i, n_shards=n, doc_ids=[], records=[])
+        for i in range(n)
+    ]
+
+    home: Dict[int, int] = {}
+    for doc_id, length in prepared.doctable.lengths.items():
+        shard_id = partitioner.shard_of(doc_id)
+        home[doc_id] = shard_id
+        shards[shard_id].doc_ids.append(doc_id)
+        shards[shard_id].doctable.add(doc_id, length)
+        shards[shard_id].stats.documents += 1
+
+    for term_id, record in prepared.records:
+        if n == 1:
+            slices: List[Optional[List]] = [None]
+            slices[0] = decode_record(record)
+        else:
+            slices = [None] * n
+            for posting in decode_record(record):
+                shard_id = home[posting[0]]
+                if slices[shard_id] is None:
+                    slices[shard_id] = []
+                slices[shard_id].append(posting)
+        for shard_id, postings in enumerate(slices):
+            if not postings:
+                continue
+            shard = shards[shard_id]
+            encoded = record if n == 1 else encode_record(postings)
+            shard.records.append((term_id, encoded))
+            shard.df[term_id] = len(postings)
+            shard.ctf[term_id] = sum(len(p) for _d, p in postings)
+            shard.stats.records += 1
+            shard.stats.postings += sum(len(p) for _d, p in postings)
+            shard.stats.compressed_bytes += len(encoded)
+            shard.stats.uncompressed_bytes += uncompressed_size(postings)
+            shard.stats.record_sizes.append(len(encoded))
+    return shards

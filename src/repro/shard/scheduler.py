@@ -1,0 +1,232 @@
+"""Concurrent fan-out scheduling of queries across shards.
+
+Queries run against every live shard through a
+:class:`~concurrent.futures.ThreadPoolExecutor`; shards are real Python
+objects on one machine, so the pool models the coordinator's dispatch
+loop while each shard's *simulated* time advances on its own clock.
+
+Determinism under threading is by construction, not by luck:
+
+* every task for shard *i* runs under shard *i*'s lock and touches only
+  shard *i*'s simulated machine, so per-shard state sees a serialized,
+  schedule-independent sequence of operations;
+* each query phase is a **barrier** — the coordinator collects every
+  shard's answer (in shard-id order) before computing global statistics
+  or merging, so downstream work never depends on arrival order;
+* the merge itself is pure and ordered (see :mod:`.merge`).
+
+Two clocks come out of a batch.  The **critical path** adds up, per
+barrier, the slowest shard's time slice plus the coordinator's own
+(serial) statistics-exchange and merge work — the simulated wall clock
+of an actual N-machine deployment.  The **sum** over all shards is the
+total machine time burned, the cost side of the scaling ledger; both are
+reported by :mod:`repro.shard.metrics`.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ConfigError
+from ..inquery import DocumentAtATimeEngine, QueryResult, parse_query, query_terms
+from ..simdisk.timing import TimeBreakdown
+from .merge import ShardOutcome, ShardedQueryResult, merge_results
+from .system import ShardedIRSystem
+from .taat import ShardTaatRunner
+
+
+@dataclass
+class SchedulerStats:
+    """What the scheduler did, for the run's metrics."""
+
+    workers: int = 0
+    tasks: int = 0
+    barriers: int = 0
+    #: Most tasks simultaneously submitted and unfinished (per barrier,
+    #: every live shard has exactly one task in flight).
+    max_queue_depth: int = 0
+    #: Simulated busy time per shard over the batch, in milliseconds.
+    busy_ms: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def shard_skew(self) -> float:
+        """Max-over-mean shard busy time: 1.0 is a perfectly even load."""
+        if not self.busy_ms:
+            return 1.0
+        mean = sum(self.busy_ms.values()) / len(self.busy_ms)
+        return max(self.busy_ms.values()) / mean if mean > 0 else 1.0
+
+
+@dataclass
+class BatchOutcome:
+    """Everything a batch run produces, before metrics shaping."""
+
+    results: List[ShardedQueryResult]
+    per_shard_results: Dict[int, List[QueryResult]]
+    stats: SchedulerStats
+    critical: TimeBreakdown
+
+
+class ShardScheduler:
+    """Fans queries out to per-shard engines and merges the answers.
+
+    ``engine`` selects per-shard evaluation: ``"taat"`` runs the
+    two-phase term-at-a-time exchange (any query shape), ``"daat"`` runs
+    the document-at-a-time engine (flat #sum/#wsum; global df comes from
+    the shard dictionaries, so no exchange phase is needed).
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedIRSystem,
+        top_k: int = 50,
+        engine: str = "taat",
+        max_workers: Optional[int] = None,
+    ):
+        if engine not in ("taat", "daat"):
+            raise ConfigError(f"unknown shard engine {engine!r}")
+        self.sharded = sharded
+        self.top_k = top_k
+        self.engine = engine
+        self.max_workers = max_workers or sharded.n_shards
+        self._locks = [threading.Lock() for _ in sharded.shards]
+        if engine == "taat":
+            self._taat = [
+                ShardTaatRunner(shard, top_k=top_k) for shard in sharded.shards
+            ]
+        else:
+            self._daat = [
+                DocumentAtATimeEngine(
+                    shard.index,
+                    top_k=top_k,
+                    use_reservation=sharded.config.use_reservation,
+                    use_fastpath=sharded.config.use_fastpath,
+                )
+                for shard in sharded.shards
+            ]
+
+    # -- batch driving ---------------------------------------------------------
+
+    def run_batch(self, queries: List[str]) -> BatchOutcome:
+        sharded = self.sharded
+        stats = SchedulerStats(workers=self.max_workers)
+        critical = TimeBreakdown()
+        results: List[ShardedQueryResult] = []
+        per_shard: Dict[int, List[QueryResult]] = {
+            i: [] for i in range(sharded.n_shards)
+        }
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            for text in queries:
+                live = sharded.live_shards
+                coord_start = sharded.clock.snapshot()
+                if self.engine == "taat":
+                    answers = self._serve_taat(pool, live, text, stats, critical)
+                else:
+                    answers = self._wave(
+                        pool, live,
+                        lambda i: self._daat[i].run_query(text),
+                        stats, critical,
+                    )
+                outcomes: List[ShardOutcome] = []
+                for shard_id in range(sharded.n_shards):
+                    if shard_id in answers:
+                        outcomes.append(ShardOutcome(shard_id, answers[shard_id]))
+                        per_shard[shard_id].append(answers[shard_id])
+                    else:
+                        outcomes.append(ShardOutcome(
+                            shard_id,
+                            attempted_down=self._down_attempted(shard_id, text),
+                        ))
+                sharded.clock.charge_user(
+                    sharded.clock.cost.cpu_ms_per_posting
+                    * sum(len(o.result.ranking) for o in outcomes if o.result)
+                )
+                results.append(merge_results(text, outcomes, top_k=self.top_k))
+                coord = sharded.clock.since(coord_start)
+                critical.user_ms += coord.user_ms
+                critical.system_ms += coord.system_ms
+                critical.io_ms += coord.io_ms
+        return BatchOutcome(
+            results=results,
+            per_shard_results=per_shard,
+            stats=stats,
+            critical=critical,
+        )
+
+    def _serve_taat(
+        self,
+        pool: ThreadPoolExecutor,
+        live: List[int],
+        text: str,
+        stats: SchedulerStats,
+        critical: TimeBreakdown,
+    ) -> Dict[int, QueryResult]:
+        """The two-phase exchange: collect local dfs, sum, score."""
+        local_dfs = self._wave(
+            pool, live, lambda i: self._taat[i].collect(text), stats, critical
+        )
+        slots = len(local_dfs[live[0]])
+        global_dfs = [
+            sum(local_dfs[i][slot] for i in live) for slot in range(slots)
+        ]
+        # The exchange is coordinator work: one combine per (slot, shard).
+        self.sharded.clock.charge_user(
+            self.sharded.clock.cost.cpu_ms_per_posting * slots * len(live)
+        )
+        return self._wave(
+            pool, live, lambda i: self._taat[i].score(global_dfs), stats, critical
+        )
+
+    def _wave(
+        self,
+        pool: ThreadPoolExecutor,
+        shard_ids: List[int],
+        fn: Callable[[int], object],
+        stats: SchedulerStats,
+        critical: TimeBreakdown,
+    ) -> Dict[int, object]:
+        """One barrier: run ``fn`` on every listed shard, gather in order."""
+        stats.tasks += len(shard_ids)
+        stats.max_queue_depth = max(stats.max_queue_depth, len(shard_ids))
+        futures = {i: pool.submit(self._on_shard, i, fn) for i in shard_ids}
+        answers: Dict[int, object] = {}
+        deltas: Dict[int, TimeBreakdown] = {}
+        for shard_id in shard_ids:  # shard order, regardless of completion order
+            answers[shard_id], deltas[shard_id] = futures[shard_id].result()
+        stats.barriers += 1
+        slowest = max(shard_ids, key=lambda i: (deltas[i].wall_ms, i))
+        critical.user_ms += deltas[slowest].user_ms
+        critical.system_ms += deltas[slowest].system_ms
+        critical.io_ms += deltas[slowest].io_ms
+        for shard_id in shard_ids:
+            stats.busy_ms[shard_id] = (
+                stats.busy_ms.get(shard_id, 0.0) + deltas[shard_id].wall_ms
+            )
+        return answers
+
+    def _on_shard(self, shard_id: int, fn: Callable[[int], object]):
+        """Run one task against one shard's simulated machine.
+
+        The per-shard lock serializes all touches of that machine, so
+        its clock delta is attributable to exactly this task.
+        """
+        with self._locks[shard_id]:
+            clock = self.sharded.shards[shard_id].clock
+            start = clock.snapshot()
+            result = fn(shard_id)
+            return result, clock.since(start)
+
+    def _down_attempted(self, shard_id: int, text: str) -> int:
+        """Stored terms a down shard would have been asked to read.
+
+        The shard's dictionary is coordinator-resident metadata, so the
+        accounting works even when the shard's disk is unreachable.
+        """
+        index = self.sharded.shards[shard_id].index
+        count = 0
+        for term in set(query_terms(parse_query(text))):
+            entry = index.term_entry(term)
+            if entry is not None and entry.df and entry.storage_key:
+                count += 1
+        return count

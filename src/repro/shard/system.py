@@ -1,0 +1,174 @@
+"""The sharded system: N simulated machines serving one collection.
+
+Each shard is a full :class:`~repro.core.prepared.IRSystem` — its own
+:class:`~repro.simdisk.SimDisk`, file system, Mneme pools (or B-tree),
+per-pool LRU buffers sized by the Table 2 heuristics *from that shard's
+own record-size distribution*, and its own simulated clock.  The paper's
+single-machine layout is replicated per shard rather than stretched
+across shards, which is exactly how one scales the design: the pool and
+buffer heuristics are functions of the data a machine stores, so a shard
+storing 1/N of the postings sizes its large buffer from *its* largest
+record.
+
+The coordinator owns a clock of its own (statistics exchange, merge) and
+the administrative up/down state; the scheduler in :mod:`.scheduler`
+turns the pieces into query service.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from ..core.config import SystemConfig
+from ..core.prepared import IRSystem, PreparedCollection, materialize
+from ..errors import ConfigError, ShardUnavailableError
+from ..simdisk import SimClock
+from .partition import Partitioner, ShardPrepared, make_partitioner, partition_prepared
+
+
+@dataclass
+class ShardedIRSystem:
+    """One prepared collection served by N single-machine shards."""
+
+    config: SystemConfig
+    prepared: PreparedCollection            #: the global (unsharded) preparation
+    partitioner: Partitioner
+    shards: List[IRSystem]
+    shard_prepared: List[ShardPrepared]
+    clock: SimClock = field(default_factory=SimClock)  #: coordinator clock
+    _down: Set[int] = field(default_factory=set)
+
+    def __post_init__(self):
+        self.clock = SimClock(cost=self.config.cost)
+
+    @property
+    def name(self) -> str:
+        return f"{self.config.name}x{self.n_shards}"
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of_doc(self, doc_id: int) -> int:
+        return self.partitioner.shard_of(doc_id)
+
+    # -- administrative shard state ------------------------------------------
+
+    def mark_down(self, shard_id: int) -> None:
+        """Take a shard out of service; queries degrade around it."""
+        self._check_shard(shard_id)
+        self._down.add(shard_id)
+
+    def mark_up(self, shard_id: int) -> None:
+        self._check_shard(shard_id)
+        self._down.discard(shard_id)
+
+    def is_down(self, shard_id: int) -> bool:
+        return shard_id in self._down
+
+    @property
+    def shards_down(self) -> Sequence[int]:
+        return tuple(sorted(self._down))
+
+    @property
+    def live_shards(self) -> List[int]:
+        live = [i for i in range(self.n_shards) if i not in self._down]
+        if not live:
+            raise ShardUnavailableError(
+                next(iter(sorted(self._down))),
+                reason="every shard of the index is down",
+            )
+        return live
+
+    def _check_shard(self, shard_id: int) -> None:
+        if not 0 <= shard_id < self.n_shards:
+            raise ConfigError(
+                f"shard {shard_id} out of range for {self.n_shards} shards"
+            )
+
+    # -- convenience ----------------------------------------------------------
+
+    def fault_shard(self, shard_id: int, plan) -> None:
+        """Attach a serving-time fault plan to one shard's disk.
+
+        Build-time faults go through ``materialize(...,
+        fault_plan=...)``; this is the chaos harness's post-build hook —
+        e.g. ``fault_shard(0, FaultPlan.dead_disk())`` kills shard 0's
+        reads from the next query on.  Pass ``None`` to detach.
+        """
+        self._check_shard(shard_id)
+        self.shards[shard_id].fs.disk.attach_fault_plan(plan)
+
+    def scheduler(self, top_k: int = 50, engine: str = "taat", max_workers=None):
+        from .scheduler import ShardScheduler
+
+        return ShardScheduler(
+            self, top_k=top_k, engine=engine, max_workers=max_workers
+        )
+
+
+def _per_shard_plans(fault_plans, n_shards: int) -> List[Optional[object]]:
+    """Normalize the ``fault_plans`` argument to one entry per shard.
+
+    Accepts ``None``, a sequence (padded with ``None``), a mapping from
+    shard id to plan, or a single plan — which is attached to shard 0,
+    the conventional victim of one-shard chaos runs.
+    """
+    plans: List[Optional[object]] = [None] * n_shards
+    if fault_plans is None:
+        return plans
+    if isinstance(fault_plans, dict):
+        for shard_id, plan in fault_plans.items():
+            if not 0 <= shard_id < n_shards:
+                raise ConfigError(f"fault plan for unknown shard {shard_id}")
+            plans[shard_id] = plan
+        return plans
+    if isinstance(fault_plans, (list, tuple)):
+        if len(fault_plans) > n_shards:
+            raise ConfigError(
+                f"{len(fault_plans)} fault plans for {n_shards} shards"
+            )
+        plans[: len(fault_plans)] = list(fault_plans)
+        return plans
+    plans[0] = fault_plans
+    return plans
+
+
+def materialize_sharded(
+    prepared: PreparedCollection,
+    config: SystemConfig,
+    n_shards: int,
+    partitioner: Union[str, Partitioner] = "hash",
+    fault_plans=None,
+) -> ShardedIRSystem:
+    """Partition a prepared collection and build one machine per shard.
+
+    Every shard build goes through the ordinary
+    :func:`~repro.core.prepared.materialize`, so a shard is
+    indistinguishable from a small single-disk system — same pools, same
+    buffer heuristics, same dictionary construction.  The per-shard
+    prepared view carries the *global* document table and per-term
+    df/ctf (see :meth:`~repro.shard.partition.ShardPrepared.serving_view`),
+    which is what keeps sharded scoring bit-identical to the single-disk
+    engine.
+    """
+    if isinstance(partitioner, str):
+        partitioner = make_partitioner(
+            partitioner, n_shards, len(prepared.doctable)
+        )
+    elif partitioner.n_shards != n_shards:
+        raise ConfigError(
+            f"partitioner is for {partitioner.n_shards} shards, asked for {n_shards}"
+        )
+    plans = _per_shard_plans(fault_plans, n_shards)
+    shard_prepared = partition_prepared(prepared, partitioner)
+    shards = [
+        materialize(sp.serving_view(prepared), config, fault_plan=plans[sp.shard_id])
+        for sp in shard_prepared
+    ]
+    return ShardedIRSystem(
+        config=config,
+        prepared=prepared,
+        partitioner=partitioner,
+        shards=shards,
+        shard_prepared=shard_prepared,
+    )

@@ -1,0 +1,72 @@
+"""Fixtures: one small collection, its single-disk reference rankings.
+
+Everything expensive is session-scoped: the collection, its
+preparation, the query sets (one per query style so the invariance
+tests cover the whole operator surface), and the unsharded baseline's
+rankings.  Sharded builds are cheap by comparison and constructed per
+test so fault plans and down-marks never leak between tests.
+"""
+
+import pytest
+
+from repro.core import config_by_name, materialize, prepare_collection
+from repro.core.metrics import measure_run
+from repro.synth import (
+    CollectionProfile,
+    QueryProfile,
+    SyntheticCollection,
+    generate_query_set,
+)
+
+TINY = CollectionProfile(
+    name="tiny-shards", models="test", documents=280, mean_doc_length=60,
+    doc_length_sigma=0.5, vocab_size=3000, seed=41,
+)
+
+QUERY_STYLES = [
+    QueryProfile(name="shards-natural", style="natural", n_queries=8,
+                 mean_terms=4, seed=101),
+    QueryProfile(name="shards-boolean", style="boolean", n_queries=8,
+                 mean_terms=4, seed=103),
+    QueryProfile(name="shards-phrase", style="phrase", n_queries=8,
+                 mean_terms=3, seed=107),
+    QueryProfile(name="shards-weighted", style="weighted", n_queries=8,
+                 mean_terms=4, seed=109),
+]
+
+
+@pytest.fixture(scope="session")
+def collection():
+    return SyntheticCollection(TINY)
+
+
+@pytest.fixture(scope="session")
+def prepared(collection):
+    return prepare_collection(collection)
+
+
+@pytest.fixture(scope="session")
+def query_sets(collection):
+    return [generate_query_set(collection, profile) for profile in QUERY_STYLES]
+
+
+@pytest.fixture(scope="session")
+def config():
+    return config_by_name("mneme-cache")
+
+
+@pytest.fixture(scope="session")
+def baseline(prepared, config):
+    return materialize(prepared, config)
+
+
+@pytest.fixture(scope="session")
+def reference_rankings(baseline, query_sets):
+    """Single-disk TAAT rankings per query set: the identity target."""
+    reference = {}
+    for query_set in query_sets:
+        metrics = measure_run(
+            baseline, query_set.queries, query_set_name=query_set.name
+        )
+        reference[query_set.name] = [r.ranking for r in metrics.results]
+    return reference

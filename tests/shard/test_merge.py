@@ -1,0 +1,125 @@
+"""Merge semantics, degradation propagation, and dead-shard serving."""
+
+import pytest
+
+from repro.errors import ShardUnavailableError
+from repro.faults.plan import FaultPlan
+from repro.inquery import QueryResult
+from repro.shard import (
+    ShardOutcome,
+    materialize_sharded,
+    measure_sharded_run,
+    merge_results,
+)
+
+
+def _result(ranking, attempted=0, failed=0):
+    return QueryResult(
+        query="q", ranking=ranking, terms_looked_up=attempted - failed,
+        degraded=failed > 0, terms_attempted=attempted, terms_failed=failed,
+    )
+
+
+def test_merge_selects_global_top_k_with_doc_id_tiebreak():
+    merged = merge_results(
+        "q",
+        [
+            ShardOutcome(0, _result([(3, 0.9), (1, 0.5)], attempted=2)),
+            ShardOutcome(1, _result([(2, 0.9), (4, 0.5)], attempted=2)),
+        ],
+        top_k=3,
+    )
+    # equal beliefs order by ascending doc id, across shards
+    assert merged.ranking == [(2, 0.9), (3, 0.9), (1, 0.5)]
+    assert merged.terms_attempted == 4
+    assert not merged.degraded
+    assert merged.completeness == 1.0
+    assert merged.shard_contributions == {0: 2, 1: 1}
+
+
+def test_merge_propagates_shard_degradation():
+    merged = merge_results(
+        "q",
+        [
+            ShardOutcome(0, _result([(1, 0.8)], attempted=3, failed=1)),
+            ShardOutcome(1, _result([(2, 0.7)], attempted=3)),
+        ],
+    )
+    assert merged.degraded
+    assert merged.terms_failed == 1
+    assert merged.terms_attempted == 6
+    assert merged.completeness == pytest.approx(5 / 6)
+
+
+def test_merge_accounts_down_shard_as_failed_evidence():
+    merged = merge_results(
+        "q",
+        [
+            ShardOutcome(0, _result([(1, 0.8)], attempted=2)),
+            ShardOutcome(1, result=None, attempted_down=2),
+        ],
+    )
+    assert merged.degraded
+    assert merged.shards_down == (1,)
+    assert merged.terms_attempted == 4
+    assert merged.terms_failed == 2
+    assert merged.completeness == pytest.approx(0.5)
+
+
+def test_marked_down_shard_degrades_queries(prepared, config, query_sets):
+    sharded = materialize_sharded(prepared, config, n_shards=3)
+    sharded.mark_down(2)
+    assert sharded.shards_down == (2,)
+    query_set = query_sets[0]
+    metrics = measure_sharded_run(
+        sharded, query_set.queries, query_set_name=query_set.name
+    )
+    assert metrics.degraded_queries == len(query_set.queries)
+    assert all(r.shards_down == (2,) for r in metrics.results)
+    assert all(r.completeness < 1.0 for r in metrics.results)
+    # revived shard serves again, back to full evidence
+    sharded.mark_up(2)
+    healthy = measure_sharded_run(
+        sharded, query_set.queries, query_set_name=query_set.name
+    )
+    assert healthy.degraded_queries == 0
+
+
+def test_dead_disk_shard_degrades_never_raises(prepared, config, query_sets):
+    sharded = materialize_sharded(prepared, config, n_shards=3)
+    sharded.fault_shard(0, FaultPlan.dead_disk())
+    query_set = query_sets[0]
+    metrics = measure_sharded_run(
+        sharded, query_set.queries, query_set_name=query_set.name
+    )
+    assert metrics.degraded_queries == len(query_set.queries)
+    assert all(r.terms_failed > 0 for r in metrics.results)
+    assert all(r.completeness < 1.0 for r in metrics.results)
+
+
+def test_dead_disk_serving_is_deterministic(prepared, config, query_sets):
+    query_set = query_sets[1]
+
+    def run():
+        sharded = materialize_sharded(prepared, config, n_shards=3)
+        sharded.fault_shard(0, FaultPlan.dead_disk())
+        metrics = measure_sharded_run(
+            sharded, query_set.queries, query_set_name=query_set.name
+        )
+        return [(r.ranking, r.terms_failed) for r in metrics.results]
+
+    assert run() == run()
+
+
+def test_all_shards_down_is_an_explicit_error(prepared, config, query_sets):
+    sharded = materialize_sharded(prepared, config, n_shards=2)
+    sharded.mark_down(0)
+    sharded.mark_down(1)
+    with pytest.raises(ShardUnavailableError):
+        measure_sharded_run(sharded, query_sets[0].queries[:1])
+
+
+def test_shard_unavailable_error_carries_shard_id():
+    error = ShardUnavailableError(3, reason="maintenance")
+    assert error.shard_id == 3
+    assert "maintenance" in str(error)
