@@ -13,6 +13,10 @@
 #                               # gate; writes BENCH_shards.json at the root.
 #                               # Extra args pass through, e.g.
 #                               #   scripts/bench.sh shards --shards 1 2 4 8
+#   scripts/bench.sh serve      # concurrent batch service traffic gate;
+#                               # writes BENCH_serve.json at the root.
+#                               # Extra args pass through, e.g.
+#                               #   scripts/bench.sh serve --profile cacm-s
 #
 # Tier-1 tests (`python -m pytest`) never run these: pytest's testpaths
 # points at tests/, and the wall-clock bench is additionally marked tier2.
@@ -28,6 +32,10 @@ case "${1:-all}" in
     shards)
         shift 2>/dev/null || true
         python -m repro.bench.shards "$@"
+        ;;
+    serve)
+        shift 2>/dev/null || true
+        python -m repro.bench.serve "$@"
         ;;
     --check)
         shift

@@ -1,0 +1,377 @@
+"""Traffic benchmark and invariance gate for the serving layer.
+
+For each paper collection this gate drives synthetic request streams
+through :class:`~repro.serve.service.QueryService` and checks the whole
+serving contract in one pass:
+
+* **invariance** — every served ranking (cache hit, miss, or in-wave
+  share; term-at-a-time over shards and flat document-at-a-time) must
+  be *bit-identical* to a cold single-disk evaluation of that request's
+  own query text;
+* **cache payoff** — on a repeat-heavy open-loop Poisson stream, p50
+  latency with the result cache must beat the cache-off baseline by at
+  least ``--min-p50-speedup`` (default 5x), over identical traffic;
+* **worker scaling** — on the TIPSTER profiles, burst (overload)
+  throughput must increase monotonically from 1 to 4 simulated
+  workers, cache off, over a 4-shard backend;
+* **degradation hygiene** — with one shard's disk dead, traffic is
+  served degraded without raising and *nothing* degraded enters the
+  cache.
+
+All timing is on the repo's simulated clocks (the same machine model as
+every other gate), so the numbers — and the pass/fail verdict — are
+deterministic across machines.
+
+Run it directly::
+
+    PYTHONPATH=src python -m repro.bench.serve                  # all four
+    PYTHONPATH=src python -m repro.bench.serve --profile cacm-s
+
+(or ``scripts/bench.sh serve``).  Writes ``BENCH_serve.json``; exit
+status is non-zero on any violation.
+"""
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import config_by_name
+from ..core.metrics import cold_start
+from ..core.prepared import materialize, prepare_collection
+from ..faults.plan import FaultPlan
+from ..inquery.daat import DocumentAtATimeEngine
+from ..inquery.engine import RetrievalEngine
+from ..serve import QueryService
+from ..synth import PROFILES, SyntheticCollection, generate_query_set
+from ..synth.traffic import TrafficProfile, open_loop_requests
+from .runner import PROFILE_ORDER
+from .wallclock import _daat_queries, _query_profiles
+
+DEFAULT_CONFIG = "mneme-cache"
+DEFAULT_SHARDS = 2
+DEFAULT_REQUESTS = 160
+DEFAULT_REPEAT_RATE = 0.75
+DEFAULT_MIN_P50_SPEEDUP = 5.0
+DEFAULT_WORKER_SWEEP = (1, 2, 4)
+#: Profiles whose worker-scaling sweep is gated (the big collections).
+SCALING_PROFILES = ("tipster1-s", "tipster-s")
+TRAFFIC_SEED = 29
+
+
+def _reference_rankings(prepared, config, pool: Sequence[str], engine: str):
+    """Cold single-disk rankings per distinct query, plus mean cost."""
+    system = materialize(prepared, config)
+    cold_start(system)
+    engine_cls = DocumentAtATimeEngine if engine == "daat" else RetrievalEngine
+    runner = engine_cls(
+        system.index,
+        top_k=50,
+        use_reservation=config.use_reservation,
+        use_fastpath=config.use_fastpath,
+    )
+    rankings: Dict[str, list] = {}
+    costs: List[float] = []
+    for text in dict.fromkeys(pool):
+        start = system.clock.snapshot()
+        rankings[text] = runner.run_query(text).ranking
+        costs.append(system.clock.since(start).wall_ms)
+    return rankings, sum(costs) / len(costs)
+
+
+def _check_invariance(report, reference, label: str, violations: List[str]):
+    """Every served ranking must equal the cold reference, bit for bit."""
+    bad = 0
+    for row in report.served:
+        if row.result.ranking != reference[row.text]:
+            bad += 1
+            if bad <= 3:
+                violations.append(
+                    f"{label}: served ranking for {row.text!r} "
+                    f"({row.outcome}) differs from the cold single-disk "
+                    "evaluation"
+                )
+    if bad > 3:
+        violations.append(f"{label}: {bad} served rankings diverged in total")
+    return bad
+
+
+def bench_profile(
+    profile_name: str,
+    config_name: str = DEFAULT_CONFIG,
+    n_requests: int = DEFAULT_REQUESTS,
+    shards: int = DEFAULT_SHARDS,
+    min_p50_speedup: float = DEFAULT_MIN_P50_SPEEDUP,
+    worker_sweep=DEFAULT_WORKER_SWEEP,
+) -> dict:
+    """The full serving contract for one collection profile."""
+    violations: List[str] = []
+    collection = SyntheticCollection(PROFILES[profile_name])
+    prepared = prepare_collection(collection)
+    query_sets = [
+        generate_query_set(collection, query_profile)
+        for query_profile in _query_profiles(profile_name)
+    ]
+    pool = [query for query_set in query_sets for query in query_set.queries]
+    config = config_by_name(config_name)
+
+    taat_ref, mean_cost = _reference_rankings(prepared, config, pool, "taat")
+
+    # -- repeat-heavy traffic, cache on vs. off over identical requests --
+    traffic = TrafficProfile(
+        name=f"{profile_name}-repeat-heavy",
+        mode="open",
+        n_requests=n_requests,
+        # Offered load ~60% of a 2-worker service's capacity, so queueing
+        # is visible but the cache-off baseline still drains.
+        rate_qps=1200.0 / mean_cost,
+        repeat_rate=DEFAULT_REPEAT_RATE,
+        seed=TRAFFIC_SEED,
+    )
+    requests = open_loop_requests(pool, traffic)
+    runs: Dict[str, dict] = {}
+    for label, use_cache in (("cache_on", True), ("cache_off", False)):
+        backend = materialize(prepared, config, shards=shards)
+        service = QueryService(
+            backend, engine="taat", workers=2, max_batch=8, use_cache=use_cache
+        )
+        report = service.process(requests, name=label)
+        _check_invariance(report, taat_ref, f"taat/{label}", violations)
+        cell = report.summary()
+        if service.cache is not None:
+            cell["cache"] = service.cache.stats.as_dict()
+        runs[label] = cell
+    p50_on = runs["cache_on"]["p50_ms"]
+    p50_off = runs["cache_off"]["p50_ms"]
+    p50_speedup = p50_off / p50_on if p50_on > 0 else 0.0
+    if p50_speedup < min_p50_speedup:
+        violations.append(
+            f"cache: p50 speedup {p50_speedup:.2f}x on repeat-heavy traffic "
+            f"is below the {min_p50_speedup:.2f}x floor "
+            f"({p50_off:.3f}ms off vs {p50_on:.3f}ms on)"
+        )
+
+    # -- document-at-a-time invariance on the flat subset ----------------
+    daat_cell: Optional[dict] = None
+    flat_pool = _daat_queries(pool)
+    if flat_pool:
+        daat_ref, _ = _reference_rankings(prepared, config, flat_pool, "daat")
+        daat_traffic = TrafficProfile(
+            name=f"{profile_name}-daat",
+            mode="open",
+            n_requests=min(n_requests, 2 * len(flat_pool)),
+            rate_qps=0.0,
+            repeat_rate=0.5,
+            seed=TRAFFIC_SEED + 1,
+        )
+        daat_requests = open_loop_requests(flat_pool, daat_traffic)
+        service = QueryService(
+            materialize(prepared, config), engine="daat", workers=2, max_batch=8
+        )
+        report = service.process(daat_requests, name="daat")
+        _check_invariance(report, daat_ref, "daat", violations)
+        daat_cell = report.summary()
+
+    # -- worker scaling under burst (overload) traffic -------------------
+    scaling: Dict[str, float] = {}
+    if profile_name in SCALING_PROFILES:
+        burst = TrafficProfile(
+            name=f"{profile_name}-burst",
+            mode="open",
+            n_requests=min(len(pool), 80),
+            rate_qps=0.0,  # everything arrives at t=0: pure overload
+            repeat_rate=0.0,
+            seed=TRAFFIC_SEED + 2,
+        )
+        burst_requests = open_loop_requests(pool, burst)
+        sharded = materialize(prepared, config, shards=4)
+        for workers in worker_sweep:
+            service = QueryService(
+                sharded, engine="taat", workers=workers,
+                max_batch=16, use_cache=False,
+            )
+            report = service.process(burst_requests, name=f"w{workers}")
+            _check_invariance(
+                report, taat_ref, f"burst/workers={workers}", violations
+            )
+            scaling[str(workers)] = round(report.throughput_qps, 2)
+        ordered = [scaling[str(w)] for w in worker_sweep]
+        for before, after, w_before, w_after in zip(
+            ordered, ordered[1:], worker_sweep, worker_sweep[1:]
+        ):
+            if after < before:
+                violations.append(
+                    f"scaling: burst throughput fell from {before} q/s at "
+                    f"{w_before} workers to {after} q/s at {w_after}"
+                )
+
+    # -- degraded traffic: dead shard, nothing degraded cached -----------
+    dead = materialize(prepared, config, shards=shards)
+    dead.fault_shard(0, FaultPlan.dead_disk())
+    service = QueryService(dead, engine="taat", workers=2, max_batch=8)
+    try:
+        report = service.process(requests[: n_requests // 2], name="dead-shard")
+    except Exception as error:  # noqa: BLE001 — the contract under test
+        violations.append(
+            f"dead-shard: raised {type(error).__name__}: {error}"
+        )
+        degraded_cell = {"raised": True}
+    else:
+        degraded = sum(
+            1 for row in report.served if row.result.completeness < 1.0
+        )
+        cached = len(service.cache) if service.cache is not None else 0
+        if degraded == 0:
+            violations.append("dead-shard: no request was served degraded")
+        if cached != 0:
+            violations.append(
+                f"dead-shard: {cached} degraded results were admitted "
+                "to the cache"
+            )
+        degraded_cell = {
+            "requests": len(report.served),
+            "degraded_served": degraded,
+            "cache_entries": cached,
+            "rejected_degraded": (
+                service.cache.stats.rejected_degraded
+                if service.cache is not None
+                else 0
+            ),
+        }
+
+    cell: dict = {
+        "config": config_name,
+        "shards": shards,
+        "mean_service_ms": round(mean_cost, 4),
+        "traffic": {
+            "n_requests": n_requests,
+            "rate_qps": round(traffic.rate_qps, 2),
+            "repeat_rate": traffic.repeat_rate,
+            "seed": traffic.seed,
+        },
+        "cache_on": runs["cache_on"],
+        "cache_off": runs["cache_off"],
+        "p50_speedup": round(p50_speedup, 2),
+        "dead_shard": degraded_cell,
+        "violations": violations,
+        "ok": not violations,
+    }
+    if daat_cell is not None:
+        cell["daat"] = daat_cell
+    if scaling:
+        cell["burst_throughput_qps_by_workers"] = scaling
+    return cell
+
+
+def run_benchmark(
+    profiles: Optional[List[str]] = None,
+    config_name: str = DEFAULT_CONFIG,
+    n_requests: int = DEFAULT_REQUESTS,
+    shards: int = DEFAULT_SHARDS,
+    min_p50_speedup: float = DEFAULT_MIN_P50_SPEEDUP,
+    out_path: Optional[Path] = None,
+) -> dict:
+    report = {
+        "benchmark": "serve",
+        "description": (
+            "Concurrent batch query service with a normalized-query "
+            "result cache, on simulated time: every served ranking "
+            "(cached, shared, or evaluated; sharded TAAT and flat DAAT) "
+            "bit-identical to a cold single-disk evaluation; p50 latency "
+            "on repeat-heavy Poisson traffic at least the floor times "
+            "better with the cache than without on identical requests; "
+            "burst throughput monotone in worker count on the TIPSTER "
+            "profiles; degraded results served but never cached with a "
+            "dead shard."
+        ),
+        "config": config_name,
+        "min_p50_speedup": min_p50_speedup,
+        "profiles": {},
+        "ok": True,
+    }
+    for profile_name in profiles or list(PROFILE_ORDER):
+        cell = bench_profile(
+            profile_name, config_name, n_requests, shards, min_p50_speedup
+        )
+        report["profiles"][profile_name] = cell
+        report["ok"] = report["ok"] and cell["ok"]
+    if out_path is not None:
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _print_report(report: dict) -> None:
+    for name, cell in report["profiles"].items():
+        on, off = cell["cache_on"], cell["cache_off"]
+        print(
+            f"{name} ({cell['config']}, {cell['shards']} shards, "
+            f"mean query {cell['mean_service_ms']:.2f}ms):"
+        )
+        print(
+            f"  cache on   p50 {on['p50_ms']:8.3f}ms  p95 {on['p95_ms']:8.3f}ms  "
+            f"p99 {on['p99_ms']:8.3f}ms  {on['throughput_qps']:7.1f} q/s  "
+            f"hit rate {on['hit_rate']:.2f}"
+        )
+        print(
+            f"  cache off  p50 {off['p50_ms']:8.3f}ms  p95 {off['p95_ms']:8.3f}ms  "
+            f"p99 {off['p99_ms']:8.3f}ms  {off['throughput_qps']:7.1f} q/s"
+        )
+        print(f"  p50 speedup {cell['p50_speedup']:.2f}x")
+        if "burst_throughput_qps_by_workers" in cell:
+            sweep = ", ".join(
+                f"{w}w: {qps} q/s"
+                for w, qps in cell["burst_throughput_qps_by_workers"].items()
+            )
+            print(f"  burst scaling  {sweep}")
+        dead = cell["dead_shard"]
+        if not dead.get("raised"):
+            print(
+                f"  dead shard  {dead['degraded_served']}/{dead['requests']} "
+                f"degraded, {dead['cache_entries']} cached, "
+                f"{dead['rejected_degraded']} admissions refused"
+            )
+        for violation in cell["violations"]:
+            print(f"  VIOLATION: {violation}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile", action="append", dest="profiles", choices=PROFILE_ORDER,
+        help="collection profile to benchmark (repeatable; default: all four)",
+    )
+    parser.add_argument("--config", default=DEFAULT_CONFIG)
+    parser.add_argument(
+        "--requests", type=int, default=DEFAULT_REQUESTS,
+        help="requests in the repeat-heavy traffic run (default 160)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=DEFAULT_SHARDS,
+        help="shard count behind the cached service (default 2)",
+    )
+    parser.add_argument(
+        "--min-p50-speedup", type=float, default=DEFAULT_MIN_P50_SPEEDUP,
+        help="cache-on p50 latency improvement floor (default 5x)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_serve.json"),
+        help="output JSON path (default ./BENCH_serve.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmark(
+        args.profiles, args.config, args.requests, args.shards,
+        args.min_p50_speedup, args.out,
+    )
+    _print_report(report)
+    if not report["ok"]:
+        print("\nSERVE GATE FAILED")
+        return 1
+    print(
+        "\nserve gate passed (bit-identical serving; cache and scaling "
+        "floors met)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,7 +29,6 @@ Run it directly::
 
 import argparse
 import json
-import statistics
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,6 +37,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.config import config_by_name
 from ..core.metrics import RunMetrics, cold_start, measure_run
 from ..core.prepared import materialize, prepare_collection
+from ..core.stats import median_of, relative_spread
 from ..errors import QueryError
 from ..fastpath import state as _fastpath
 from ..inquery.daat import DocumentAtATimeEngine
@@ -189,17 +189,13 @@ def _speedup(reference_s: float, fast_s: float) -> float:
     return reference_s / fast_s if fast_s > 0 else 0.0
 
 
-def _spread(samples: List[float]) -> float:
-    """Relative run-to-run spread: (max - min) / median."""
-    med = statistics.median(samples)
-    if med <= 0:
-        return 0.0
-    return (max(samples) - min(samples)) / med
+#: Relative run-to-run spread: (max - min) / median.
+_spread = relative_spread
 
 
 def _phase_row(ref_times: List[float], fast_times: List[float]) -> dict:
-    ref_med = statistics.median(ref_times)
-    fast_med = statistics.median(fast_times)
+    ref_med = median_of(ref_times)
+    fast_med = median_of(fast_times)
     return {
         "reference_s": round(ref_med, 4),
         "fastpath_s": round(fast_med, 4),

@@ -14,12 +14,16 @@ self-contained and deterministic):
 * ``evaluate`` — recall/precision of a query set against synthetic judgments;
 * ``validate`` — integrity-check a freshly built system;
 * ``chaos``    — fault-tolerant serving under seeded fault injection;
-* ``shards``   — document-partitioned scaling and invariance benchmark.
+* ``shards``   — document-partitioned scaling and invariance benchmark;
+* ``serve``    — concurrent batch query service traffic benchmark.
 
 ``demo`` additionally accepts ``--shards N`` (with ``--partitioner``) to
 serve the queries from an N-machine document-partitioned build instead
 of a single disk; rankings are identical by construction, so the knob
-exists to demonstrate the per-shard provenance it prints.
+exists to demonstrate the per-shard provenance it prints.  With
+``--serve`` the queries go through the full
+:class:`~repro.serve.service.QueryService` front door (admission waves,
+result cache) and each answer is annotated with its cache outcome.
 """
 
 import argparse
@@ -82,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--partitioner", default="hash", choices=("hash", "range"),
         help="document partitioning scheme for --shards",
+    )
+    demo.add_argument(
+        "--serve", action="store_true",
+        help="route the queries through the QueryService (waves + cache)",
     )
 
     compare = commands.add_parser(
@@ -147,6 +155,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="critical-path speedup floor at the largest N")
     shards.add_argument("--out", default=None, help="write the JSON report here")
 
+    serve = commands.add_parser(
+        "serve", help="concurrent batch query service traffic benchmark"
+    )
+    serve.add_argument("--profile", action="append", dest="profiles",
+                       help="collection profile (repeatable; default: all four)")
+    serve.add_argument("--config", default="mneme-cache")
+    serve.add_argument("--requests", type=int, default=160,
+                       help="requests in the repeat-heavy traffic run")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="shard count behind the cached service")
+    serve.add_argument("--min-p50-speedup", type=float, default=5.0,
+                       help="cache-on p50 latency improvement floor")
+    serve.add_argument("--out", default=None, help="write the JSON report here")
+
     return parser
 
 
@@ -171,6 +193,8 @@ def cmd_profiles() -> int:
 def cmd_demo(args) -> int:
     print(f"Building {args.profile!r} on {args.config!r} ...")
     workload = load_workload(args.profile)
+    if args.serve:
+        return _demo_serve(args, workload)
     if args.shards and args.shards > 1:
         sharded = materialize(
             workload.prepared, config_by_name(args.config),
@@ -204,6 +228,43 @@ def cmd_demo(args) -> int:
             print("  (no matching documents)")
         for rank, (doc_id, belief) in enumerate(result.ranking, start=1):
             print(f"  {rank:>3d}. doc {doc_id:<8d} belief={belief:.4f}")
+    return 0
+
+
+def _demo_serve(args, workload) -> int:
+    """``demo --serve``: the queries through the full service front door."""
+    from .serve import QueryService
+    from .synth.traffic import TimedRequest
+
+    if args.shards and args.shards > 1:
+        backend = materialize(
+            workload.prepared, config_by_name(args.config),
+            shards=args.shards, partitioner=args.partitioner,
+        )
+    else:
+        backend = materialize(workload.prepared, config_by_name(args.config))
+    service = QueryService(
+        backend,
+        engine="daat" if args.daat else "taat",
+        top_k=args.top_k,
+    )
+    requests = [
+        TimedRequest(text=query, arrival_ms=0.0) for query in args.queries
+    ]
+    report = service.process(requests, name="demo")
+    for row in report.served:
+        print(f"\nQuery: {row.text}  [{row.outcome}, {row.latency_ms:.3f}ms]")
+        if not row.result.ranking:
+            print("  (no matching documents)")
+        for rank, (doc_id, belief) in enumerate(row.result.ranking, start=1):
+            print(f"  {rank:>3d}. doc {doc_id:<8d} belief={belief:.4f}")
+    if service.cache is not None:
+        stats = service.cache.stats
+        print(
+            f"\nService: {report.waves} wave(s), cache "
+            f"{stats.hits}/{stats.lookups} hits, "
+            f"{len(service.cache)} entrie(s) resident"
+        )
     return 0
 
 
@@ -435,6 +496,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out:
             argv2 += ["--out", args.out]
         return shards_main(argv2)
+    if args.command == "serve":
+        from .bench.serve import main as serve_main
+
+        argv2 = []
+        for profile in args.profiles or []:
+            argv2 += ["--profile", profile]
+        argv2 += ["--config", args.config]
+        argv2 += ["--requests", str(args.requests)]
+        argv2 += ["--shards", str(args.shards)]
+        argv2 += ["--min-p50-speedup", str(args.min_p50_speedup)]
+        if args.out:
+            argv2 += ["--out", args.out]
+        return serve_main(argv2)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -26,6 +26,13 @@ from .prepared import (
     materialize,
     prepare_collection,
 )
+from .stats import (
+    latency_summary,
+    max_over_mean,
+    median_of,
+    percentile,
+    relative_spread,
+)
 from .validate import (
     ValidationIssue,
     ValidationReport,
@@ -52,10 +59,15 @@ __all__ = [
     "cold_start",
     "config_by_name",
     "improvement",
+    "latency_summary",
     "load_workload",
     "materialize",
+    "max_over_mean",
     "measure_run",
+    "median_of",
+    "percentile",
     "prepare_collection",
+    "relative_spread",
     "run_grid",
     "table2_buffer_sizes",
 ]

@@ -1,0 +1,84 @@
+"""Shared latency and aggregation statistics.
+
+One home for the percentile/median/spread arithmetic that the
+benchmarks and metrics layers all need: the wall-clock gate's
+run-to-run noise bound, the shard scheduler's load-skew ratio, and the
+serving benchmark's latency distribution all call into this module
+instead of hand-rolling a third median.
+
+Percentiles use the *nearest-rank* definition (the smallest sample at
+or above the requested fraction of the distribution).  It is exact on
+the sample — no interpolation — so two runs that produced the same
+latencies report the same percentiles bit for bit, which is what a
+deterministic regression gate needs.
+"""
+
+import math
+import statistics
+from typing import Dict, Iterable, List, Sequence
+
+
+def median_of(samples: Sequence[float]) -> float:
+    """The sample median (mean of the two middles for even counts)."""
+    return float(statistics.median(samples))
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile ``q`` in [0, 100] of a sample.
+
+    ``percentile(x, 50)`` is the lower-median (not interpolated);
+    ``percentile(x, 100)`` is the maximum; ``percentile(x, 0)`` the
+    minimum.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    ordered = sorted(samples)
+    if q == 0.0:
+        return float(ordered[0])
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return float(ordered[rank - 1])
+
+
+def latency_summary(samples_ms: Sequence[float]) -> Dict[str, float]:
+    """The serving-latency digest: count, mean, p50/p95/p99, max.
+
+    All values are in the unit of the input (milliseconds by
+    convention); an empty sample yields an all-zero digest rather than
+    raising, so report shaping never has to special-case a dry run.
+    """
+    if not samples_ms:
+        return {
+            "count": 0,
+            "mean_ms": 0.0,
+            "p50_ms": 0.0,
+            "p95_ms": 0.0,
+            "p99_ms": 0.0,
+            "max_ms": 0.0,
+        }
+    return {
+        "count": len(samples_ms),
+        "mean_ms": sum(samples_ms) / len(samples_ms),
+        "p50_ms": percentile(samples_ms, 50),
+        "p95_ms": percentile(samples_ms, 95),
+        "p99_ms": percentile(samples_ms, 99),
+        "max_ms": max(samples_ms),
+    }
+
+
+def relative_spread(samples: Sequence[float]) -> float:
+    """Run-to-run noise: (max - min) / median, 0 for degenerate input."""
+    med = median_of(samples)
+    if med <= 0:
+        return 0.0
+    return (max(samples) - min(samples)) / med
+
+
+def max_over_mean(values: Iterable[float]) -> float:
+    """Load-skew ratio: max over mean, 1.0 for empty or zero input."""
+    collected: List[float] = list(values)
+    if not collected:
+        return 1.0
+    mean = sum(collected) / len(collected)
+    return max(collected) / mean if mean > 0 else 1.0

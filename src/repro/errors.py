@@ -50,7 +50,39 @@ class ShardUnavailableError(StorageError):
         super().__init__(f"shard {shard_id} is unavailable{detail}")
         self.shard_id = shard_id
         self.reason = reason
-        self.shard_id = shard_id
+
+
+class ServiceUnavailableError(ReproError):
+    """The query service cannot accept or complete requests.
+
+    Raised by :class:`~repro.serve.service.QueryService` when a request
+    arrives after shutdown, or when every shard behind the service is
+    down — the per-shard degradation machinery has nothing left to
+    degrade *to*.  Carries ``reason`` like
+    :class:`ShardUnavailableError` carries ``shard_id``/``reason``.
+    """
+
+    def __init__(self, reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"query service unavailable{detail}")
+        self.reason = reason
+
+
+class CacheInconsistencyError(ReproError):
+    """A result-cache entry survived past its invalidation epoch.
+
+    This is an internal-invariant failure, not an operational state:
+    the cache clears itself when its epoch is bumped, so an entry whose
+    recorded epoch disagrees with the cache's means the eviction logic
+    is broken and the entry may rank against a stale index.  Serving it
+    silently would violate the bit-identity contract, hence an error
+    with the offending ``key`` and a ``reason`` payload.
+    """
+
+    def __init__(self, key: str = "", reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"result cache inconsistent for key {key!r}{detail}")
+        self.key = key
         self.reason = reason
 
 

@@ -39,6 +39,13 @@ from .invfile import (
     SMALL_POOL,
 )
 from .network import BeliefTable, DEFAULT_BELIEF, InferenceNetwork, TermProvider
+from .normalize import (
+    STOPPED_TERM,
+    canonical_query_key,
+    normalize_term,
+    normalize_tree,
+    render_canonical,
+)
 from .postings import (
     Posting,
     RecordHeader,
@@ -112,12 +119,14 @@ __all__ = [
     "RetrievalEngine",
     "SMALL_MAX_BYTES",
     "SMALL_POOL",
+    "STOPPED_TERM",
     "SetEvaluation",
     "TermEntry",
     "TermNode",
     "TermProvider",
     "add_document_incremental",
     "best_window",
+    "canonical_query_key",
     "count_nodes",
     "decode_header",
     "decode_record",
@@ -127,10 +136,13 @@ __all__ = [
     "format_query",
     "is_stopword",
     "merge_records",
+    "normalize_term",
+    "normalize_tree",
     "parse_query",
     "query_terms",
     "remove_document",
     "remove_document_incremental",
+    "render_canonical",
     "stem",
     "term_match_positions",
     "tokenize",

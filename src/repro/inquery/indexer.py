@@ -25,6 +25,7 @@ from ..simdisk import SimFileSystem
 from .dictionary import HashDictionary
 from .documents import Document, DocTable
 from .invfile import InvertedFileStore
+from .normalize import normalize_term
 from .postings import Posting, encode_record, merge_records, uncompressed_size
 from .stem import stem as default_stem
 from .text import tokenize
@@ -62,11 +63,16 @@ class CollectionIndex:
     stem_fn: Callable[[str], str] = default_stem
 
     def term_entry(self, raw_term: str):
-        """Dictionary entry for a raw (unstemmed) term, or ``None``."""
-        token = raw_term.lower()
-        if token in self.stopwords:
+        """Dictionary entry for a raw (unstemmed) term, or ``None``.
+
+        Routed through :func:`~repro.inquery.normalize.normalize_term`,
+        the same pipeline the builder and the serving cache key use, so
+        a query-time lookup can never drift from what was indexed.
+        """
+        token = normalize_term(raw_term, self.stopwords, self.stem_fn)
+        if token is None:
             return None
-        return self.dictionary.lookup(self.stem_fn(token))
+        return self.dictionary.lookup(token)
 
     _STATS = struct.Struct("<QQQQQ")
 
@@ -170,9 +176,10 @@ class IndexBuilder:
         tokens = document.term_stream(tokenize)
         kept = 0
         for position, token in enumerate(tokens):
-            if token in self._stopwords:
+            normalized = normalize_term(token, self._stopwords, self._stem)
+            if normalized is None:
                 continue
-            entry = self._dictionary.add(self._stem(token))
+            entry = self._dictionary.add(normalized)
             self._current.append((entry.term_id, document.doc_id, position))
             kept += 1
         self._doctable.add(document.doc_id, kept, document.name)
@@ -321,9 +328,10 @@ def add_document_incremental(index: CollectionIndex, document: Document) -> None
     by_term: Dict[str, List[int]] = {}
     kept = 0
     for position, token in enumerate(tokens):
-        if token in index.stopwords:
+        normalized = normalize_term(token, index.stopwords, index.stem_fn)
+        if normalized is None:
             continue
-        by_term.setdefault(index.stem_fn(token), []).append(position)
+        by_term.setdefault(normalized, []).append(position)
         kept += 1
     index.doctable.add(document.doc_id, kept, document.name)
     for term, positions in sorted(by_term.items()):

@@ -1,0 +1,119 @@
+"""Shared query/term normalization: tokenize → stop → stem → canonical tree.
+
+The same lowercase/stopword/stem pipeline runs in four places: document
+indexing (:class:`~repro.inquery.indexer.IndexBuilder`), incremental
+document addition, dictionary lookup at query time
+(:meth:`~repro.inquery.indexer.CollectionIndex.term_entry`), and the
+serving layer's result-cache key.  Before this module each of them
+spelled the pipeline out by hand; a drift between any pair would be
+silent and catastrophic — a cache key that normalizes differently from
+the engine would serve one query's ranking for a different query.  Now
+they all call :func:`normalize_term`, so the cache key and both engines
+agree on the canonical form *by construction*.
+
+:func:`canonical_query_key` renders the normalized tree back to text.
+Two query strings with the same key are guaranteed to evaluate
+identically on every engine:
+
+* terms that normalize to the same stem hit the same dictionary entry
+  (``term_entry`` is exactly ``lookup(normalize_term(raw))``);
+* stopped terms are collapsed to one reserved marker — every stopword
+  yields ``term_entry(...) is None`` and therefore the identical
+  "no evidence" belief, regardless of which stopword it was;
+* operator structure, ``#wsum`` weights, and proximity windows are
+  preserved verbatim, and child order is **never** reordered — belief
+  combination folds floats in child order, so reordering could change
+  low-order result bits.
+
+Weights are rendered with :func:`repr`, the shortest round-tripping
+float form, not ``%g`` — two different weights must never collide into
+one key.
+"""
+
+from typing import Callable, FrozenSet, Optional
+
+from .query import OpNode, QueryNode, TermNode, parse_query
+from .stem import stem as default_stem
+
+#: Canonical stand-in for a stopped term in a query key.  The NUL byte
+#: cannot appear in a parsed term (the tokenizer splits on whitespace
+#: and punctuation only, but no query source produces NUL), so the
+#: marker cannot collide with a real indexed term.
+STOPPED_TERM = "\x00stopped\x00"
+
+
+def normalize_term(
+    raw_term: str,
+    stopwords: FrozenSet[str] = frozenset(),
+    stem_fn: Callable[[str], str] = default_stem,
+) -> Optional[str]:
+    """Lowercase, drop stopwords, stem: the index's term pipeline.
+
+    Returns the dictionary-form token, or ``None`` for a stopped term.
+    Every consumer of raw terms — builder, incremental add, query-time
+    lookup, cache key — routes through here.
+    """
+    token = raw_term.lower()
+    if token in stopwords:
+        return None
+    return stem_fn(token)
+
+
+def normalize_tree(
+    node: QueryNode,
+    stopwords: FrozenSet[str] = frozenset(),
+    stem_fn: Callable[[str], str] = default_stem,
+) -> QueryNode:
+    """The query tree with every term in canonical (dictionary) form.
+
+    Structure, child order, weights, and windows are untouched; only
+    leaves change.  Stopped terms become :data:`STOPPED_TERM` so that
+    all queries differing only in *which* stopword they used map to the
+    same canonical tree (they evaluate identically: a stopped term has
+    no dictionary entry and contributes the default belief).
+    """
+    if isinstance(node, TermNode):
+        normalized = normalize_term(node.term, stopwords, stem_fn)
+        return TermNode(term=STOPPED_TERM if normalized is None else normalized)
+    return OpNode(
+        op=node.op,
+        children=tuple(
+            normalize_tree(child, stopwords, stem_fn) for child in node.children
+        ),
+        weights=node.weights,
+        window=node.window,
+    )
+
+
+def render_canonical(node: QueryNode) -> str:
+    """Render a (normalized) tree to its canonical key text.
+
+    Like :func:`~repro.inquery.query.format_query` but with exact
+    (``repr``) weight rendering, so distinct ``#wsum`` weights can never
+    collide into one cache key.
+    """
+    if isinstance(node, TermNode):
+        return node.term
+    if node.op == "wsum":
+        inner = " ".join(
+            f"{weight!r} {render_canonical(child)}"
+            for weight, child in zip(node.weights, node.children)
+        )
+        return f"#wsum( {inner} )"
+    name = f"{node.op}{node.window}" if node.op in ("uw", "od") else node.op
+    inner = " ".join(render_canonical(child) for child in node.children)
+    return f"#{name}( {inner} )"
+
+
+def canonical_query_key(
+    text: str,
+    stopwords: FrozenSet[str] = frozenset(),
+    stem_fn: Callable[[str], str] = default_stem,
+) -> str:
+    """Parse → normalize → render: the result-cache key for a query.
+
+    Raises :class:`~repro.errors.QueryError` exactly when the engines
+    would (same parser), so a cache front end never admits a key for a
+    query the backend cannot evaluate.
+    """
+    return render_canonical(normalize_tree(parse_query(text), stopwords, stem_fn))

@@ -1,0 +1,44 @@
+"""The serving layer: a concurrent batch query service with a result cache.
+
+The paper's caching argument is made at the *record* level: query
+streams repeat terms, so keeping decoded inverted-list records resident
+pays (Figure 2, the ``mneme-cache`` configuration).  Real traffic
+repeats at the *query* level too — this package lifts the same insight
+one layer up.  :class:`~repro.serve.service.QueryService` fronts a
+single-disk engine or a :class:`~repro.shard.system.ShardedIRSystem`
+with:
+
+* an admission queue and simulated worker pool that groups requests
+  into **waves**, so the shard scheduler's per-phase barriers and the
+  term-at-a-time df exchange are amortized across a batch
+  (:meth:`~repro.shard.scheduler.ShardScheduler.run_wave`);
+* a **normalized-query result cache**
+  (:class:`~repro.serve.cache.ResultCache`): a size-bounded LRU keyed
+  by the canonical query tree (parse → stop → stem → render), with an
+  invalidation epoch bumped on rebuild/compaction.  Hits are
+  bit-identical to cold evaluation; degraded results
+  (``completeness < 1``) are never admitted.
+
+Traffic comes from :mod:`repro.synth.traffic`; the regression gate is
+:mod:`repro.bench.serve`.
+"""
+
+from .cache import CacheStats, ResultCache, clone_result
+from .service import (
+    CACHE_PROBE_MS,
+    QueryService,
+    ServedRequest,
+    ServiceReport,
+    ServiceStats,
+)
+
+__all__ = [
+    "CACHE_PROBE_MS",
+    "CacheStats",
+    "QueryService",
+    "ResultCache",
+    "ServedRequest",
+    "ServiceReport",
+    "ServiceStats",
+    "clone_result",
+]

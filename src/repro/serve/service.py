@@ -1,0 +1,449 @@
+"""The concurrent batch query service.
+
+:class:`QueryService` is the front door of the serving stack: requests
+arrive with timestamps (from :mod:`repro.synth.traffic` or callers),
+queue for admission, and are served in **waves** by a pool of simulated
+workers with a cross-query result cache in front of the backend.
+
+Time model
+----------
+Everything is measured on the repo's *simulated* clocks, like every
+other benchmark here (the Python threads of the shard scheduler give
+real concurrency for I/O-free simulated machines, but real-thread
+timing would measure the interpreter, not the modelled system).  A
+request's life:
+
+1. It waits in the admission queue until the service is free — the
+   service forms a wave of up to ``max_batch`` requests that have
+   arrived by ``now``, FIFO.
+2. Each wave query is normalized to its canonical key
+   (:func:`~repro.inquery.normalize.canonical_query_key`; parse charge
+   ``cpu_ms_per_query_node`` × nodes, plus :data:`CACHE_PROBE_MS` for
+   the probe) and looked up.  Hits complete immediately.  Distinct
+   missing keys are evaluated once per wave — a duplicate inside the
+   wave shares the evaluation ("shared").
+3. Misses are assigned to ``workers`` simulated workers
+   longest-processing-time first (deterministic ties by wave order):
+   each evaluation's cost is its measured simulated duration — the
+   engine's clock delta on a single-disk backend, the per-query
+   critical-path share from
+   :meth:`~repro.shard.scheduler.ShardScheduler.run_wave` on a sharded
+   one (so a sharded wave pays its two barriers once, not per query).
+4. The wave ends when its slowest worker finishes; the next wave is
+   admitted then (a barrier, matching the scheduler's semantics).
+
+A request's latency is completion − arrival: queueing delay, the
+normalization/probe overhead, and its service time.  With the cache
+off the service also disables in-wave sharing, so the cache-off
+baseline honestly evaluates every request.
+
+Correctness
+-----------
+Every served result — hit, miss, or shared — is bit-identical to a
+cold evaluation of its own query text; the gate in
+:mod:`repro.bench.serve` verifies this against a fresh single-disk
+engine for every request of every traffic run.  Degraded results are
+served (never raised) but never cached, and
+:meth:`QueryService.invalidate_cache` must be called when the index
+mutates (the incremental-update paths are the canonical callers).
+"""
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.metrics import cold_start
+from ..core.prepared import IRSystem
+from ..core.stats import latency_summary
+from ..errors import ConfigError, ServiceUnavailableError, ShardUnavailableError
+from ..inquery.daat import DocumentAtATimeEngine
+from ..inquery.engine import QueryResult, RetrievalEngine
+from ..inquery.normalize import normalize_tree, render_canonical
+from ..inquery.query import count_nodes, parse_query
+from ..shard.system import ShardedIRSystem
+from ..synth.traffic import ClosedLoopTraffic, TimedRequest
+from .cache import CacheStats, ResultCache, clone_result
+
+#: Simulated cost of one cache probe (hash the canonical key, compare).
+CACHE_PROBE_MS = 0.05
+
+
+@dataclass
+class ServedRequest:
+    """One request's audited life through the service."""
+
+    text: str
+    arrival_ms: float
+    start_ms: float        #: when its wave was admitted
+    completion_ms: float
+    outcome: str           #: "hit" | "miss" | "shared"
+    result: QueryResult
+
+    @property
+    def latency_ms(self) -> float:
+        return self.completion_ms - self.arrival_ms
+
+
+@dataclass
+class ServiceStats:
+    """What the service did, across every request it ever processed."""
+
+    requests: int = 0
+    waves: int = 0
+    evaluated: int = 0        #: backend evaluations actually run
+    cache_hits: int = 0
+    shared_in_wave: int = 0   #: duplicates that rode another's evaluation
+    degraded_served: int = 0
+    busy_ms: float = 0.0      #: summed evaluation cost (machine time)
+    barriers: int = 0         #: shard-scheduler barriers paid
+
+
+@dataclass
+class ServiceReport:
+    """One traffic run's outcome, ready for latency shaping."""
+
+    name: str
+    served: List[ServedRequest]
+    workers: int
+    max_batch: int
+    cache_stats: Optional[CacheStats] = None
+    waves: int = 0
+
+    def latencies_ms(self) -> List[float]:
+        return [row.latency_ms for row in self.served]
+
+    @property
+    def makespan_ms(self) -> float:
+        """First arrival to last completion on the service clock."""
+        if not self.served:
+            return 0.0
+        start = min(row.arrival_ms for row in self.served)
+        end = max(row.completion_ms for row in self.served)
+        return end - start
+
+    @property
+    def throughput_qps(self) -> float:
+        span = self.makespan_ms
+        return len(self.served) / span * 1000.0 if span > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.served:
+            return 0.0
+        hits = sum(1 for row in self.served if row.outcome == "hit")
+        return hits / len(self.served)
+
+    def summary(self) -> dict:
+        digest = latency_summary(self.latencies_ms())
+        digest = {k: round(v, 4) for k, v in digest.items()}
+        digest.update(
+            requests=len(self.served),
+            waves=self.waves,
+            throughput_qps=round(self.throughput_qps, 2),
+            hit_rate=round(self.hit_rate, 4),
+            outcomes={
+                outcome: sum(1 for r in self.served if r.outcome == outcome)
+                for outcome in ("hit", "miss", "shared")
+            },
+        )
+        return digest
+
+
+class QueryService:
+    """Wave-batched, cached query serving over one backend.
+
+    ``backend`` is a single-disk :class:`~repro.core.prepared.IRSystem`
+    or a :class:`~repro.shard.system.ShardedIRSystem`; ``engine``
+    selects term-at-a-time (any query shape) or document-at-a-time
+    (flat ``#sum``/``#wsum``).  ``workers`` is the simulated
+    query-evaluation parallelism (independent of the shard fan-out
+    inside one evaluation); ``max_batch`` caps a wave.  Pass
+    ``use_cache=False`` for an honest no-cache baseline (also disables
+    in-wave sharing), or supply a prebuilt ``cache`` to share one
+    across services.
+    """
+
+    def __init__(
+        self,
+        backend: Union[IRSystem, ShardedIRSystem],
+        engine: str = "taat",
+        top_k: int = 50,
+        workers: int = 1,
+        max_batch: int = 8,
+        cache: Optional[ResultCache] = None,
+        use_cache: bool = True,
+        cache_size: int = 512,
+        cold: bool = True,
+    ):
+        if engine not in ("taat", "daat"):
+            raise ConfigError(f"unknown service engine {engine!r}")
+        if workers < 1:
+            raise ConfigError("service needs at least one worker")
+        if max_batch < 1:
+            raise ConfigError("max_batch must be at least 1")
+        self.backend = backend
+        self.engine = engine
+        self.top_k = top_k
+        self.workers = workers
+        self.max_batch = max_batch
+        self.sharded = isinstance(backend, ShardedIRSystem)
+        if cold:
+            # Serve from the paper's cold state: caches purged, clocks
+            # zeroed — otherwise build-time buffer residency would leak
+            # into the first requests' latencies (and shield a faulted
+            # disk from ever being read).
+            if self.sharded:
+                for shard in backend.shards:
+                    cold_start(shard)
+                backend.clock.reset()
+            else:
+                cold_start(backend)
+        if self.sharded:
+            self._scheduler = backend.scheduler(top_k=top_k, engine=engine)
+            index = backend.shards[0].index
+        else:
+            engine_cls = (
+                DocumentAtATimeEngine if engine == "daat" else RetrievalEngine
+            )
+            self._engine = engine_cls(
+                backend.index,
+                top_k=top_k,
+                use_reservation=backend.config.use_reservation,
+                use_fastpath=backend.config.use_fastpath,
+            )
+            index = backend.index
+        # Normalization must match the backend's: same stop list, same
+        # stemmer (every shard shares the global preparation, so shard
+        # 0's index speaks for all of them).
+        self._stopwords = index.stopwords
+        self._stem_fn = index.stem_fn
+        self._cost = backend.clock.cost
+        self.cache = (
+            cache
+            if cache is not None
+            else (ResultCache(cache_size) if use_cache else None)
+        )
+        self.stats = ServiceStats()
+        self._open = True
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting requests; subsequent serving raises."""
+        self._open = False
+
+    def _check_open(self) -> None:
+        if not self._open:
+            raise ServiceUnavailableError("service has been shut down")
+
+    def invalidate_cache(self, reason: str = "") -> int:
+        """The index changed: bump the cache epoch, dropping all entries."""
+        if self.cache is None:
+            return 0
+        return self.cache.invalidate(reason)
+
+    # -- normalization -----------------------------------------------------
+
+    def key_of(self, text: str) -> str:
+        """The cache key: engine/top-k discriminator + canonical tree."""
+        key, _overhead = self._normalize(text)
+        return key
+
+    def _normalize(self, text: str) -> Tuple[str, float]:
+        tree = parse_query(text)
+        overhead = (
+            self._cost.cpu_ms_per_query_node * count_nodes(tree) + CACHE_PROBE_MS
+        )
+        canonical = render_canonical(
+            normalize_tree(tree, self._stopwords, self._stem_fn)
+        )
+        return f"{self.engine}|k{self.top_k}|{canonical}", overhead
+
+    # -- serving -----------------------------------------------------------
+
+    def serve_one(self, text: str) -> QueryResult:
+        """Serve one query right now (a wave of one)."""
+        self._check_open()
+        rows, _wave_end = self._serve_wave(
+            [TimedRequest(text=text, arrival_ms=0.0)], 0.0
+        )
+        return rows[0].result
+
+    def process(
+        self, requests: Sequence[TimedRequest], name: str = ""
+    ) -> ServiceReport:
+        """Serve an open-loop request stream to completion."""
+        self._check_open()
+        pending = sorted(requests, key=lambda r: (r.arrival_ms,))
+        served: List[ServedRequest] = []
+        waves = 0
+        now = 0.0
+        cursor = 0
+        while cursor < len(pending):
+            now = max(now, pending[cursor].arrival_ms)
+            wave: List[TimedRequest] = []
+            while (
+                cursor < len(pending)
+                and pending[cursor].arrival_ms <= now
+                and len(wave) < self.max_batch
+            ):
+                wave.append(pending[cursor])
+                cursor += 1
+            rows, wave_end = self._serve_wave(wave, now)
+            served.extend(rows)
+            waves += 1
+            now = max(now, wave_end)
+        return ServiceReport(
+            name=name,
+            served=served,
+            workers=self.workers,
+            max_batch=self.max_batch,
+            cache_stats=self.cache.stats if self.cache is not None else None,
+            waves=waves,
+        )
+
+    def process_closed(self, traffic: ClosedLoopTraffic) -> ServiceReport:
+        """Drive a closed-loop stream: completions pace the users."""
+        self._check_open()
+        traffic.reset()
+        ready: List[Tuple[float, int]] = [
+            (traffic.first_arrival(user), user)
+            for user in range(traffic.concurrency)
+        ]
+        heapq.heapify(ready)
+        served: List[ServedRequest] = []
+        waves = 0
+        now = 0.0
+        while ready:
+            now = max(now, ready[0][0])
+            wave: List[TimedRequest] = []
+            users: List[int] = []
+            while ready and ready[0][0] <= now and len(wave) < self.max_batch:
+                arrival, user = heapq.heappop(ready)
+                text = traffic.next_text()
+                if text is None:
+                    continue  # budget spent: retire this user
+                wave.append(TimedRequest(text=text, arrival_ms=arrival))
+                users.append(user)
+            if not wave:
+                continue
+            rows, wave_end = self._serve_wave(wave, now)
+            served.extend(rows)
+            waves += 1
+            for row, user in zip(rows, users):
+                heapq.heappush(
+                    ready, (row.completion_ms + traffic.think(user), user)
+                )
+            now = max(now, wave_end)
+        return ServiceReport(
+            name=traffic.profile.name,
+            served=served,
+            workers=self.workers,
+            max_batch=self.max_batch,
+            cache_stats=self.cache.stats if self.cache is not None else None,
+            waves=waves,
+        )
+
+    # -- one wave ----------------------------------------------------------
+
+    def _serve_wave(
+        self, wave: List[TimedRequest], start_ms: float
+    ) -> Tuple[List[ServedRequest], float]:
+        self.stats.waves += 1
+        self.stats.requests += len(wave)
+        plans = [(request,) + self._normalize(request.text) for request in wave]
+        rows: List[Optional[ServedRequest]] = [None] * len(wave)
+        first_of_key: Dict[str, int] = {}
+        owner_of: Dict[int, int] = {}   # wave index -> evaluation owner index
+        miss_order: List[int] = []      # owner indexes, in wave order
+        for idx, (request, key, overhead) in enumerate(plans):
+            cached = (
+                self.cache.get(key, query_text=request.text)
+                if self.cache is not None
+                else None
+            )
+            if cached is not None:
+                self.stats.cache_hits += 1
+                rows[idx] = ServedRequest(
+                    text=request.text,
+                    arrival_ms=request.arrival_ms,
+                    start_ms=start_ms,
+                    completion_ms=start_ms + overhead,
+                    outcome="hit",
+                    result=cached,
+                )
+            elif self.cache is not None and key in first_of_key:
+                # In-wave duplicate: ride the first occurrence's
+                # evaluation.  (Cache off: no sharing — every request
+                # is its own evaluation, the honest baseline.)
+                owner_of[idx] = first_of_key[key]
+                self.stats.shared_in_wave += 1
+            else:
+                if self.cache is not None:
+                    first_of_key[key] = idx
+                owner_of[idx] = idx
+                miss_order.append(idx)
+        evaluated = self._evaluate([plans[idx][0].text for idx in miss_order])
+        result_of: Dict[int, Tuple[QueryResult, float]] = dict(
+            zip(miss_order, evaluated)
+        )
+        for idx, (result, _cost_ms) in result_of.items():
+            if result.degraded or result.completeness < 1.0:
+                self.stats.degraded_served += 1
+            if self.cache is not None:
+                self.cache.put(plans[idx][1], result)
+        # Longest-processing-time assignment onto the simulated workers;
+        # ties broken by wave order, so the schedule is deterministic.
+        finish_of: Dict[int, float] = {}
+        worker_free = [start_ms] * self.workers
+        for position in sorted(
+            range(len(miss_order)), key=lambda p: (-evaluated[p][1], p)
+        ):
+            worker = min(range(self.workers), key=lambda w: (worker_free[w], w))
+            worker_free[worker] += evaluated[position][1]
+            finish_of[miss_order[position]] = worker_free[worker]
+        for idx, (request, _key, overhead) in enumerate(plans):
+            if rows[idx] is not None:
+                continue
+            owner = owner_of[idx]
+            result, _cost = result_of[owner]
+            if idx == owner:
+                outcome, served_result = "miss", result
+            else:
+                outcome = "shared"
+                served_result = clone_result(result, query_text=request.text)
+            rows[idx] = ServedRequest(
+                text=request.text,
+                arrival_ms=request.arrival_ms,
+                start_ms=start_ms,
+                completion_ms=finish_of[owner] + overhead,
+                outcome=outcome,
+                result=served_result,
+            )
+        wave_end = max(row.completion_ms for row in rows) if rows else start_ms
+        return rows, wave_end  # type: ignore[return-value]
+
+    def _evaluate(self, texts: List[str]) -> List[Tuple[QueryResult, float]]:
+        """Run the backend; each result with its simulated cost in ms."""
+        if not texts:
+            return []
+        self.stats.evaluated += len(texts)
+        if self.sharded:
+            try:
+                outcome = self._scheduler.run_wave(texts)
+            except ShardUnavailableError as error:
+                raise ServiceUnavailableError(
+                    f"no live shards behind the service ({error.reason or error})"
+                ) from error
+            self.stats.barriers += outcome.stats.barriers
+            self.stats.busy_ms += sum(outcome.per_query_ms)
+            return list(zip(outcome.results, outcome.per_query_ms))
+        clock = self.backend.clock
+        out: List[Tuple[QueryResult, float]] = []
+        for text in texts:
+            start = clock.snapshot()
+            result = self._engine.run_query(text)
+            delta = clock.since(start)
+            self.stats.busy_ms += delta.wall_ms
+            out.append((result, delta.wall_ms))
+        return out

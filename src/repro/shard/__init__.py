@@ -30,7 +30,7 @@ from .partition import (
     make_partitioner,
     partition_prepared,
 )
-from .scheduler import BatchOutcome, SchedulerStats, ShardScheduler
+from .scheduler import BatchOutcome, SchedulerStats, ShardScheduler, WaveOutcome
 from .system import ShardedIRSystem, materialize_sharded
 from .taat import ShardTaatRunner
 
@@ -47,6 +47,7 @@ __all__ = [
     "ShardTaatRunner",
     "ShardedIRSystem",
     "ShardedQueryResult",
+    "WaveOutcome",
     "materialize_sharded",
     "measure_sharded_run",
     "merge_results",

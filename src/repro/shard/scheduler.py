@@ -28,6 +28,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..core.stats import max_over_mean
 from ..errors import ConfigError
 from ..inquery import DocumentAtATimeEngine, QueryResult, parse_query, query_terms
 from ..simdisk.timing import TimeBreakdown
@@ -52,10 +53,7 @@ class SchedulerStats:
     @property
     def shard_skew(self) -> float:
         """Max-over-mean shard busy time: 1.0 is a perfectly even load."""
-        if not self.busy_ms:
-            return 1.0
-        mean = sum(self.busy_ms.values()) / len(self.busy_ms)
-        return max(self.busy_ms.values()) / mean if mean > 0 else 1.0
+        return max_over_mean(self.busy_ms.values())
 
 
 @dataclass
@@ -63,6 +61,25 @@ class BatchOutcome:
     """Everything a batch run produces, before metrics shaping."""
 
     results: List[ShardedQueryResult]
+    per_shard_results: Dict[int, List[QueryResult]]
+    stats: SchedulerStats
+    critical: TimeBreakdown
+
+
+@dataclass
+class WaveOutcome:
+    """A batched wave's results plus a latency attribution per query.
+
+    ``per_query_ms[q]`` is query *q*'s share of the wave's critical
+    path: its slowest shard's collect slice + its coordinator exchange
+    charge + its slowest shard's score slice + its merge charge.  The
+    shares sum to (at most) the wave's critical path — barriers are
+    shared, so a query never pays for another query's shard time, which
+    is exactly the amortization the wave exists to buy.
+    """
+
+    results: List[ShardedQueryResult]
+    per_query_ms: List[float]
     per_shard_results: Dict[int, List[QueryResult]]
     stats: SchedulerStats
     critical: TimeBreakdown
@@ -153,6 +170,119 @@ class ShardScheduler:
             stats=stats,
             critical=critical,
         )
+
+    def run_wave(self, texts: List[str]) -> WaveOutcome:
+        """Serve a wave of queries with the per-phase barriers shared.
+
+        Where :meth:`run_batch` pays two barriers (collect, score) *per
+        query*, a wave pays two barriers *total*: every shard collects
+        the whole wave in one task, the coordinator runs the df
+        exchange for all queries in one pass, and every shard scores
+        the whole wave in a second task.  Rankings are bit-identical to
+        per-query serving — the phases do exactly the same storage and
+        scoring work, just grouped — which the serving gate checks
+        against the single-disk engine.
+        """
+        sharded = self.sharded
+        stats = SchedulerStats(workers=self.max_workers)
+        critical = TimeBreakdown()
+        per_shard: Dict[int, List[QueryResult]] = {
+            i: [] for i in range(sharded.n_shards)
+        }
+        if not texts:
+            return WaveOutcome([], [], per_shard, stats, critical)
+        n = len(texts)
+        per_query_ms = [0.0] * n
+        live = sharded.live_shards
+        cost = sharded.clock.cost
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            if self.engine == "taat":
+                collected = self._wave(
+                    pool, live,
+                    lambda i: self._taat[i].collect_many(texts),
+                    stats, critical,
+                )
+                # One coordinator pass sums every query's df vector.
+                coord_start = sharded.clock.snapshot()
+                global_df_lists: List[List[int]] = []
+                for q in range(n):
+                    slots = len(collected[live[0]][0][q])
+                    global_df_lists.append([
+                        sum(collected[i][0][q][slot] for i in live)
+                        for slot in range(slots)
+                    ])
+                    exchange_ms = cost.cpu_ms_per_posting * slots * len(live)
+                    sharded.clock.charge_user(exchange_ms)
+                    per_query_ms[q] += exchange_ms
+                self._add(critical, sharded.clock.since(coord_start))
+                scored = self._wave(
+                    pool, live,
+                    lambda i: self._taat[i].score_many(global_df_lists),
+                    stats, critical,
+                )
+                answers = [
+                    {i: scored[i][0][q] for i in live} for q in range(n)
+                ]
+                for q in range(n):
+                    per_query_ms[q] += max(
+                        collected[i][1][q].wall_ms for i in live
+                    )
+                    per_query_ms[q] += max(
+                        scored[i][1][q].wall_ms for i in live
+                    )
+            else:
+                ran = self._wave(
+                    pool, live,
+                    lambda i: self._daat_many(i, texts),
+                    stats, critical,
+                )
+                answers = [{i: ran[i][0][q] for i in live} for q in range(n)]
+                for q in range(n):
+                    per_query_ms[q] += max(ran[i][1][q].wall_ms for i in live)
+        results: List[ShardedQueryResult] = []
+        coord_start = sharded.clock.snapshot()
+        for q, text in enumerate(texts):
+            outcomes: List[ShardOutcome] = []
+            for shard_id in range(sharded.n_shards):
+                if shard_id in answers[q]:
+                    outcomes.append(ShardOutcome(shard_id, answers[q][shard_id]))
+                    per_shard[shard_id].append(answers[q][shard_id])
+                else:
+                    outcomes.append(ShardOutcome(
+                        shard_id,
+                        attempted_down=self._down_attempted(shard_id, text),
+                    ))
+            merge_ms = cost.cpu_ms_per_posting * sum(
+                len(o.result.ranking) for o in outcomes if o.result
+            )
+            sharded.clock.charge_user(merge_ms)
+            per_query_ms[q] += merge_ms
+            results.append(merge_results(text, outcomes, top_k=self.top_k))
+        self._add(critical, sharded.clock.since(coord_start))
+        return WaveOutcome(
+            results=results,
+            per_query_ms=per_query_ms,
+            per_shard_results=per_shard,
+            stats=stats,
+            critical=critical,
+        )
+
+    def _daat_many(self, shard_id: int, texts: List[str]):
+        """One shard's whole-wave DAAT task, with per-query deltas."""
+        engine = self._daat[shard_id]
+        clock = self.sharded.shards[shard_id].clock
+        results, deltas = [], []
+        for text in texts:
+            start = clock.snapshot()
+            results.append(engine.run_query(text))
+            deltas.append(clock.since(start))
+        return results, deltas
+
+    @staticmethod
+    def _add(critical: TimeBreakdown, delta: TimeBreakdown) -> None:
+        critical.user_ms += delta.user_ms
+        critical.system_ms += delta.system_ms
+        critical.io_ms += delta.io_ms
 
     def _serve_taat(
         self,

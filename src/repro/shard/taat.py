@@ -169,14 +169,17 @@ class ShardTaatRunner:
     def __init__(self, system: IRSystem, top_k: int = 50):
         self.system = system
         self.top_k = top_k
-        self._pending: Optional[
+        self._pending: List[
             Tuple[str, QueryNode, _MemoProvider, List[_LeafSlot]]
-        ] = None
+        ] = []
 
     def collect(self, text: str) -> List[int]:
         """Phase 1: leaf storage work; returns the local df vector."""
-        if self._pending is not None:
+        if self._pending:
             raise ReproError("previous query's score phase never ran")
+        return self._collect_one(text)
+
+    def _collect_one(self, text: str) -> List[int]:
         index = self.system.index
         clock = self.system.clock
         tree = parse_query(text)
@@ -195,31 +198,32 @@ class ShardTaatRunner:
         provider = _MemoProvider(index, clock, self.system.config.use_reservation)
         collector = _SlotCollector(provider)
         collector.collect(tree)
-        self._pending = (text, tree, provider, collector.slots)
+        self._pending.append((text, tree, provider, collector.slots))
         return [slot.local_df for slot in collector.slots]
 
     def score(self, global_dfs: List[int]) -> QueryResult:
         """Phase 2: evaluate with global statistics and rank local docs."""
-        if self._pending is None:
+        if not self._pending:
             raise ReproError("score phase without a collect phase")
-        text, tree, provider, slots = self._pending
-        self._pending = None
+        try:
+            return self._score_one(global_dfs)
+        finally:
+            self.system.index.store.release_reservations()
+
+    def _score_one(self, global_dfs: List[int]) -> QueryResult:
+        text, tree, provider, slots = self._pending.pop(0)
         if len(global_dfs) != len(slots):
             raise ReproError(
                 f"df exchange shape mismatch: {len(slots)} leaf slots, "
                 f"{len(global_dfs)} global dfs"
             )
-        index = self.system.index
         clock = self.system.clock
         network = _InjectedNetwork(provider, slots, global_dfs)
-        try:
-            scores, _default = network.evaluate(tree)
-            clock.charge_user(clock.cost.cpu_ms_per_posting * len(scores))
-            ranking = heapq.nsmallest(
-                self.top_k, scores.items(), key=lambda item: (-item[1], item[0])
-            )
-        finally:
-            index.store.release_reservations()
+        scores, _default = network.evaluate(tree)
+        clock.charge_user(clock.cost.cpu_ms_per_posting * len(scores))
+        ranking = heapq.nsmallest(
+            self.top_k, scores.items(), key=lambda item: (-item[1], item[0])
+        )
         return QueryResult(
             query=text,
             ranking=ranking,
@@ -228,3 +232,52 @@ class ShardTaatRunner:
             terms_attempted=provider.attempts,
             terms_failed=provider.failures,
         )
+
+    # -- wave (batched) driving -------------------------------------------
+
+    def collect_many(self, texts: List[str]) -> Tuple[List[List[int]], List]:
+        """Phase 1 for a whole wave of queries, one barrier's worth.
+
+        Returns the local df vector per query plus the per-query
+        simulated clock delta, so the scheduler can attribute a latency
+        to each request inside the shared barrier.  Reservations taken
+        by each query stay pinned until :meth:`score_many` releases
+        them all — the wave-spanning analogue of the paper's
+        reserve-across-the-query optimization (the LRU buffers tolerate
+        reservation overflow by design).
+        """
+        if self._pending:
+            raise ReproError("previous query's score phase never ran")
+        clock = self.system.clock
+        dfs: List[List[int]] = []
+        deltas = []
+        for text in texts:
+            start = clock.snapshot()
+            dfs.append(self._collect_one(text))
+            deltas.append(clock.since(start))
+        return dfs, deltas
+
+    def score_many(self, global_df_lists: List[List[int]]) -> Tuple[List[QueryResult], List]:
+        """Phase 2 for the wave collected by :meth:`collect_many`.
+
+        ``global_df_lists[q]`` is the coordinator-summed df vector of
+        wave query ``q``, in collect order.  All reservations are
+        released once, after the last query scores (or on the first
+        failure).
+        """
+        if len(global_df_lists) != len(self._pending):
+            raise ReproError(
+                f"wave shape mismatch: {len(self._pending)} pending queries, "
+                f"{len(global_df_lists)} df vectors"
+            )
+        clock = self.system.clock
+        results: List[QueryResult] = []
+        deltas = []
+        try:
+            for global_dfs in global_df_lists:
+                start = clock.snapshot()
+                results.append(self._score_one(global_dfs))
+                deltas.append(clock.since(start))
+        finally:
+            self.system.index.store.release_reservations()
+        return results, deltas

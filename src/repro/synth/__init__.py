@@ -20,20 +20,30 @@ from .queries import (
     generate_query_set,
     relevance_from_postings,
 )
+from .traffic import (
+    ClosedLoopTraffic,
+    TimedRequest,
+    TrafficProfile,
+    open_loop_requests,
+)
 from .vocab import term_rank, term_string
 from .zipf import ZipfSampler, rank_frequency_constant, zipf_mandelbrot_weights
 
 __all__ = [
+    "ClosedLoopTraffic",
     "CollectionProfile",
     "InformetricProfile",
     "PROFILES",
     "QueryProfile",
     "QuerySet",
     "SyntheticCollection",
+    "TimedRequest",
+    "TrafficProfile",
     "ZipfSampler",
     "fit_heaps",
     "fit_zipf",
     "generate_query_set",
+    "open_loop_requests",
     "partition_report",
     "profile_collection",
     "suggest_small_threshold",

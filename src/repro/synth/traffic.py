@@ -1,0 +1,162 @@
+"""Synthetic serving traffic: request streams over a query pool.
+
+:mod:`repro.synth.queries` models *term* repetition within a query set
+("there is significant repetition of the terms used from query to
+query") — the fact that makes the paper's record cache pay off.  This
+module layers the serving-time analogue on top: *query* repetition
+within a request stream, the fact that makes a whole-result cache pay
+off.  With probability ``repeat_rate`` a request re-issues a query the
+stream already served (drawn uniformly from its own history, so popular
+queries compound); otherwise it takes the next query from the pool.
+
+Two standard load shapes are provided:
+
+* **open loop** (:func:`open_loop_requests`): arrivals are a Poisson
+  process at ``rate_qps`` *simulated* queries per second — requests
+  arrive whether or not the service keeps up, so queueing delay shows
+  up in the latency distribution.  ``rate_qps = 0`` degenerates to a
+  burst: every request arrives at t=0 (the overload shape the worker
+  scaling gate uses).
+* **closed loop** (:class:`ClosedLoopTraffic`): ``concurrency``
+  simulated users each issue a request, wait for its completion, think
+  for an exponential ``think_ms``, and repeat — the service's own
+  completion times pace the stream, so the generator is driven by
+  :meth:`~repro.serve.service.QueryService.process_closed`.
+
+Everything is seeded and deterministic: the same profile over the same
+pool yields the same request stream, which the serving gate relies on
+to compare cache-on and cache-off runs on identical traffic.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Shape parameters of one request stream."""
+
+    name: str
+    mode: str = "open"          #: "open" (Poisson) | "closed" (think-time)
+    n_requests: int = 200
+    #: Open loop: mean arrival rate in simulated queries/second;
+    #: 0 means a burst (all requests arrive at t=0).
+    rate_qps: float = 50.0
+    concurrency: int = 4        #: closed loop: simulated users
+    think_ms: float = 20.0      #: closed loop: mean think time
+    #: Probability a request repeats an earlier query verbatim.
+    repeat_rate: float = 0.5
+    seed: int = 17
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One request: the query text and its arrival on the service clock."""
+
+    text: str
+    arrival_ms: float
+
+
+def _validate(profile: TrafficProfile, pool: Sequence[str], mode: str) -> None:
+    if profile.mode != mode:
+        raise ConfigError(
+            f"profile {profile.name!r} is {profile.mode!r} traffic, not {mode!r}"
+        )
+    if profile.n_requests < 1:
+        raise ConfigError("traffic needs at least one request")
+    if not 0.0 <= profile.repeat_rate < 1.0:
+        raise ConfigError("repeat_rate must be in [0, 1)")
+    if profile.rate_qps < 0.0:
+        raise ConfigError("rate_qps must be non-negative")
+    if not pool:
+        raise ConfigError("traffic needs a non-empty query pool")
+
+
+class _QueryChooser:
+    """The repetition knob: history re-issue vs. next pool query."""
+
+    def __init__(
+        self, pool: Sequence[str], repeat_rate: float, rng: np.random.Generator
+    ):
+        self._pool = list(pool)
+        self._repeat_rate = repeat_rate
+        self._rng = rng
+        self._history: List[str] = []
+        self._cursor = 0
+
+    def next(self) -> str:
+        if self._history and self._rng.random() < self._repeat_rate:
+            text = self._history[int(self._rng.integers(len(self._history)))]
+        else:
+            text = self._pool[self._cursor % len(self._pool)]
+            self._cursor += 1
+        self._history.append(text)
+        return text
+
+
+def open_loop_requests(
+    pool: Sequence[str], profile: TrafficProfile
+) -> List[TimedRequest]:
+    """A Poisson request stream: texts with arrival times, ready to serve."""
+    _validate(profile, pool, "open")
+    rng = np.random.default_rng(profile.seed)
+    chooser = _QueryChooser(pool, profile.repeat_rate, rng)
+    if profile.rate_qps > 0:
+        gaps = rng.exponential(1000.0 / profile.rate_qps, size=profile.n_requests)
+        arrivals = np.cumsum(gaps)
+    else:
+        arrivals = np.zeros(profile.n_requests)
+    return [
+        TimedRequest(text=chooser.next(), arrival_ms=float(arrival))
+        for arrival in arrivals
+    ]
+
+
+class ClosedLoopTraffic:
+    """A think-time stream paced by the service's completions.
+
+    The service pulls from this object: :meth:`next_text` hands out the
+    next request (``None`` once the budget is spent, retiring that
+    user), and :meth:`think` draws the exponential pause before a user
+    re-issues.  :meth:`reset` rewinds to the same deterministic stream.
+    """
+
+    def __init__(self, pool: Sequence[str], profile: TrafficProfile):
+        _validate(profile, pool, "closed")
+        if profile.concurrency < 1:
+            raise ConfigError("closed-loop traffic needs at least one user")
+        if profile.think_ms < 0:
+            raise ConfigError("think_ms must be non-negative")
+        self.profile = profile
+        self._pool = list(pool)
+        self.reset()
+
+    @property
+    def concurrency(self) -> int:
+        return self.profile.concurrency
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.profile.seed)
+        self._chooser = _QueryChooser(
+            self._pool, self.profile.repeat_rate, self._rng
+        )
+        self._issued = 0
+
+    def first_arrival(self, user: int) -> float:
+        """Stagger user start-up so waves are not artificially lockstep."""
+        return self.think(user)
+
+    def think(self, user: int) -> float:
+        if self.profile.think_ms <= 0:
+            return 0.0
+        return float(self._rng.exponential(self.profile.think_ms))
+
+    def next_text(self) -> Optional[str]:
+        if self._issued >= self.profile.n_requests:
+            return None
+        self._issued += 1
+        return self._chooser.next()

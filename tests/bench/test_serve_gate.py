@@ -1,0 +1,124 @@
+"""The serve gate's verdict machinery, without running the timed bench.
+
+The four-collection traffic benchmark itself is tier-2
+(``scripts/bench.sh serve``); here we pin down the checking logic — the
+invariance comparator, the report shaping, and the CLI exit codes —
+against fabricated reports, the same way the wall-clock gate is tested.
+"""
+
+import json
+from types import SimpleNamespace
+
+import repro.bench.serve as serve_bench
+from repro.bench.serve import _check_invariance, _print_report
+
+
+def served_row(text, ranking, outcome="miss"):
+    return SimpleNamespace(
+        text=text, outcome=outcome, result=SimpleNamespace(ranking=ranking)
+    )
+
+
+def make_report(ok=True):
+    summary = {
+        "count": 4, "mean_ms": 2.0, "p50_ms": 1.5, "p95_ms": 4.0,
+        "p99_ms": 5.0, "max_ms": 5.0, "requests": 4, "waves": 2,
+        "throughput_qps": 100.0, "hit_rate": 0.5,
+        "outcomes": {"hit": 2, "miss": 2, "shared": 0},
+    }
+    cell = {
+        "config": "mneme-cache",
+        "shards": 2,
+        "mean_service_ms": 1.0,
+        "traffic": {"n_requests": 4, "rate_qps": 50.0,
+                    "repeat_rate": 0.75, "seed": 29},
+        "cache_on": dict(summary),
+        "cache_off": dict(summary, p50_ms=9.0),
+        "p50_speedup": 6.0,
+        "daat": dict(summary),
+        "burst_throughput_qps_by_workers": {"1": 10.0, "2": 19.0, "4": 35.0},
+        "dead_shard": {"requests": 2, "degraded_served": 2,
+                       "cache_entries": 0, "rejected_degraded": 2},
+        "violations": [] if ok else ["cache: p50 speedup 1.00x is below"],
+        "ok": ok,
+    }
+    return {
+        "benchmark": "serve",
+        "config": "mneme-cache",
+        "min_p50_speedup": 5.0,
+        "profiles": {"cacm-s": cell},
+        "ok": ok,
+    }
+
+
+def test_invariance_passes_on_identical_rankings():
+    reference = {"q1": [(1, 0.5)], "q2": [(2, 0.4)]}
+    report = SimpleNamespace(served=[
+        served_row("q1", [(1, 0.5)], "miss"),
+        served_row("q2", [(2, 0.4)], "hit"),
+        served_row("q1", [(1, 0.5)], "shared"),
+    ])
+    violations = []
+    assert _check_invariance(report, reference, "label", violations) == 0
+    assert violations == []
+
+
+def test_invariance_catches_any_divergence():
+    reference = {"q1": [(1, 0.5)]}
+    report = SimpleNamespace(served=[
+        served_row("q1", [(1, 0.5000001)], "hit"),
+    ])
+    violations = []
+    assert _check_invariance(report, reference, "label", violations) == 1
+    assert len(violations) == 1
+    assert "label" in violations[0]
+    assert "'q1'" in violations[0]
+
+
+def test_invariance_summarizes_mass_failures():
+    reference = {"q": [(1, 0.5)]}
+    report = SimpleNamespace(
+        served=[served_row("q", [(1, 0.6)], "miss") for _ in range(10)]
+    )
+    violations = []
+    assert _check_invariance(report, reference, "label", violations) == 10
+    # Three verbose rows plus one total line, not ten.
+    assert len(violations) == 4
+    assert "10 served rankings diverged" in violations[-1]
+
+
+def test_print_report_smoke(capsys):
+    _print_report(make_report(ok=True))
+    out = capsys.readouterr().out
+    assert "cacm-s" in out
+    assert "p50 speedup 6.00x" in out
+    assert "burst scaling" in out
+    assert "dead shard" in out
+
+    _print_report(make_report(ok=False))
+    assert "VIOLATION" in capsys.readouterr().out
+
+
+def test_print_report_handles_raised_dead_shard(capsys):
+    report = make_report(ok=False)
+    report["profiles"]["cacm-s"]["dead_shard"] = {"raised": True}
+    _print_report(report)
+    assert "dead shard" not in capsys.readouterr().out
+
+
+def test_main_exit_codes(tmp_path, monkeypatch):
+    def fake_run(profiles, config_name, n_requests, shards,
+                 min_p50_speedup, out_path):
+        if out_path is not None:
+            out_path.write_text(json.dumps(fake_run.report) + "\n")
+        return fake_run.report
+
+    monkeypatch.setattr(serve_bench, "run_benchmark", fake_run)
+
+    out = tmp_path / "BENCH_serve.json"
+    fake_run.report = make_report(ok=True)
+    assert serve_bench.main(["--out", str(out)]) == 0
+    assert json.loads(out.read_text())["ok"] is True
+
+    fake_run.report = make_report(ok=False)
+    assert serve_bench.main(["--out", str(out)]) == 1

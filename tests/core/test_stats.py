@@ -1,0 +1,67 @@
+"""The shared latency/aggregation statistics helper."""
+
+import pytest
+
+from repro.core import (
+    latency_summary,
+    max_over_mean,
+    median_of,
+    percentile,
+    relative_spread,
+)
+
+
+def test_median_of_odd_and_even():
+    assert median_of([3.0, 1.0, 2.0]) == 2.0
+    assert median_of([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+
+def test_percentile_nearest_rank_is_exact_on_the_sample():
+    samples = [float(i) for i in range(1, 101)]
+    assert percentile(samples, 0) == 1.0
+    assert percentile(samples, 50) == 50.0
+    assert percentile(samples, 95) == 95.0
+    assert percentile(samples, 99) == 99.0
+    assert percentile(samples, 100) == 100.0
+    # Nearest rank: always a sample value, never an interpolation.
+    assert percentile([1.0, 10.0], 50) in (1.0, 10.0)
+
+
+def test_percentile_sorts_its_input():
+    assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_latency_summary_shape():
+    digest = latency_summary([2.0, 4.0, 6.0, 8.0])
+    assert digest["count"] == 4
+    assert digest["mean_ms"] == 5.0
+    assert digest["p50_ms"] == 4.0
+    assert digest["max_ms"] == 8.0
+
+
+def test_latency_summary_empty_is_all_zero():
+    digest = latency_summary([])
+    assert digest["count"] == 0
+    assert all(value == 0.0 for key, value in digest.items() if key != "count")
+
+
+def test_relative_spread():
+    assert relative_spread([10.0, 10.0, 10.0]) == 0.0
+    assert relative_spread([8.0, 10.0, 12.0]) == pytest.approx(0.4)
+    assert relative_spread([0.0, 0.0]) == 0.0  # degenerate median
+
+
+def test_max_over_mean():
+    assert max_over_mean([]) == 1.0
+    assert max_over_mean([0.0, 0.0]) == 1.0
+    assert max_over_mean([1.0, 1.0, 1.0]) == 1.0
+    assert max_over_mean([1.0, 3.0]) == 1.5

@@ -1,0 +1,131 @@
+"""The shared normalization pipeline and the canonical query key.
+
+The load-bearing claim: the cache key and the engines normalize
+*identically*, because they call the same helper.  These tests pin the
+agreement down from both ends — term-level against the index's
+dictionary lookup, and tree-level canonical-key semantics.
+"""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.inquery import (
+    STOPPED_TERM,
+    canonical_query_key,
+    normalize_term,
+    normalize_tree,
+    render_canonical,
+)
+from repro.inquery.query import OpNode, TermNode, parse_query
+from repro.inquery.stem import stem
+
+STOPS = frozenset({"the", "a", "of"})
+
+
+def test_normalize_term_lowercases_and_stems():
+    assert normalize_term("Retrieval") == stem("retrieval")
+    assert normalize_term("INDEXING") == normalize_term("indexing")
+
+
+def test_normalize_term_drops_stopwords_case_insensitively():
+    assert normalize_term("The", STOPS) is None
+    assert normalize_term("THE", STOPS) is None
+    assert normalize_term("them", STOPS) is not None
+
+
+def test_key_is_case_insensitive():
+    assert canonical_query_key("#sum(Records Store)") == canonical_query_key(
+        "#sum(records store)"
+    )
+
+
+def test_stopword_choice_collapses_to_one_key():
+    # Queries that differ only in *which* stopword they used evaluate
+    # identically (no dictionary entry either way), so they share a key.
+    key_the = canonical_query_key("#sum(the records)", STOPS)
+    key_of = canonical_query_key("#sum(of records)", STOPS)
+    assert key_the == key_of
+    assert STOPPED_TERM in key_the
+
+
+def test_stopped_marker_cannot_collide_with_a_real_term():
+    assert "\x00" in STOPPED_TERM
+    assert normalize_term(STOPPED_TERM.strip("\x00")) != STOPPED_TERM
+
+
+def test_distinct_queries_keep_distinct_keys():
+    assert canonical_query_key("#sum(alpha beta)") != canonical_query_key(
+        "#sum(alpha gamma)"
+    )
+
+
+def test_child_order_is_never_reordered():
+    # Belief combination folds floats in child order; reordering could
+    # change low-order bits, so "same bag of terms" is NOT "same key".
+    assert canonical_query_key("#sum(alpha beta)") != canonical_query_key(
+        "#sum(beta alpha)"
+    )
+
+
+def test_operator_structure_is_preserved():
+    for text in (
+        "#and(alpha beta)",
+        "#or(alpha beta)",
+        "#not(alpha)",
+        "#od2(alpha beta)",
+        "#uw5(alpha beta)",
+    ):
+        normalized = normalize_tree(parse_query(text))
+        assert render_canonical(normalized) == render_canonical(
+            normalize_tree(parse_query(text.upper()))
+        )
+
+
+def test_wsum_weights_render_exactly():
+    close_a = OpNode(
+        op="wsum",
+        children=(TermNode(term="alpha"), TermNode(term="beta")),
+        weights=(0.1, 0.30000000000000004),
+    )
+    close_b = OpNode(
+        op="wsum",
+        children=(TermNode(term="alpha"), TermNode(term="beta")),
+        weights=(0.1, 0.3),
+    )
+    # %g-style rendering would collide these two; repr cannot.
+    assert render_canonical(close_a) != render_canonical(close_b)
+
+
+def test_proximity_window_is_part_of_the_key():
+    assert canonical_query_key("#od2(alpha beta)") != canonical_query_key(
+        "#od3(alpha beta)"
+    )
+
+
+def test_key_raises_exactly_where_the_parser_does():
+    with pytest.raises(QueryError):
+        canonical_query_key("#sum(unbalanced")
+
+
+def test_term_entry_agrees_with_normalize_term(mneme_index):
+    index = mneme_index
+    for raw in ("The", "inverted", "RECORDS", "store", "a", "belief"):
+        normalized = normalize_term(raw, index.stopwords, index.stem_fn)
+        entry = index.term_entry(raw)
+        if normalized is None:
+            assert entry is None
+        else:
+            assert entry is index.term_entry(normalized)
+            # Case variants resolve to the same dictionary entry.
+            assert index.term_entry(raw.upper()) is entry
+
+
+def test_builder_and_lookup_share_the_pipeline(mneme_index):
+    # Every indexed dictionary term is already in canonical form: the
+    # builder wrote it through the same normalize_term the lookup uses.
+    index = mneme_index
+    for entry in list(index.dictionary.entries())[:50]:
+        assert (
+            normalize_term(entry.term, index.stopwords, index.stem_fn)
+            == entry.term
+        )

@@ -1,0 +1,171 @@
+"""The service contract: waves, sharing, hits, degradation, lifecycle."""
+
+import pytest
+
+from repro.core import materialize
+from repro.core.metrics import cold_start
+from repro.errors import ConfigError, ServiceUnavailableError
+from repro.faults.plan import FaultPlan
+from repro.inquery import RetrievalEngine
+from repro.serve import QueryService, ResultCache
+from repro.synth.traffic import TimedRequest
+
+
+def burst(texts):
+    return [TimedRequest(text=text, arrival_ms=0.0) for text in texts]
+
+
+def test_serve_one_matches_cold_engine(prepared, config, pool, taat_reference):
+    service = QueryService(materialize(prepared, config))
+    for text in pool[:6]:
+        assert service.serve_one(text).ranking == taat_reference[text]
+
+
+def test_hit_is_bit_identical_to_cold_evaluation(prepared, config, pool):
+    service = QueryService(materialize(prepared, config))
+    text = pool[0]
+    first = service.serve_one(text)
+    second = service.serve_one(text)
+    assert service.stats.cache_hits == 1
+    assert second.ranking == first.ranking
+    assert second.query == text
+    # The hit must also match a *fresh* engine on a cold system, not
+    # just the warmed-up first evaluation.
+    system = materialize(prepared, config)
+    cold_start(system)
+    cold = RetrievalEngine(
+        system.index, top_k=50,
+        use_reservation=config.use_reservation,
+        use_fastpath=config.use_fastpath,
+    ).run_query(text)
+    assert second.ranking == cold.ranking
+
+
+def test_sharded_serving_matches_single_disk(
+    prepared, config, pool, taat_reference
+):
+    backend = materialize(prepared, config, shards=2)
+    service = QueryService(backend, workers=2, max_batch=4)
+    report = service.process(burst(pool[:8]), name="sharded")
+    assert len(report.served) == 8
+    for row in report.served:
+        assert row.result.ranking == taat_reference[row.text]
+
+
+def test_daat_serving_matches_single_disk(
+    prepared, config, daat_pool, daat_reference
+):
+    service = QueryService(materialize(prepared, config), engine="daat")
+    report = service.process(burst(daat_pool), name="daat")
+    for row in report.served:
+        assert row.result.ranking == daat_reference[row.text]
+
+
+def test_in_wave_duplicates_share_one_evaluation(prepared, config, pool):
+    text = pool[0]
+    service = QueryService(materialize(prepared, config), max_batch=4)
+    report = service.process(burst([text, text.upper(), text, pool[1]]))
+    outcomes = [row.outcome for row in report.served]
+    assert outcomes == ["miss", "shared", "shared", "miss"]
+    assert service.stats.evaluated == 2
+    rankings = {tuple(row.result.ranking) for row in report.served[:3]}
+    assert len(rankings) == 1
+    # Shared rows echo their own spelling, not the owner's.
+    assert report.served[1].result.query == text.upper()
+
+
+def test_cache_off_disables_sharing(prepared, config, pool):
+    text = pool[0]
+    service = QueryService(
+        materialize(prepared, config), use_cache=False, max_batch=4
+    )
+    report = service.process(burst([text, text, text]))
+    assert [row.outcome for row in report.served] == ["miss"] * 3
+    assert service.stats.evaluated == 3
+    assert service.cache is None
+    assert report.cache_stats is None
+
+
+def test_repeat_heavy_stream_hits_after_first_wave(prepared, config, pool):
+    text = pool[0]
+    service = QueryService(materialize(prepared, config), max_batch=1)
+    report = service.process(burst([text] * 4))
+    assert [row.outcome for row in report.served] == [
+        "miss", "hit", "hit", "hit"
+    ]
+    # Latency includes queueing (burst arrivals), so compare service
+    # time: a hit pays only the normalize/probe overhead, a miss pays
+    # the evaluation too.
+    service_times = [
+        row.completion_ms - row.start_ms for row in report.served
+    ]
+    assert service_times[1] < service_times[0]
+
+
+def test_degraded_results_served_but_never_cached(prepared, config, pool):
+    backend = materialize(prepared, config, shards=2)
+    backend.fault_shard(0, FaultPlan.dead_disk())
+    service = QueryService(backend, workers=2)
+    report = service.process(burst(pool[:6]), name="dead")
+    degraded = [
+        row for row in report.served if row.result.completeness < 1.0
+    ]
+    assert degraded, "a dead shard must actually degrade results"
+    assert len(service.cache) == 0
+    assert service.cache.stats.rejected_degraded == len(report.served)
+    assert service.stats.degraded_served == len(report.served)
+
+
+def test_close_makes_service_unavailable(prepared, config, pool):
+    service = QueryService(materialize(prepared, config))
+    service.serve_one(pool[0])
+    service.close()
+    with pytest.raises(ServiceUnavailableError):
+        service.serve_one(pool[0])
+    with pytest.raises(ServiceUnavailableError):
+        service.process(burst(pool[:2]))
+
+
+def test_invalidate_cache_forces_reevaluation(prepared, config, pool):
+    service = QueryService(materialize(prepared, config))
+    text = pool[0]
+    service.serve_one(text)
+    assert service.invalidate_cache("index rebuilt") == 1
+    service.serve_one(text)
+    assert service.stats.cache_hits == 0
+    assert service.stats.evaluated == 2
+    assert service.cache.epoch == 1
+
+
+def test_shared_cache_across_services(prepared, config, pool):
+    shared = ResultCache(capacity=16)
+    first = QueryService(materialize(prepared, config), cache=shared)
+    first.serve_one(pool[0])
+    second = QueryService(materialize(prepared, config), cache=shared)
+    second.serve_one(pool[0])
+    assert shared.stats.hits == 1
+
+
+def test_wave_admission_respects_arrivals(prepared, config, pool):
+    service = QueryService(materialize(prepared, config), max_batch=8)
+    late = 10_000_000.0  # far past any plausible first-wave completion
+    requests = [
+        TimedRequest(text=pool[0], arrival_ms=0.0),
+        TimedRequest(text=pool[1], arrival_ms=0.0),
+        TimedRequest(text=pool[2], arrival_ms=late),
+    ]
+    report = service.process(requests)
+    assert report.waves == 2
+    assert report.served[2].start_ms >= late
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        QueryService.__new__(QueryService).__init__(object(), engine="bogus")
+
+
+def test_key_of_agrees_across_spellings(prepared, config, pool):
+    service = QueryService(materialize(prepared, config))
+    text = pool[0]
+    assert service.key_of(text) == service.key_of(text.upper())
+    assert service.key_of(text) != service.key_of(pool[1])

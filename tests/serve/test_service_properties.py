@@ -1,0 +1,81 @@
+"""Property: served rankings are bit-identical to cold evaluation.
+
+Hypothesis draws an engine, a shard count, a partitioner, and a request
+stream with repeats, then checks every served ranking — hit, miss, or
+in-wave share — against the cold single-disk reference.  This is the
+same invariant the serve gate checks on the paper collections, here
+explored over the service configuration space.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import materialize
+from repro.serve import QueryService
+from repro.synth.traffic import TimedRequest
+
+from .conftest import reference_rankings
+
+SHARD_COUNTS = (1, 2, 4)
+PARTITIONERS = ("hash", "range")
+
+_backends = {}
+_references = {}
+
+
+def _backend(prepared, config, shards, partitioner):
+    """Memoized: QueryService cold-starts whatever it is handed."""
+    key = (shards, partitioner)
+    if key not in _backends:
+        _backends[key] = materialize(
+            prepared, config, shards=shards, partitioner=partitioner
+        )
+    return _backends[key]
+
+
+def _reference(prepared, config, pool, engine):
+    if engine not in _references:
+        _references[engine] = reference_rankings(
+            prepared, config, pool, engine=engine
+        )
+    return _references[engine]
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_served_rankings_bit_identical_to_cold_evaluation(
+    data, prepared, config, pool, daat_pool
+):
+    engine = data.draw(st.sampled_from(("taat", "daat")), label="engine")
+    shards = data.draw(st.sampled_from(SHARD_COUNTS), label="shards")
+    partitioner = data.draw(st.sampled_from(PARTITIONERS), label="partitioner")
+    use_cache = data.draw(st.booleans(), label="use_cache")
+    source = daat_pool if engine == "daat" else pool
+    texts = data.draw(
+        st.lists(st.sampled_from(source), min_size=1, max_size=10),
+        label="stream",
+    )
+    reference = _reference(prepared, config, source, engine)
+    service = QueryService(
+        _backend(prepared, config, shards, partitioner),
+        engine=engine,
+        workers=data.draw(st.sampled_from((1, 2)), label="workers"),
+        max_batch=data.draw(st.sampled_from((1, 4)), label="max_batch"),
+        use_cache=use_cache,
+    )
+    report = service.process(
+        [TimedRequest(text=text, arrival_ms=0.0) for text in texts]
+    )
+    assert len(report.served) == len(texts)
+    for row in report.served:
+        assert row.result.ranking == reference[row.text], (
+            f"{row.outcome} serving of {row.text!r} diverged from the cold "
+            f"single-disk {engine} evaluation "
+            f"(shards={shards}, partitioner={partitioner})"
+        )
+    if not use_cache:
+        assert all(row.outcome == "miss" for row in report.served)
