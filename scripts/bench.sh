@@ -17,6 +17,12 @@
 #                               # writes BENCH_serve.json at the root.
 #                               # Extra args pass through, e.g.
 #                               #   scripts/bench.sh serve --profile cacm-s
+#   scripts/bench.sh prune      # dynamic-pruning invariance + effect gate
+#                               # (pruned top-k bit-identical to exhaustive,
+#                               # documents_scored reduced); writes
+#                               # BENCH_prune.json at the root. Extra args
+#                               # pass through, e.g.
+#                               #   scripts/bench.sh prune --profile tipster1-s
 #
 # Tier-1 tests (`python -m pytest`) never run these: pytest's testpaths
 # points at tests/, and the wall-clock bench is additionally marked tier2.
@@ -36,6 +42,10 @@ case "${1:-all}" in
     serve)
         shift 2>/dev/null || true
         python -m repro.bench.serve "$@"
+        ;;
+    prune)
+        shift 2>/dev/null || true
+        python -m repro.bench.prune "$@"
         ;;
     --check)
         shift

@@ -49,7 +49,7 @@ from ..core.prepared import IRSystem, PreparedCollection, materialize, prepare_c
 from ..errors import DiskFullError
 from ..faults import FaultEvent, FaultPlan
 from ..inquery.daat import DocumentAtATimeEngine
-from ..inquery.engine import RetrievalEngine
+from ..inquery.engine import DEFAULT_TOP_K, RetrievalEngine
 from ..synth import PROFILES, SyntheticCollection, generate_query_set
 from .runner import PROFILE_ORDER
 from .wallclock import _daat_queries, _query_profiles
@@ -90,7 +90,7 @@ def _phases(system: IRSystem, query_sets) -> List[Tuple[str, List[str], object]]
     for query_set in query_sets:
         engine = RetrievalEngine(
             system.index,
-            top_k=50,
+            top_k=DEFAULT_TOP_K,
             use_reservation=system.config.use_reservation,
             use_fastpath=system.config.use_fastpath,
         )

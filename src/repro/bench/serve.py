@@ -41,7 +41,7 @@ from ..core.metrics import cold_start
 from ..core.prepared import materialize, prepare_collection
 from ..faults.plan import FaultPlan
 from ..inquery.daat import DocumentAtATimeEngine
-from ..inquery.engine import RetrievalEngine
+from ..inquery.engine import DEFAULT_TOP_K, RetrievalEngine
 from ..serve import QueryService
 from ..synth import PROFILES, SyntheticCollection, generate_query_set
 from ..synth.traffic import TrafficProfile, open_loop_requests
@@ -66,7 +66,7 @@ def _reference_rankings(prepared, config, pool: Sequence[str], engine: str):
     engine_cls = DocumentAtATimeEngine if engine == "daat" else RetrievalEngine
     runner = engine_cls(
         system.index,
-        top_k=50,
+        top_k=DEFAULT_TOP_K,
         use_reservation=config.use_reservation,
         use_fastpath=config.use_fastpath,
     )

@@ -7,7 +7,10 @@ one pass:
 * **invariance** — for every query set (term-at-a-time, all query
   shapes) and its flat document-at-a-time subset, the sharded rankings
   must be *bit-identical* to the single-disk engine's, at every shard
-  count and for both partitioners;
+  count and for both partitioners; the flat subset is additionally run
+  with dynamic pruning (``prune="auto"``) on every shard, which must
+  reproduce the same single-disk rankings while actually skipping
+  documents;
 * **degenerate build** — at N=1 the shard's platter must be
   byte-for-byte the unsharded build's platter (same blocks, same bytes):
   partitioning composes with the storage layer without perturbing it;
@@ -41,6 +44,7 @@ from ..core.metrics import cold_start, measure_run
 from ..core.prepared import materialize, prepare_collection
 from ..faults.plan import FaultPlan
 from ..inquery.daat import DocumentAtATimeEngine
+from ..inquery.engine import DEFAULT_TOP_K
 from ..shard import measure_sharded_run
 from ..synth import PROFILES, SyntheticCollection, generate_query_set
 from .runner import PROFILE_ORDER
@@ -89,7 +93,7 @@ def bench_profile(
             continue
         cold_start(baseline)
         engine = DocumentAtATimeEngine(
-            baseline.index, top_k=50, use_fastpath=config.use_fastpath
+            baseline.index, top_k=DEFAULT_TOP_K, use_fastpath=config.use_fastpath
         )
         daat_ref[query_set.name] = _rankings(engine.run_batch(flat))
 
@@ -137,6 +141,7 @@ def bench_profile(
                 taat_wall_sum += metrics.wall_s_sum
                 skews.append(metrics.shard_skew)
                 depth = max(depth, metrics.max_queue_depth)
+            pruned_docs_skipped = 0
             for query_set in query_sets:
                 flat = _daat_queries(query_set.queries)
                 if not flat:
@@ -149,6 +154,21 @@ def bench_profile(
                         f"{scheme}/N={n_shards}/daat:{query_set.name}: "
                         "rankings differ from the single-disk engine"
                     )
+                pruned = measure_sharded_run(
+                    sharded, flat, query_set_name=query_set.name,
+                    engine="daat", prune="auto",
+                )
+                if _rankings(pruned.results) != daat_ref[query_set.name]:
+                    violations.append(
+                        f"{scheme}/N={n_shards}/daat+prune:{query_set.name}: "
+                        "pruned rankings differ from the single-disk engine"
+                    )
+                pruned_docs_skipped += pruned.documents_skipped
+            if pruned_docs_skipped == 0 and daat_ref:
+                violations.append(
+                    f"{scheme}/N={n_shards}: pruning never skipped a "
+                    "document on any shard"
+                )
             docs = [len(sp.doc_ids) for sp in sharded.shard_prepared]
             row["partitioner"][scheme] = {
                 "taat_wall_s": round(taat_wall, 4),
@@ -159,6 +179,7 @@ def bench_profile(
                 "shard_skew": round(max(skews), 3) if skews else 1.0,
                 "max_queue_depth": depth,
                 "docs_per_shard": docs,
+                "pruned_documents_skipped": pruned_docs_skipped,
             }
             if scheme == "hash":
                 wall_by_n[n_shards] = taat_wall
@@ -236,7 +257,8 @@ def run_benchmark(
         "description": (
             "Document-partitioned scaling: sharded rankings bit-identical "
             "to the single-disk engine for every query set (TAAT all "
-            "shapes, DAAT flat subset, hash and range partitioners), N=1 "
+            "shapes, DAAT flat subset exhaustive and with dynamic "
+            "pruning, hash and range partitioners), N=1 "
             "platter byte-identical to the unsharded build, critical-path "
             "wall-clock speedup over one disk, and degraded-not-failed "
             "serving with one shard's disk dead."

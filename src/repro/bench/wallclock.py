@@ -65,6 +65,8 @@ class PathRun:
     metrics: Dict[str, RunMetrics] = field(default_factory=dict)
     #: Per query set: (rankings, peak_resident, documents_scored, clock).
     daat_obs: Dict[str, Tuple] = field(default_factory=dict)
+    #: Per query set: pruned-vs-exhaustive observables on the linked build.
+    prune_obs: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def end_to_end_s(self) -> float:
@@ -141,6 +143,49 @@ def _run_path(
                 [r.documents_scored for r in results],
                 (elapsed.wall_ms, elapsed.user_ms, elapsed.system_io_ms),
             )
+        # Dynamic pruning runs on the linked-record backend, where the
+        # per-chunk max-tf sidecars make block skipping real.  The
+        # exhaustive run on the same build is the invariance reference
+        # and the denominator of the pruning speedup.
+        linked = materialize(
+            prepared, config_by_name("mneme-linked", use_fastpath=fast)
+        )
+        for query_set in query_sets:
+            flat = _daat_queries(query_set.queries)
+            if not flat:
+                continue
+            cold_start(linked)
+            exhaustive = DocumentAtATimeEngine(
+                linked.index, use_fastpath=fast
+            )
+            start = time.perf_counter()
+            base_results = exhaustive.run_batch(flat)
+            exhaustive_s = time.perf_counter() - start
+            cold_start(linked)
+            pruner = DocumentAtATimeEngine(
+                linked.index, use_fastpath=fast, prune="auto"
+            )
+            clock_start = linked.clock.snapshot()
+            start = time.perf_counter()
+            results = pruner.run_batch(flat)
+            run.phase_s[f"prune:{query_set.name}"] = time.perf_counter() - start
+            elapsed = linked.clock.since(clock_start)
+            run.prune_obs[query_set.name] = {
+                "rankings": [r.ranking for r in results],
+                "exhaustive_rankings": [r.ranking for r in base_results],
+                "pruned": all(r.pruned for r in results),
+                "exhaustive_s": exhaustive_s,
+                "scored_exhaustive": sum(
+                    r.documents_scored for r in base_results
+                ),
+                "counters": (
+                    sum(r.documents_scored for r in results),
+                    sum(r.documents_skipped for r in results),
+                    sum(r.blocks_skipped for r in results),
+                    sum(r.prune_threshold_updates for r in results),
+                ),
+                "clock": (elapsed.wall_ms, elapsed.user_ms, elapsed.system_io_ms),
+            }
     finally:
         _fastpath.set_enabled(previous)
     return run
@@ -250,6 +295,45 @@ def bench_profile(
             row["queries"] = len(reference[0].daat_obs[set_name][0])
             row["identical"] = checks
             invariant = invariant and all(checks.values())
+        elif phase.startswith("prune:"):
+            set_name = phase.split(":", 1)[1]
+            ref_obs = reference[0].prune_obs[set_name]
+            fast_obs = fast[0].prune_obs[set_name]
+            checks = {
+                # The pruning contract: pruned top-k equals exhaustive
+                # top-k, beliefs and tie order included, on both paths.
+                "rankings_vs_exhaustive": (
+                    ref_obs["rankings"] == ref_obs["exhaustive_rankings"]
+                    and fast_obs["rankings"] == fast_obs["exhaustive_rankings"]
+                ),
+                "rankings": ref_obs["rankings"] == fast_obs["rankings"],
+                "prune_counters": ref_obs["counters"] == fast_obs["counters"],
+                "simulated_clock": ref_obs["clock"] == fast_obs["clock"],
+            }
+            row["queries"] = len(ref_obs["rankings"])
+            row["identical"] = checks
+            invariant = invariant and all(checks.values())
+            pruned_med = median_of(
+                [run.phase_s[phase] for run in fast]
+            )
+            exhaustive_med = median_of(
+                [run.prune_obs[set_name]["exhaustive_s"] for run in fast]
+            )
+            scored, skipped, blocks, updates = fast_obs["counters"]
+            row["pruning"] = {
+                "pruned": fast_obs["pruned"],
+                "exhaustive_s": round(exhaustive_med, 4),
+                # Real-seconds win of pruning over exhaustive DAAT on
+                # the same linked build, both on the fast path.
+                "speedup_vs_exhaustive": round(
+                    _speedup(exhaustive_med, pruned_med), 2
+                ),
+                "documents_scored_exhaustive": fast_obs["scored_exhaustive"],
+                "documents_scored": scored,
+                "documents_skipped": skipped,
+                "blocks_skipped": blocks,
+                "prune_threshold_updates": updates,
+            }
         phases[phase] = row
 
     ref_total = [run.end_to_end_s for run in reference]
@@ -283,7 +367,10 @@ def run_benchmark(
             "vs. vectorized fast path.  Medians over repeated runs with "
             "a run-to-run noise bound; the two paths are asserted "
             "observationally identical (rankings, simulated clock, "
-            "I/A/B, buffer hits)."
+            "I/A/B, buffer hits).  The prune: phases additionally time "
+            "dynamic top-k pruning against exhaustive document-at-a-time "
+            "evaluation on the linked-record backend, asserting the "
+            "pruned rankings bit-identical to exhaustive."
         ),
         "numpy": _fastpath.HAVE_NUMPY,
         "repeats": repeats,
@@ -365,6 +452,16 @@ def _print_report(report: dict) -> None:
                 f"{row['fastpath_s']:8.3f}s  ({row['speedup']:.2f}x"
                 f"{ok}, noise {row['noise']:.3f})"
             )
+            pruning = row.get("pruning")
+            if pruning:
+                print(
+                    f"  {'':<16}pruned {pruning['speedup_vs_exhaustive']:.2f}x "
+                    f"vs exhaustive {pruning['exhaustive_s']:.3f}s; scored "
+                    f"{pruning['documents_scored']}/"
+                    f"{pruning['documents_scored_exhaustive']} docs, skipped "
+                    f"{pruning['documents_skipped']} docs / "
+                    f"{pruning['blocks_skipped']} blocks"
+                )
         print(
             f"  {'total':<16}{total['reference_s']:8.3f}s -> "
             f"{total['fastpath_s']:8.3f}s  ({total['speedup']:.2f}x)"

@@ -15,7 +15,8 @@ self-contained and deterministic):
 * ``validate`` — integrity-check a freshly built system;
 * ``chaos``    — fault-tolerant serving under seeded fault injection;
 * ``shards``   — document-partitioned scaling and invariance benchmark;
-* ``serve``    — concurrent batch query service traffic benchmark.
+* ``serve``    — concurrent batch query service traffic benchmark;
+* ``prune``    — dynamic-pruning invariance and speedup benchmark.
 
 ``demo`` additionally accepts ``--shards N`` (with ``--partitioner``) to
 serve the queries from an N-machine document-partitioned build instead
@@ -52,7 +53,7 @@ from .core import (
     materialize,
     measure_run,
 )
-from .inquery import DocumentAtATimeEngine, RetrievalEngine
+from .inquery import DEFAULT_TOP_K, DocumentAtATimeEngine, RetrievalEngine
 from .synth import PROFILES
 
 ALL_CONFIGS = ("btree", "mneme-nocache", "mneme-cache", "mneme-linked")
@@ -74,10 +75,18 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("queries", nargs="+", help="structured queries to run")
     demo.add_argument("--profile", default="cacm-s", choices=sorted(PROFILES))
     demo.add_argument("--config", default="mneme-cache", choices=ALL_CONFIGS)
-    demo.add_argument("--top-k", type=int, default=10)
+    demo.add_argument(
+        "--top-k", type=int, default=10,
+        help=f"documents to print per query (system default: {DEFAULT_TOP_K})",
+    )
     demo.add_argument(
         "--daat", action="store_true",
         help="use the document-at-a-time engine (flat #sum/#wsum only)",
+    )
+    demo.add_argument(
+        "--prune", default="off", choices=("off", "auto", "require"),
+        help="dynamic top-k pruning (document-at-a-time only); rankings "
+             "are bit-identical to exhaustive evaluation",
     )
     demo.add_argument(
         "--shards", type=int, default=0, metavar="N",
@@ -169,6 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache-on p50 latency improvement floor")
     serve.add_argument("--out", default=None, help="write the JSON report here")
 
+    prune = commands.add_parser(
+        "prune", help="dynamic-pruning invariance and speedup benchmark"
+    )
+    prune.add_argument("--profile", action="append", dest="profiles",
+                       help="collection profile (repeatable; default: all four)")
+    prune.add_argument("--config", default="mneme-linked")
+    prune.add_argument("--top-k", type=int, default=DEFAULT_TOP_K)
+    prune.add_argument("--min-speedup", type=float, default=1.5,
+                       help="documents-scored reduction floor on the "
+                            "TIPSTER profiles")
+    prune.add_argument("--out", default=None, help="write the JSON report here")
+
     return parser
 
 
@@ -190,7 +211,22 @@ def cmd_profiles() -> int:
     return 0
 
 
+def _print_prune_line(result) -> None:
+    """One line of pruning provenance under a demo result."""
+    if not getattr(result, "pruned", False):
+        return
+    print(
+        f"  pruned: {result.documents_scored} doc(s) scored, "
+        f"{result.documents_skipped} skipped, "
+        f"{result.blocks_skipped} block(s) skipped, "
+        f"{result.prune_threshold_updates} threshold update(s)"
+    )
+
+
 def cmd_demo(args) -> int:
+    if args.prune != "off" and not args.daat:
+        print("--prune requires --daat (document-at-a-time)", file=sys.stderr)
+        return 2
     print(f"Building {args.profile!r} on {args.config!r} ...")
     workload = load_workload(args.profile)
     if args.serve:
@@ -201,10 +237,11 @@ def cmd_demo(args) -> int:
             shards=args.shards, partitioner=args.partitioner,
         )
         scheduler = sharded.scheduler(
-            top_k=args.top_k, engine="daat" if args.daat else "taat"
+            top_k=args.top_k, engine="daat" if args.daat else "taat",
+            prune=args.prune,
         )
         outcome = scheduler.run_batch(list(args.queries))
-        for result in outcome.results:
+        for q, result in enumerate(outcome.results):
             print(f"\nQuery: {result.query}")
             if not result.ranking:
                 print("  (no matching documents)")
@@ -217,10 +254,28 @@ def cmd_demo(args) -> int:
                 for shard, count in sorted(result.shard_contributions.items())
             )
             print(f"  top-{args.top_k} contributions by shard: {contributions}")
+            shard_results = [
+                outcome.per_shard_results[i][q]
+                for i in sorted(outcome.per_shard_results)
+                if q < len(outcome.per_shard_results[i])
+            ]
+            if any(getattr(r, "pruned", False) for r in shard_results):
+                print(
+                    "  pruned: "
+                    f"{sum(r.documents_scored for r in shard_results)} doc(s) "
+                    "scored, "
+                    f"{sum(r.documents_skipped for r in shard_results)} skipped, "
+                    f"{sum(r.blocks_skipped for r in shard_results)} block(s) "
+                    "skipped across shards"
+                )
         return 0
     system = materialize(workload.prepared, config_by_name(args.config))
-    engine_cls = DocumentAtATimeEngine if args.daat else RetrievalEngine
-    engine = engine_cls(system.index, top_k=args.top_k)
+    if args.daat:
+        engine = DocumentAtATimeEngine(
+            system.index, top_k=args.top_k, prune=args.prune
+        )
+    else:
+        engine = RetrievalEngine(system.index, top_k=args.top_k)
     for query in args.queries:
         result = engine.run_query(query)
         print(f"\nQuery: {query}")
@@ -228,6 +283,7 @@ def cmd_demo(args) -> int:
             print("  (no matching documents)")
         for rank, (doc_id, belief) in enumerate(result.ranking, start=1):
             print(f"  {rank:>3d}. doc {doc_id:<8d} belief={belief:.4f}")
+        _print_prune_line(result)
     return 0
 
 
@@ -247,6 +303,7 @@ def _demo_serve(args, workload) -> int:
         backend,
         engine="daat" if args.daat else "taat",
         top_k=args.top_k,
+        prune=args.prune,
     )
     requests = [
         TimedRequest(text=query, arrival_ms=0.0) for query in args.queries
@@ -258,6 +315,7 @@ def _demo_serve(args, workload) -> int:
             print("  (no matching documents)")
         for rank, (doc_id, belief) in enumerate(row.result.ranking, start=1):
             print(f"  {rank:>3d}. doc {doc_id:<8d} belief={belief:.4f}")
+        _print_prune_line(row.result)
     if service.cache is not None:
         stats = service.cache.stats
         print(
@@ -509,6 +567,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out:
             argv2 += ["--out", args.out]
         return serve_main(argv2)
+    if args.command == "prune":
+        from .bench.prune import main as prune_main
+
+        argv2 = []
+        for profile in args.profiles or []:
+            argv2 += ["--profile", profile]
+        argv2 += ["--config", args.config]
+        argv2 += ["--top-k", str(args.top_k)]
+        argv2 += ["--min-speedup", str(args.min_speedup)]
+        if args.out:
+            argv2 += ["--out", args.out]
+        return prune_main(argv2)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -21,7 +21,7 @@ mean over six runs (their runs differed by <1% anyway).
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from ..inquery import MnemeInvertedFile, QueryResult, RetrievalEngine
+from ..inquery import DEFAULT_TOP_K, MnemeInvertedFile, QueryResult, RetrievalEngine
 from ..mneme import BufferStats
 from .prepared import IRSystem
 
@@ -46,6 +46,11 @@ class RunMetrics:
     degraded_queries: int = 0
     #: Stored-term reads that stayed unreadable, summed over the run.
     terms_failed: int = 0
+    #: Dynamic-pruning effect counters, summed over the run.  All three
+    #: are zero on exhaustive paths (pruning off, or auto-fallback).
+    documents_skipped: int = 0
+    blocks_skipped: int = 0
+    prune_threshold_updates: int = 0
 
     @property
     def accesses_per_lookup(self) -> float:
@@ -127,6 +132,13 @@ class SystemSnapshot:
             results=results if keep_results else [],
             degraded_queries=sum(1 for r in results if r.degraded),
             terms_failed=sum(r.terms_failed for r in results),
+            documents_skipped=sum(
+                getattr(r, "documents_skipped", 0) for r in results
+            ),
+            blocks_skipped=sum(getattr(r, "blocks_skipped", 0) for r in results),
+            prune_threshold_updates=sum(
+                getattr(r, "prune_threshold_updates", 0) for r in results
+            ),
         )
 
 
@@ -134,7 +146,7 @@ def measure_run(
     system: IRSystem,
     queries: List[str],
     query_set_name: str = "",
-    top_k: int = 50,
+    top_k: int = DEFAULT_TOP_K,
     cold: bool = True,
     keep_results: bool = True,
 ) -> RunMetrics:

@@ -12,7 +12,7 @@ single time (numpy ``lexsort`` over (term, doc, position), the same
 per configuration.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -48,6 +48,8 @@ class PreparedCollection:
     ctf: Dict[int, int]
     doctable: DocTable
     stats: IndexStats
+    #: term id -> largest within-document frequency (pruning bound input).
+    max_tf: Dict[int, int] = field(default_factory=dict)
 
     @property
     def record_count(self) -> int:
@@ -90,6 +92,7 @@ def prepare_collection(collection: SyntheticCollection, name: Optional[str] = No
     term_id_of_rank: Dict[int, int] = {}
     df: Dict[int, int] = {}
     ctf: Dict[int, int] = {}
+    max_tf: Dict[int, int] = {}
 
     # Term ids are assigned in rank order, so records stream out sorted by
     # term id — the order the B-tree bulk load requires.
@@ -105,6 +108,7 @@ def prepare_collection(collection: SyntheticCollection, name: Optional[str] = No
         }
         df = {i + 1: int(n) for i, n in enumerate(encoded.df)}
         ctf = {i + 1: int(n) for i, n in enumerate(encoded.ctf)}
+        max_tf = {i + 1: int(n) for i, n in enumerate(encoded.max_tf)}
         stats.records = len(records)
         stats.compressed_bytes = encoded.compressed_bytes
         stats.uncompressed_bytes = encoded.uncompressed_bytes
@@ -128,6 +132,7 @@ def prepare_collection(collection: SyntheticCollection, name: Optional[str] = No
             records.append((term_id, record))
             df[term_id] = len(postings)
             ctf[term_id] = hi - lo
+            max_tf[term_id] = max(len(p) for _d, p in postings)
             stats.records += 1
             stats.compressed_bytes += len(record)
             stats.uncompressed_bytes += uncompressed_size(postings)
@@ -147,6 +152,7 @@ def prepare_collection(collection: SyntheticCollection, name: Optional[str] = No
         ctf=ctf,
         doctable=doctable,
         stats=stats,
+        max_tf=max_tf,
     )
 
 
@@ -246,6 +252,8 @@ def materialize(
         entry.df = prepared.df[term_id]
         entry.ctf = prepared.ctf[term_id]
         entry.storage_key = keys[term_id]
+        entry.max_tf = prepared.max_tf.get(term_id, 0)
+        entry.bounds_key = store.chunk_bounds_key(entry.storage_key)
 
     doctable = DocTable()
     for doc_id, length in prepared.doctable.lengths.items():

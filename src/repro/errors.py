@@ -166,5 +166,24 @@ class QueryError(ReproError):
     """A structured query could not be parsed or evaluated."""
 
 
+class PruningUnsupportedError(QueryError):
+    """Dynamic pruning was required but no safe bound is available.
+
+    Raised when an engine is asked to *require* pruned evaluation
+    (``prune="require"``) for a query whose operators or stored
+    metadata cannot provide an admissible score upper bound — e.g. a
+    ``#wsum`` with negative weights (the fold is no longer monotone in
+    each term belief) or an index built before max-tf bound metadata
+    existed.  With ``prune="auto"`` these cases silently fall back to
+    exhaustive evaluation instead; the explicit error removes the
+    ambiguity when a caller needs to know pruning actually happened.
+    """
+
+    def __init__(self, reason: str = ""):
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"dynamic pruning unsupported{detail}")
+        self.reason = reason
+
+
 class ConfigError(ReproError, ValueError):
     """Invalid experiment or system configuration."""

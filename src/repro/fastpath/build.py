@@ -33,6 +33,7 @@ class EncodedCollection:
     df: np.ndarray             #: int64, documents per term
     ctf: np.ndarray            #: int64, occurrences per term
     record_sizes: np.ndarray   #: int64, encoded bytes per record
+    max_tf: np.ndarray         #: int64, largest within-doc tf per term
 
     @property
     def uncompressed_bytes(self) -> int:
@@ -138,10 +139,14 @@ def encode_collection(
     records = [
         (i + 1, buffer[starts_list[i]:ends_list[i]]) for i in range(term_count)
     ]
+    # Pruning bound metadata: the largest per-document frequency each
+    # term reaches, segment-maxed over its entry range in one pass.
+    max_tf = np.maximum.reduceat(tf, first_entry)
     return EncodedCollection(
         records=records,
         ranks=distinct,
         df=df,
         ctf=ctf,
         record_sizes=term_byte_ends - term_byte_starts,
+        max_tf=max_tf,
     )

@@ -23,6 +23,12 @@ obeys):
 * the per-document engine charge (``cpu_ms_per_posting * (evidence +
   1)``) is applied document-by-document in document order, so the
   simulated clock accumulates the identical float sequence.
+
+Dynamic top-k pruning (:mod:`repro.fastpath.prune`) shares this
+module's window decomposition and :func:`doc_length_lookup`, but scores
+*fewer* documents by design — its contract is weaker here (I/O and
+buffer observables may shrink) and stronger elsewhere (the surviving
+top-k must be bit-identical to this module's exhaustive result).
 """
 
 from typing import Callable, Dict, List, Optional, Tuple

@@ -1,0 +1,810 @@
+"""MaxScore dynamic pruning: top-k evaluation that skips documents.
+
+Exhaustive document-at-a-time evaluation scores every document any
+query term mentions.  For a top-k request almost all of that work is
+provably wasted: once k documents are on the heap, a candidate whose
+*score ceiling* cannot beat the current threshold can be discarded
+without computing its score — and a record chunk none of whose
+documents can beat the threshold need never be fetched from the store.
+
+This module implements the MaxScore strategy of Turtle & Flood
+("Query evaluation: strategies and optimizations", 1995 — the same
+INQUERY lineage as the paper's engine) over the bound metadata that
+:mod:`repro.inquery.bounds` persists in Mneme records:
+
+* terms are ordered by how much belief they can add over the default
+  (``weight * (bound - default)``); the maximal prefix whose combined
+  ceiling still loses to the heap threshold is the *non-essential* set;
+* only essential streams drive iteration — a document with evidence
+  solely in non-essential terms can never enter the heap, so it is
+  never even visited;
+* each candidate gets a refined ceiling from its exact essential
+  beliefs plus per-chunk bounds for the non-essential terms (located by
+  binary search over the sidecar's last-doc fence, without fetching the
+  chunk); only survivors are exact-scored;
+* the threshold only rises, so the non-essential prefix only grows.
+
+Windows and strides
+-------------------
+Evaluation proceeds in *windows* — the documents covered by the
+essential cursors' currently resident chunks — and, within a window,
+in *strides* of :data:`PRUNE_STRIDE` candidates.  The heap threshold
+and the essential/non-essential partition are frozen at each stride
+boundary.  Freezing costs a little pruning power (the threshold a
+candidate is tested against may be up to a stride stale, which is still
+admissible because the threshold only rises) and buys the fast path its
+speed: with the threshold fixed, a whole stride's ceilings and skip
+decisions become array expressions.
+
+Two drivers implement the identical algorithm: a pure-Python reference
+loop and a vectorized loop used when the fast path is enabled.  As with
+every fast-path kernel, the two are *observationally identical* — same
+rankings, same skip/score counters, same block fetches in the same
+order, same simulated-clock charge sequence, same resident-byte
+trajectory — because stride boundaries, threshold snapshots, fetch
+decisions, and per-candidate charges are defined by the algorithm, not
+by the implementation.
+
+Bit-identity contract
+---------------------
+The ranking (document order, belief values, and tie-breaks) is
+bit-identical to the exhaustive engines'.  Two properties guarantee it:
+
+1. every skip is justified by an *admissible* ceiling — the bound
+   arithmetic replaces operands of correctly-rounded monotone
+   operations with values no smaller (see :mod:`repro.inquery.bounds`),
+   so a computed bound can never fall below the computed belief, and
+   the fold below mirrors the reference fold's operation order;
+2. ties are skipped only when they would lose the tie-break: a
+   candidate whose ceiling *equals* the threshold is still scored when
+   its document id is smaller than the heap root's (ascending-id wins).
+
+What is *not* identical: the simulated I/O and CPU observables.
+Pruning exists to do less work, so record lookups, buffer traffic, and
+charge totals legitimately differ from exhaustive evaluation — that is
+the measured effect, while the ranking invariance above is the safety
+property the test suite locks down.
+"""
+
+import heapq
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import BadBlockError, PruningUnsupportedError
+from ..inquery.bounds import PrunableSource, belief_bound
+from ..inquery.network import DEFAULT_BELIEF, inquery_idf
+from ..inquery.postings import decode_record
+
+#: Candidates evaluated between threshold refreshes.  Both drivers
+#: honour the same boundaries, so their skip decisions are identical.
+#: Larger strides amortize the fast driver's array setup but test
+#: candidates against a staler (still admissible) threshold; 512 is
+#: the empirical balance point on the TIPSTER profiles.
+PRUNE_STRIDE = 512
+
+
+@dataclass
+class PruneOutcome:
+    """Ranking plus the pruning-effect counters for one query."""
+
+    ranking: List[Tuple[int, float]]
+    documents_scored: int = 0
+    documents_skipped: int = 0
+    blocks_skipped: int = 0
+    prune_threshold_updates: int = 0
+    peak_resident_bytes: int = 0
+    lookups: int = 0
+    attempted: int = 0
+    failed: int = 0
+
+
+def _block_decoder(use_fastpath: bool) -> Callable[[bytes], tuple]:
+    """Raw block -> (doc ids, tfs), both ascending by document.
+
+    The fast decoder returns the vectorized kernel's numpy columns (the
+    fast driver slices them wholesale); the reference decoder returns
+    pure-Python lists.  Both carry the same integers, so everything
+    downstream — candidate order, bounds, scores, skip counters — is
+    decoder-independent.
+    """
+    if use_fastpath:
+        from .codec import decode_record_arrays
+
+        def decode_fast(raw: bytes):
+            arrays = decode_record_arrays(raw)
+            return arrays.doc_ids, arrays.tf
+
+        return decode_fast
+
+    def decode_ref(raw: bytes):
+        postings = decode_record(raw)
+        return [d for d, _p in postings], [len(p) for _d, p in postings]
+
+    return decode_ref
+
+
+class _TermCursor:
+    """One live query term's iteration state over its block source."""
+
+    __slots__ = (
+        "position", "source", "idf", "ub", "block", "offset",
+        "docs", "tfs", "block_bytes", "cache_block", "cache_docs",
+        "cache_tfs", "cache_bytes", "dead", "ub_table", "last_arr",
+    )
+
+    def __init__(self, position: int, source: PrunableSource, idf: float, ub: float):
+        self.position = position
+        self.source = source
+        self.idf = idf
+        self.ub = ub                 #: term-level belief ceiling
+        self.block = 0               #: essential-iteration cursor
+        self.offset = 0
+        self.docs = None
+        self.tfs = None
+        self.block_bytes = 0         #: raw bytes of the cursor block
+        self.cache_block = -1        #: last block fetched for NE lookups
+        self.cache_docs = None
+        self.cache_tfs = None
+        self.cache_bytes = 0
+        self.dead = False
+        self.ub_table = None         #: fast driver: per-block bound column
+        self.last_arr = None         #: fast driver: last-doc fence column
+
+
+class _Evaluator:
+    """Shared machinery: block fetch/decode, bounds, and the fold."""
+
+    def __init__(self, decode, clock, weights, total_weight, weighted, on_failure):
+        self._decode = decode
+        self._clock = clock
+        self.weights = weights
+        self.total_weight = total_weight
+        self.weighted = weighted
+        self._on_failure = on_failure
+        self.resident = 0
+        self.peak_resident = 0
+
+    def fail(self) -> None:
+        self._on_failure()
+
+    def fetch_decoded(self, cursor: _TermCursor, block: int):
+        """Fetch + decode one block, charging decode CPU for the bytes
+        actually transferred (exhaustive evaluation charges for whole
+        records; pruned evaluation pays only for what it reads)."""
+        raw = cursor.source.fetch_block(block)
+        self._clock.charge_user(
+            self._clock.cost.cpu_ms_per_kb_decode * (len(raw) / 1024.0)
+        )
+        return self._decode(raw), len(raw)
+
+    def track(self, grew: int) -> None:
+        self.resident += grew
+        if self.resident > self.peak_resident:
+            self.peak_resident = self.resident
+
+    def current_doc(self, cursor: _TermCursor) -> Optional[int]:
+        """Essential iteration: the cursor's next unconsumed document."""
+        while True:
+            if cursor.dead:
+                return None
+            if cursor.docs is None:
+                if cursor.block >= cursor.source.n_blocks:
+                    return None
+                try:
+                    (docs, tfs), nbytes = self.fetch_decoded(cursor, cursor.block)
+                except BadBlockError:
+                    cursor.dead = True
+                    self._on_failure()
+                    return None
+                cursor.block_bytes = nbytes
+                self.track(nbytes)
+                cursor.docs, cursor.tfs = docs, tfs
+                cursor.offset = 0
+            if cursor.offset < len(cursor.docs):
+                return cursor.docs[cursor.offset]
+            self.track(-cursor.block_bytes)
+            cursor.block_bytes = 0
+            cursor.block += 1
+            cursor.docs = cursor.tfs = None
+
+    def ensure_block(self, cursor: _TermCursor, block: int):
+        """(docs, tfs) of ``block``, through the non-essential cache.
+
+        The cursor's own resident chunk is reused when it is the one
+        asked for (a freshly demoted term keeps its partially consumed
+        chunk); otherwise a one-block cache holds the last chunk this
+        term was probed in — candidates arrive in ascending order, so
+        repeat fetches are rare.  Returns ``None`` on a bad block.
+        """
+        if cursor.docs is not None and block == cursor.block:
+            return cursor.docs, cursor.tfs
+        if block == cursor.cache_block:
+            return cursor.cache_docs, cursor.cache_tfs
+        try:
+            (docs, tfs), nbytes = self.fetch_decoded(cursor, block)
+        except BadBlockError:
+            cursor.dead = True
+            self._on_failure()
+            return None
+        self.track(nbytes - cursor.cache_bytes)
+        cursor.cache_bytes = nbytes
+        cursor.cache_block = block
+        cursor.cache_docs, cursor.cache_tfs = docs, tfs
+        return docs, tfs
+
+    def lookup_tf(self, cursor: _TermCursor, doc: int) -> Optional[int]:
+        """Non-essential lookup: tf of ``doc`` in this term, or ``None``."""
+        if cursor.dead:
+            return None
+        block = cursor.source.block_of_doc(doc)
+        if block >= cursor.source.n_blocks:
+            return None
+        loaded = self.ensure_block(cursor, block)
+        if loaded is None:
+            return None
+        docs, tfs = loaded
+        index = bisect_left(docs, doc)
+        if index < len(docs) and docs[index] == doc:
+            return tfs[index]
+        return None
+
+    def chunk_ub(self, cursor: _TermCursor, doc: int) -> float:
+        """Per-chunk belief ceiling for ``doc``, without fetching it."""
+        if cursor.dead:
+            return DEFAULT_BELIEF
+        block = cursor.source.block_of_doc(doc)
+        if block >= cursor.source.n_blocks:
+            return DEFAULT_BELIEF
+        last = cursor.source.last_docs[block]
+        if last is None:
+            return cursor.ub
+        return belief_bound(cursor.source.max_tfs[block], cursor.idf)
+
+    def fold(self, values: List[float]) -> float:
+        """The reference fold — same expressions, same operation order,
+        as the exhaustive engines, so exact scores are bit-identical
+        and (by operand monotonicity) folded ceilings are admissible."""
+        if self.weighted:
+            return (
+                sum(w * v for w, v in zip(self.weights, values))
+                / self.total_weight
+            )
+        if len(values) == 1:
+            return values[0]
+        return sum(values) / len(values)
+
+
+class _PruneState:
+    """Heap, partition, and counters — shared by both drivers."""
+
+    def __init__(self, evaluator, cursors, order, doctable, avg_len, clock,
+                 top_k, n_positions, outcome):
+        self.evaluator = evaluator
+        self.cursors = cursors
+        self.order = order
+        self.doctable = doctable
+        self.avg_len = avg_len
+        self.clock = clock
+        self.cost = clock.cost
+        self.top_k = top_k
+        self.n_positions = n_positions
+        self.outcome = outcome
+        self.heap: List[Tuple[float, int]] = []  # (score, -doc): root = worst
+        self.ne_len = 0
+
+    def _fold_ceiling(self, ne_positions) -> float:
+        values = [DEFAULT_BELIEF] * self.n_positions
+        for position in ne_positions:
+            values[position] = self.cursors[position].ub
+        return self.evaluator.fold(values)
+
+    def _grow_partition(self) -> bool:
+        """Extend the non-essential prefix as far as the threshold allows.
+
+        Strict ``<``: a set whose combined ceiling *equals* the
+        threshold could still produce a tie that wins on document id,
+        so it must stay essential.  Returns whether the prefix grew.
+        """
+        theta_score = self.heap[0][0]
+        grew = False
+        while self.ne_len < len(self.order):
+            if self._fold_ceiling(self.order[: self.ne_len + 1]) < theta_score:
+                self.ne_len += 1
+                grew = True
+            else:
+                break
+        return grew
+
+    def stride_theta(self):
+        """Stride-boundary refresh: grow the partition if the heap is
+        full and snapshot the threshold the next stride is tested
+        against.  Returns ``(partition_grew, theta)`` where ``theta``
+        is ``(score, doc id)`` or ``None`` while the heap is short."""
+        if len(self.heap) >= self.top_k:
+            grew = self._grow_partition()
+            score, neg_doc = self.heap[0]
+            return grew, (score, -neg_doc)
+        return False, None
+
+    def begin_window(self):
+        """Open the next window: refresh the partition, load the
+        essential cursors' chunks (in essential order — the fetch order
+        both drivers share), and snapshot the threshold.  Returns
+        ``(live positions, theta)`` or ``None`` when evaluation is
+        done."""
+        if len(self.heap) >= self.top_k:
+            self._grow_partition()
+        if self.ne_len >= len(self.order):
+            return None
+        live = []
+        for position in self.order[self.ne_len:]:
+            if self.evaluator.current_doc(self.cursors[position]) is not None:
+                live.append(position)
+        if not live:
+            return None
+        theta = None
+        if len(self.heap) >= self.top_k:
+            score, neg_doc = self.heap[0]
+            theta = (score, -neg_doc)
+        return live, theta
+
+    def push(self, doc: int, score: float, evidence: int) -> None:
+        """Account one exact-scored document and offer it to the heap."""
+        self.outcome.documents_scored += 1
+        self.clock.charge_user(self.cost.cpu_ms_per_posting * (evidence + 1))
+        item = (score, -doc)
+        heap = self.heap
+        if len(heap) < self.top_k:
+            heapq.heappush(heap, item)
+            if len(heap) == self.top_k:
+                self.outcome.prune_threshold_updates += 1
+        elif item > heap[0]:
+            heapq.heapreplace(heap, item)
+            self.outcome.prune_threshold_updates += 1
+
+
+def _run_reference(state: _PruneState) -> None:
+    """Pure-Python driver: one candidate at a time, stride-frozen theta."""
+    evaluator = state.evaluator
+    cursors = state.cursors
+    clock = state.clock
+    outcome = state.outcome
+    avg_len = state.avg_len
+    check_charge = state.cost.cpu_ms_per_posting
+    while True:
+        opened = state.begin_window()
+        if opened is None:
+            return
+        live, theta = opened
+        live_cursors = [cursors[position] for position in live]
+        window_end = min(cursor.docs[-1] for cursor in live_cursors)
+        stride_left = PRUNE_STRIDE
+        while True:
+            candidate = None
+            for cursor in live_cursors:
+                if cursor.offset < len(cursor.docs):
+                    doc = cursor.docs[cursor.offset]
+                    if candidate is None or doc < candidate:
+                        candidate = doc
+            if candidate is None or candidate > window_end:
+                break  # window consumed: advance chunks, open the next
+            if stride_left == 0:
+                grew, theta = state.stride_theta()
+                if grew:
+                    break  # partition changed: rebuild the window
+                stride_left = PRUNE_STRIDE
+            stride_left -= 1
+
+            # Exact essential evidence (consumed whether or not we skip —
+            # essential streams are read in full while they stay
+            # essential).
+            doc_len = state.doctable.length_of(candidate)
+            beliefs = [DEFAULT_BELIEF] * state.n_positions
+            evidence = 0
+            for cursor in live_cursors:
+                if cursor.offset < len(cursor.docs) \
+                        and cursor.docs[cursor.offset] == candidate:
+                    tf = cursor.tfs[cursor.offset]
+                    cursor.offset += 1
+                    tf_w = tf / (tf + 0.5 + 1.5 * doc_len / avg_len)
+                    beliefs[cursor.position] = (
+                        DEFAULT_BELIEF + (1.0 - DEFAULT_BELIEF) * tf_w * cursor.idf
+                    )
+                    evidence += 1
+
+            if theta is not None:
+                theta_score, theta_doc = theta
+                values = list(beliefs)
+                for position in state.order[: state.ne_len]:
+                    values[position] = evaluator.chunk_ub(
+                        cursors[position], candidate
+                    )
+                ceiling = evaluator.fold(values)
+                clock.charge_user(check_charge)
+                if ceiling < theta_score or (
+                    ceiling == theta_score and candidate > theta_doc
+                ):
+                    outcome.documents_skipped += 1
+                    continue
+
+            for position in state.order[: state.ne_len]:
+                tf = evaluator.lookup_tf(cursors[position], candidate)
+                if tf is not None:
+                    tf_w = tf / (tf + 0.5 + 1.5 * doc_len / avg_len)
+                    beliefs[position] = (
+                        DEFAULT_BELIEF
+                        + (1.0 - DEFAULT_BELIEF) * tf_w * cursors[position].idf
+                    )
+                    evidence += 1
+            state.push(candidate, evaluator.fold(beliefs), evidence)
+
+
+def _ub_column(cursor: _TermCursor, chunk):
+    """Vectorized :meth:`_Evaluator.chunk_ub` over a candidate chunk."""
+    import numpy as np
+
+    if cursor.dead:
+        return DEFAULT_BELIEF
+    source = cursor.source
+    n_blocks = source.n_blocks
+    if cursor.ub_table is None:
+        table = np.empty(n_blocks + 1, dtype=np.float64)
+        for block in range(n_blocks):
+            last = source.last_docs[block]
+            table[block] = (
+                cursor.ub if last is None
+                else belief_bound(source.max_tfs[block], cursor.idf)
+            )
+        table[n_blocks] = DEFAULT_BELIEF  # beyond the fence: no evidence
+        cursor.ub_table = table
+        if n_blocks > 1:
+            cursor.last_arr = np.asarray(source.last_docs, dtype=np.int64)
+    if n_blocks == 1:
+        return cursor.ub_table[np.zeros(chunk.size, dtype=np.int64)]
+    return cursor.ub_table[
+        np.minimum(
+            np.searchsorted(cursor.last_arr, chunk, side="left"), n_blocks
+        )
+    ]
+
+
+def _chunk_mask(state: _PruneState, columns, chunk, start, stop, theta):
+    """One stride's skip decisions as a boolean keep-mask.
+
+    Folds the per-candidate ceilings in the reference fold's exact
+    operation order (elementwise), so every ceiling — and therefore
+    every decision against the frozen threshold — is bit-identical to
+    the reference driver's.
+    """
+    import numpy as np
+
+    evaluator = state.evaluator
+    ne_columns = {
+        position: _ub_column(state.cursors[position], chunk)
+        for position in state.order[: state.ne_len]
+    }
+
+    def contrib(position):
+        column = columns.get(position)
+        if column is not None:
+            return column[start:stop]
+        return ne_columns.get(position, DEFAULT_BELIEF)
+
+    if evaluator.weighted:
+        acc = np.zeros(chunk.size, dtype=np.float64)
+        for position in range(state.n_positions):
+            acc = acc + evaluator.weights[position] * contrib(position)
+        ceiling = acc / evaluator.total_weight
+    elif state.n_positions == 1:
+        only = contrib(0)
+        ceiling = only if isinstance(only, np.ndarray) \
+            else np.full(chunk.size, only, dtype=np.float64)
+    else:
+        acc = np.zeros(chunk.size, dtype=np.float64)
+        for position in range(state.n_positions):
+            acc = acc + contrib(position)
+        ceiling = acc / state.n_positions
+    theta_score, theta_doc = theta
+    return (ceiling > theta_score) | (
+        (ceiling == theta_score) & (chunk <= theta_doc)
+    )
+
+
+class _ChunkNE:
+    """Batched non-essential lookups for one stride chunk.
+
+    Replays exactly the reference ``lookup_tf`` sequence — the same
+    chunk is fetched at the same surviving candidate, with the same
+    cache transitions and decode charges — but when a chunk comes
+    resident it resolves the tf of *every* candidate in the stride that
+    falls in it with one array search instead of one bisect per
+    survivor.  The per-candidate hot loop then runs over plain Python
+    lists (the array scalars carry identical values, just slower
+    indexing).
+    """
+
+    def __init__(self, state: _PruneState, chunk):
+        self.state = state
+        self.chunk = chunk
+        self._data = None
+
+    def _build(self):
+        import numpy as np
+
+        state = self.state
+        data = []
+        size = int(self.chunk.size)
+        for position in state.order[: state.ne_len]:
+            cursor = state.cursors[position]
+            source = cursor.source
+            if source.n_blocks == 1:
+                blocks = [0] * size
+            else:
+                if cursor.last_arr is None:
+                    cursor.last_arr = np.asarray(
+                        source.last_docs, dtype=np.int64
+                    )
+                blocks = np.searchsorted(
+                    cursor.last_arr, self.chunk, side="left"
+                ).tolist()
+            data.append(
+                (position, cursor, source.n_blocks, blocks, [0] * size, set())
+            )
+        self._data = data
+        return data
+
+    def _resolve(self, cursor, block, blocks, tf_col) -> None:
+        """Make ``block`` resident (reference fetch path) and scatter
+        its tfs for every chunk candidate the block covers."""
+        import numpy as np
+
+        loaded = self.state.evaluator.ensure_block(cursor, block)
+        if loaded is None:
+            return
+        docs, tfs = loaded
+        lo = bisect_left(blocks, block)
+        hi = bisect_right(blocks, block)
+        sub = self.chunk[lo:hi]
+        index = np.minimum(np.searchsorted(docs, sub), len(docs) - 1)
+        tf_col[lo:hi] = np.where(docs[index] == sub, tfs[index], 0).tolist()
+
+    def apply(self, j: int, doc: int, beliefs: list, evidence: int) -> int:
+        """Fold candidate ``j``'s non-essential evidence into ``beliefs``."""
+        data = self._data
+        if data is None:
+            data = self._build()
+        state = self.state
+        avg_len = state.avg_len
+        doc_len = None
+        for position, cursor, n_blocks, blocks, tf_col, resolved in data:
+            if cursor.dead:
+                continue
+            block = blocks[j]
+            if block >= n_blocks:
+                continue
+            if block not in resolved:
+                resolved.add(block)
+                self._resolve(cursor, block, blocks, tf_col)
+                if cursor.dead:
+                    continue
+            tf = tf_col[j]
+            if tf:
+                if doc_len is None:
+                    doc_len = state.doctable.length_of(doc)
+                tf_w = tf / (tf + 0.5 + 1.5 * doc_len / avg_len)
+                beliefs[position] = (
+                    DEFAULT_BELIEF + (1.0 - DEFAULT_BELIEF) * tf_w * cursor.idf
+                )
+                evidence += 1
+        return evidence
+
+
+def _run_fast(state: _PruneState) -> None:
+    """Vectorized driver: whole strides decided with array operations.
+
+    Everything observable happens at the same point as in the
+    reference driver — chunk loads in essential order at window starts,
+    the per-candidate check charge and non-essential fetches in
+    candidate order inside the replay loop below — only the *ceiling
+    arithmetic* and the *tf searches* are batched.
+    """
+    import numpy as np
+
+    from .beliefs import term_beliefs
+    from .daat import doc_length_lookup
+
+    evaluator = state.evaluator
+    cursors = state.cursors
+    clock = state.clock
+    outcome = state.outcome
+    lengths_of = doc_length_lookup(state.doctable)
+    check_charge = state.cost.cpu_ms_per_posting
+    while True:
+        opened = state.begin_window()
+        if opened is None:
+            return
+        live, theta = opened
+        live_cursors = [cursors[position] for position in live]
+        window_end = min(int(cursor.docs[-1]) for cursor in live_cursors)
+
+        # The window's candidates and exact essential beliefs, in one
+        # batch: a live cursor's unconsumed slice up to the window end
+        # is exactly the evidence the reference loop would consume.
+        parts = []
+        for cursor in live_cursors:
+            lo = cursor.offset
+            hi = int(np.searchsorted(cursor.docs, window_end, side="right"))
+            if hi > lo:
+                parts.append((cursor, lo, hi))
+        if len(parts) == 1:
+            cand = parts[0][0].docs[parts[0][1]: parts[0][2]]
+        else:
+            cand = np.unique(
+                np.concatenate([c.docs[lo:hi] for c, lo, hi in parts])
+            )
+        ev_counts = np.zeros(cand.size, dtype=np.int64)
+        columns: Dict[int, np.ndarray] = {}
+        for cursor, lo, hi in parts:
+            docs = cursor.docs[lo:hi]
+            slots = np.searchsorted(cand, docs)
+            ev_counts[slots] += 1
+            beliefs = term_beliefs(
+                docs, cursor.tfs[lo:hi], lengths_of(docs),
+                cursor.idf, state.avg_len, DEFAULT_BELIEF,
+            ).beliefs
+            if docs.size == cand.size:
+                columns[cursor.position] = beliefs
+            else:
+                column = np.full(cand.size, DEFAULT_BELIEF, dtype=np.float64)
+                column[slots] = beliefs
+                columns[cursor.position] = column
+
+        abandoned = False
+        start = 0
+        while start < cand.size:
+            if start:
+                grew, theta = state.stride_theta()
+                if grew:
+                    abandoned = True
+                    break
+            stop = min(start + PRUNE_STRIDE, cand.size)
+            chunk = cand[start:stop]
+            keep = None
+            if theta is not None:
+                keep = _chunk_mask(
+                    state, columns, chunk, start, stop, theta
+                ).tolist()
+            lookups = _ChunkNE(state, chunk) if state.ne_len else None
+            chunk_columns = [
+                (position, column[start:stop].tolist())
+                for position, column in columns.items()
+            ]
+
+            # Replay in candidate order: charges, fetches, and heap
+            # traffic land exactly where the reference driver puts them.
+            counts = ev_counts[start:stop].tolist()
+            for j, doc in enumerate(chunk.tolist()):
+                if keep is not None:
+                    clock.charge_user(check_charge)
+                    if not keep[j]:
+                        outcome.documents_skipped += 1
+                        continue
+                evidence = counts[j]
+                beliefs = [DEFAULT_BELIEF] * state.n_positions
+                for position, column in chunk_columns:
+                    beliefs[position] = column[j]
+                if lookups is not None:
+                    evidence = lookups.apply(j, doc, beliefs, evidence)
+                state.push(doc, evaluator.fold(beliefs), evidence)
+            start = stop
+
+        # Sync consumption: the reference loop advances offsets one
+        # candidate at a time; wholesale assignment lands on the same
+        # offsets because every cursor document in range is a candidate.
+        if abandoned:
+            if start:
+                last = int(cand[start - 1])
+                for cursor, lo, hi in parts:
+                    cursor.offset = lo + int(
+                        np.searchsorted(
+                            cursor.docs[lo:hi], last, side="right"
+                        )
+                    )
+        else:
+            for cursor, lo, hi in parts:
+                cursor.offset = hi
+
+
+def run_pruned(
+    store,
+    entries: List[Optional[object]],
+    weights: List[float],
+    total_weight: float,
+    weighted: bool,
+    doctable,
+    avg_len: float,
+    clock,
+    top_k: int,
+    use_fastpath: bool,
+) -> PruneOutcome:
+    """Top-k evaluation of one flat #sum/#wsum query with MaxScore.
+
+    ``entries`` is positional (one slot per query child, ``None`` or
+    df==0 for terms with no evidence).  Raises
+    :class:`~repro.errors.PruningUnsupportedError` when no safe bound
+    exists: a negative #wsum weight (the fold is no longer monotone in
+    each belief) or a live term without bound metadata (a record built
+    before bounds existed).
+    """
+    if weighted:
+        for weight in weights:
+            if weight < 0:
+                raise PruningUnsupportedError("negative #wsum weight")
+    live_entries = [
+        (position, entry)
+        for position, entry in enumerate(entries)
+        if entry is not None and entry.df > 0 and entry.storage_key != 0
+    ]
+    for _position, entry in live_entries:
+        if entry.max_tf <= 0:
+            raise PruningUnsupportedError(
+                f"term {entry.term!r} has no max-tf bound metadata"
+            )
+
+    cost = clock.cost
+    n_docs = max(len(doctable), 1)
+    n_positions = len(weights)
+    outcome = PruneOutcome(ranking=[])
+    failures = [0]
+    evaluator = _Evaluator(
+        _block_decoder(use_fastpath), clock, weights, total_weight, weighted,
+        lambda: failures.__setitem__(0, failures[0] + 1),
+    )
+
+    cursors: Dict[int, _TermCursor] = {}
+    for position, entry in live_entries:
+        outcome.attempted += 1
+        idf = inquery_idf(n_docs, entry.df)
+        try:
+            source = store.open_prune_source(entry)
+        except BadBlockError:
+            failures[0] += 1
+            continue
+        outcome.lookups += 1
+        cursors[position] = _TermCursor(
+            position, source, idf, belief_bound(entry.max_tf, idf)
+        )
+
+    # Benefit ordering: how much belief the term can add over an absent
+    # term's default contribution.  Ascending, so the non-essential set
+    # is always a prefix.
+    def benefit(position: int) -> float:
+        gain = cursors[position].ub - DEFAULT_BELIEF
+        return weights[position] * gain if weighted else gain
+
+    order = sorted(cursors, key=lambda position: (benefit(position), position))
+    state = _PruneState(
+        evaluator, cursors, order, doctable, avg_len, clock,
+        top_k, n_positions, outcome,
+    )
+    if use_fastpath:
+        _run_fast(state)
+    else:
+        _run_reference(state)
+
+    # Final selection order matches heapq.nsmallest's (-score, doc) key.
+    clock.charge_user(cost.cpu_ms_per_posting * len(state.heap))
+    outcome.ranking = [
+        (int(-neg_doc), float(score))
+        for score, neg_doc in sorted(
+            state.heap, key=lambda item: (-item[0], -item[1])
+        )
+    ]
+    outcome.peak_resident_bytes = evaluator.peak_resident
+    outcome.failed = failures[0]
+    outcome.blocks_skipped = sum(
+        cursor.source.n_blocks - cursor.source.blocks_fetched
+        for cursor in cursors.values()
+    )
+    return outcome

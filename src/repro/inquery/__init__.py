@@ -7,10 +7,17 @@ The inverted file index is stored through either the custom B-tree
 package or the Mneme persistent object store (:mod:`.invfile`).
 """
 
+from .bounds import (
+    PrunableSource,
+    belief_bound,
+    decode_chunk_bounds,
+    encode_chunk_bounds,
+    tf_weight_bound,
+)
 from .daat import DAATResult, DocumentAtATimeEngine
 from .dictionary import HashDictionary, TermEntry
 from .documents import Document, DocTable
-from .engine import QueryResult, RetrievalEngine
+from .engine import DEFAULT_TOP_K, QueryResult, RetrievalEngine
 from .evalir import (
     QueryEvaluation,
     RECALL_POINTS,
@@ -98,6 +105,12 @@ __all__ = [
     "CollectionIndex",
     "DEFAULT_BELIEF",
     "DEFAULT_STOPWORDS",
+    "DEFAULT_TOP_K",
+    "PrunableSource",
+    "belief_bound",
+    "decode_chunk_bounds",
+    "encode_chunk_bounds",
+    "tf_weight_bound",
     "DocTable",
     "Document",
     "HashDictionary",

@@ -22,10 +22,10 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import BadBlockError, QueryError
+from ..errors import BadBlockError, PruningUnsupportedError, QueryError
 from ..fastpath import state as _fastpath
 from ..simdisk import SimClock
-from .engine import QueryResult
+from .engine import DEFAULT_TOP_K, QueryResult
 from .indexer import CollectionIndex
 from .network import DEFAULT_BELIEF, inquery_idf
 from .query import OpNode, QueryNode, TermNode, count_nodes, parse_query
@@ -42,10 +42,18 @@ class DAATResult(QueryResult):
     un-scoring documents already finished.  A record unreadable at
     stream creation contributes nothing, as in the term-at-a-time
     engine.
+
+    The pruning counters are zero whenever the query was evaluated
+    exhaustively (``pruned`` is False): either pruning was off, or
+    ``prune="auto"`` fell back because no safe bound was available.
     """
 
     peak_resident_bytes: int = 0
     documents_scored: int = 0
+    pruned: bool = False
+    documents_skipped: int = 0
+    blocks_skipped: int = 0
+    prune_threshold_updates: int = 0
 
 
 def _flatten(tree: QueryNode) -> Tuple[List[str], List[float]]:
@@ -84,9 +92,10 @@ class DocumentAtATimeEngine:
         self,
         index: CollectionIndex,
         clock: Optional[SimClock] = None,
-        top_k: int = 50,
+        top_k: int = DEFAULT_TOP_K,
         use_reservation: bool = True,
         use_fastpath: Optional[bool] = None,
+        prune: str = "off",
     ):
         self.index = index
         self.clock = clock if clock is not None else index.fs.disk.clock
@@ -96,6 +105,14 @@ class DocumentAtATimeEngine:
         # toggle (REPRO_FASTPATH=0 / use_fastpath(False)) is a
         # kill-switch overriding per-engine opt-in.
         self.use_fastpath = (use_fastpath is not False) and _fastpath.enabled()
+        # Dynamic pruning mode: "off" (exhaustive, the default),
+        # "auto" (prune when safe bounds exist, else evaluate
+        # exhaustively), or "require" (raise PruningUnsupportedError
+        # instead of falling back — for invariance harnesses that must
+        # know pruning actually ran).
+        if prune not in ("off", "auto", "require"):
+            raise QueryError(f"unknown prune mode {prune!r}")
+        self.prune = prune
 
     def run_query(self, text: str) -> DAATResult:
         tree = parse_query(text)
@@ -107,6 +124,16 @@ class DocumentAtATimeEngine:
             raise QueryError("weights must sum to a positive value")
 
         entries = [self.index.term_entry(term) for term in terms]
+        if self.prune != "off":
+            weighted = isinstance(tree, OpNode) and tree.op == "wsum"
+            try:
+                return self._run_pruned(
+                    text, entries, weights, total_weight, weighted
+                )
+            except PruningUnsupportedError:
+                if self.prune == "require":
+                    raise
+                # auto: no safe bound — evaluate exhaustively below.
         if self.use_reservation:
             # Best-effort, like the term-at-a-time engine: a storage
             # failure while probing residency pins nothing and moves on.
@@ -232,6 +259,53 @@ class DocumentAtATimeEngine:
             terms_failed=failed,
             peak_resident_bytes=peak_resident,
             documents_scored=scored,
+        )
+
+    def _run_pruned(
+        self,
+        text: str,
+        entries: List,
+        weights: List[float],
+        total_weight: float,
+        weighted: bool,
+    ) -> DAATResult:
+        """MaxScore top-k evaluation (see :mod:`repro.fastpath.prune`).
+
+        Raises :class:`~repro.errors.PruningUnsupportedError` before any
+        storage access when no safe bound exists, so ``prune="auto"``
+        can fall back to the exhaustive path with nothing consumed.
+        """
+        from ..fastpath.prune import run_pruned
+
+        avg_len = max(self.index.doctable.average_length, 1.0)
+        try:
+            outcome = run_pruned(
+                self.index.store,
+                entries,
+                weights,
+                total_weight,
+                weighted,
+                self.index.doctable,
+                avg_len,
+                self.clock,
+                self.top_k,
+                self.use_fastpath,
+            )
+        finally:
+            self.index.store.release_reservations()
+        return DAATResult(
+            query=text,
+            ranking=outcome.ranking,
+            terms_looked_up=outcome.lookups,
+            degraded=outcome.failed > 0,
+            terms_attempted=outcome.attempted,
+            terms_failed=outcome.failed,
+            peak_resident_bytes=outcome.peak_resident_bytes,
+            documents_scored=outcome.documents_scored,
+            pruned=True,
+            documents_skipped=outcome.documents_skipped,
+            blocks_skipped=outcome.blocks_skipped,
+            prune_threshold_updates=outcome.prune_threshold_updates,
         )
 
     def run_batch(self, queries: List[str]) -> List[DAATResult]:

@@ -30,6 +30,14 @@ class TermEntry:
     df: int = 0         #: document frequency
     ctf: int = 0        #: collection term frequency
     storage_key: int = 0  #: B-tree key or Mneme global object id
+    #: Largest within-document term frequency across the record.  Feeds
+    #: the dynamic-pruning score upper bound; 0 means "unknown" (an
+    #: index saved before bound metadata existed) and disables pruning
+    #: for this term.
+    max_tf: int = 0
+    #: Storage key of the per-chunk bound sidecar for linked records
+    #: (0 = none; whole records need only ``max_tf``).
+    bounds_key: int = 0
     next: Optional["TermEntry"] = None  #: chain link
 
 
@@ -113,14 +121,28 @@ class HashDictionary:
     # -- persistence -----------------------------------------------------------
 
     _REC = struct.Struct("<IIIQH")  # term id, df, ctf, storage key, term length
+    #: v2 record appends max_tf and the bound-sidecar storage key.
+    _REC_V2 = struct.Struct("<IIIQHIQ")
+    #: v2 files open with this magic instead of the entry count.  A v1
+    #: file starts with its entry count, which can never reach 3.5
+    #: billion (the file itself would need 60+ GB), so the first word
+    #: sniffs the version unambiguously.
+    _V2_MAGIC = 0xD1C70002
 
     def save(self, file: SimFile) -> None:
-        """Serialize to a simulated file (loaded fully at system open)."""
-        parts = [struct.pack("<II", self._count, self._next_id)]
+        """Serialize to a simulated file (loaded fully at system open).
+
+        Writes the v2 layout (with per-term bound metadata); v1 files
+        written before bound metadata existed still :meth:`load`.
+        """
+        parts = [struct.pack("<III", self._V2_MAGIC, self._count, self._next_id)]
         for entry in self.entries():
             raw = entry.term.encode("utf-8")
             parts.append(
-                self._REC.pack(entry.term_id, entry.df, entry.ctf, entry.storage_key, len(raw))
+                self._REC_V2.pack(
+                    entry.term_id, entry.df, entry.ctf, entry.storage_key,
+                    len(raw), entry.max_tf, entry.bounds_key,
+                )
             )
             parts.append(raw)
         file.truncate(0)
@@ -128,19 +150,41 @@ class HashDictionary:
 
     @classmethod
     def load(cls, file: SimFile) -> "HashDictionary":
-        """Rebuild a dictionary from :meth:`save` output."""
+        """Rebuild a dictionary from :meth:`save` output (v1 or v2).
+
+        Entries restored from a v1 file carry ``max_tf == 0`` /
+        ``bounds_key == 0`` — no bound metadata — which the engines
+        treat as "pruning unavailable, evaluate exhaustively".
+        """
         raw = file.read(0, file.size)
         if len(raw) < 8:
             raise IndexError_("dictionary file truncated")
-        count, next_id = struct.unpack_from("<II", raw, 0)
+        (first_word,) = struct.unpack_from("<I", raw, 0)
+        v2 = first_word == cls._V2_MAGIC
+        if v2:
+            if len(raw) < 12:
+                raise IndexError_("dictionary file truncated")
+            count, next_id = struct.unpack_from("<II", raw, 4)
+            pos = 12
+            rec = cls._REC_V2
+        else:
+            count, next_id = struct.unpack_from("<II", raw, 0)
+            pos = 8
+            rec = cls._REC
         dictionary = cls(initial_buckets=max(1024, count // 2))
-        pos = 8
         for _ in range(count):
-            term_id, df, ctf, key, term_len = cls._REC.unpack_from(raw, pos)
-            pos += cls._REC.size
+            if v2:
+                term_id, df, ctf, key, term_len, max_tf, bounds_key = (
+                    rec.unpack_from(raw, pos)
+                )
+            else:
+                term_id, df, ctf, key, term_len = rec.unpack_from(raw, pos)
+                max_tf, bounds_key = 0, 0
+            pos += rec.size
             term = raw[pos:pos + term_len].decode("utf-8")
             pos += term_len
             entry = dictionary.add(term)
             entry.term_id, entry.df, entry.ctf, entry.storage_key = term_id, df, ctf, key
+            entry.max_tf, entry.bounds_key = max_tf, bounds_key
         dictionary._next_id = next_id
         return dictionary

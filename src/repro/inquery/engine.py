@@ -31,6 +31,12 @@ from .network import InferenceNetwork, TermProvider
 from .postings import Posting, decode_record
 from .query import QueryNode, count_nodes, parse_query, query_terms
 
+#: Documents returned per query across the whole system — the engines,
+#: the shard scheduler, the query service, the CLI, and the benchmarks
+#: all default to this single value, so a "top k" is the same k
+#: everywhere (and the serving cache key stays coherent).
+DEFAULT_TOP_K = 50
+
 
 @dataclass
 class QueryResult:
@@ -183,7 +189,7 @@ class RetrievalEngine:
         self,
         index: CollectionIndex,
         clock: Optional[SimClock] = None,
-        top_k: int = 50,
+        top_k: int = DEFAULT_TOP_K,
         use_reservation: bool = True,
         use_fastpath: Optional[bool] = None,
     ):

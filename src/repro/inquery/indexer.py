@@ -197,8 +197,15 @@ class IndexBuilder:
             self._runs.append(self._current)
             self._current = []
 
-    def _merged_records(self, stats: IndexStats) -> Iterator[Tuple[int, bytes]]:
-        """K-way merge of runs, grouped into one encoded record per term."""
+    def _merged_records(
+        self, stats: IndexStats, max_tf: Dict[int, int]
+    ) -> Iterator[Tuple[int, bytes]]:
+        """K-way merge of runs, grouped into one encoded record per term.
+
+        ``max_tf`` collects each term's largest within-document frequency
+        as documents close — the pruning bound metadata, gathered in the
+        same pass that encodes the records.
+        """
         merged = heapq.merge(*self._runs)
         term_id = None
         postings: List[Posting] = []
@@ -208,6 +215,8 @@ class IndexBuilder:
         def close_doc():
             if doc_id is not None:
                 postings.append((doc_id, tuple(positions)))
+                if len(positions) > max_tf.get(term_id, 0):
+                    max_tf[term_id] = len(positions)
 
         def close_term():
             close_doc()
@@ -239,11 +248,14 @@ class IndexBuilder:
         self._finalized = True
         self._spill()
         stats = IndexStats(documents=len(self._doctable))
-        keys = self._store.bulk_build(self._merged_records(stats))
+        max_tf: Dict[int, int] = {}
+        keys = self._store.bulk_build(self._merged_records(stats, max_tf))
         by_id = self._dictionary.by_id()
         # Push per-term statistics back into the dictionary.
         for entry in self._dictionary.entries():
             entry.storage_key = keys.get(entry.term_id, 0)
+            entry.max_tf = max_tf.get(entry.term_id, 0)
+            entry.bounds_key = self._store.chunk_bounds_key(entry.storage_key)
         self._recount_stats(by_id)
         index = CollectionIndex(
             fs=self._fs,
@@ -337,7 +349,8 @@ def add_document_incremental(index: CollectionIndex, document: Document) -> None
     for term, positions in sorted(by_term.items()):
         entry = index.dictionary.add(term)
         posting = (document.doc_id, tuple(positions))
-        if entry.df == 0 or entry.storage_key == 0:
+        fresh_record = entry.df == 0 or entry.storage_key == 0
+        if fresh_record:
             record = encode_record([posting])
             entry.storage_key = index.store.add_record(entry.term_id, record)
         else:
@@ -346,6 +359,16 @@ def add_document_incremental(index: CollectionIndex, document: Document) -> None
             entry.storage_key = index.store.update_record(entry.storage_key, record)
         entry.df += 1
         entry.ctf += len(positions)
+        # Bound maintenance is a max-merge — but only when the old bound
+        # was known.  A record inherited from a pre-bounds index carries
+        # max_tf == 0 ("unknown"); max-merging the new document into an
+        # unknown would understate the true ceiling, so unknown stays
+        # unknown (and the term keeps evaluating exhaustively).
+        if fresh_record or entry.max_tf > 0:
+            entry.max_tf = max(entry.max_tf, len(positions))
+        entry.bounds_key = index.store.refresh_bounds(
+            entry.storage_key, entry.bounds_key
+        )
     index.stats.documents += 1
     index.stats.postings += kept
     # Per-document updates are durable: open segments and tables are
@@ -385,6 +408,13 @@ def remove_document_incremental(index: CollectionIndex, doc_id: int) -> int:
             )
         entry.df -= 1
         entry.ctf -= removed_positions
+        # The whole record was just decoded, so the exact ceiling over
+        # the kept postings is free — including for records whose bound
+        # was previously unknown (this *upgrades* them to prunable).
+        entry.max_tf = max((len(p) for _d, p in kept), default=0)
+        entry.bounds_key = index.store.refresh_bounds(
+            entry.storage_key, entry.bounds_key
+        )
         rewritten += 1
     index.doctable.remove(doc_id)
     index.stats.documents -= 1

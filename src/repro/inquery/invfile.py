@@ -27,11 +27,16 @@ from ..mneme import (
     MediumObjectPool,
     MnemeStore,
     SmallObjectPool,
+    chunk_ids,
     delete_linked,
     iter_linked,
+    read_linked,
     split_global,
-    write_linked_parts,
+    write_linked,
+    write_linked_chain,
 )
+from ..mneme.linked import _unpack_chunk
+from .bounds import PrunableSource, chunk_stats, decode_chunk_bounds, encode_chunk_bounds
 from .postings import (
     decode_record,
     encode_record,
@@ -102,6 +107,37 @@ class InvertedFileStore:
         the document-at-a-time enabler.
         """
         return WholeRecordStream(self.fetch(key))
+
+    # -- dynamic-pruning bound metadata ----------------------------------------
+
+    def chunk_bounds_key(self, key: int) -> int:
+        """Storage key of the per-chunk bound sidecar for ``key`` (0 = none).
+
+        Only backends that store records in independently fetchable
+        pieces have per-chunk bounds; everyone else prunes at whole-record
+        granularity off the dictionary's ``max_tf`` alone.
+        """
+        return 0
+
+    def refresh_bounds(self, key: int, old_bounds_key: int = 0) -> int:
+        """Rebuild the bound sidecar for ``key`` after a record mutation.
+
+        Returns the new sidecar key (0 when the backend keeps no
+        sidecars), releasing ``old_bounds_key`` if it is superseded.
+        """
+        return 0
+
+    def open_prune_source(self, entry) -> PrunableSource:
+        """The record behind ``entry`` as bounded, skippable blocks.
+
+        ``entry`` is the term's dictionary entry (``storage_key`` +
+        ``max_tf`` + ``bounds_key``).  The default view is a single
+        block covering the whole record: it can be bound-skipped (never
+        fetched at all) but not range-skipped.  Backends with chunked
+        storage override this to expose one block per chunk.
+        """
+        key = entry.storage_key
+        return PrunableSource([lambda: self.fetch(key)], [None], [entry.max_tf])
 
     def flush(self) -> None:
         raise NotImplementedError
@@ -302,11 +338,21 @@ class LinkedMnemeInvertedFile(MnemeInvertedFile):
         if chunk_bytes < 64:
             raise PoolError("chunk_bytes too small for a useful mini-record")
         self.chunk_bytes = chunk_bytes
+        #: record storage key -> bound-sidecar storage key, for records
+        #: created (or refreshed) by this instance.  The dictionary entry
+        #: is the persistent home of the mapping; this map is how a fresh
+        #: key reaches the dictionary at build/finalize time.
+        self._bounds_keys: Dict[int, int] = {}
+        #: keys whose registered sidecar still matches the chain on disk.
+        self._fresh_bounds: set = set()
 
     def _create_large(self, data: bytes) -> int:
         slices = split_postings(decode_record(data), self.chunk_bytes)
         parts = [encode_record(postings) for postings in slices]
-        return write_linked_parts(self.large, parts)
+        oids = write_linked_chain(self.large, parts)
+        last_docs, max_tfs = chunk_stats(slices)
+        self._last_chain_stats = (oids, last_docs, max_tfs)
+        return oids[0]
 
     def _is_large_key(self, key: int) -> bool:
         _file_no, oid = split_global(key)
@@ -315,21 +361,38 @@ class LinkedMnemeInvertedFile(MnemeInvertedFile):
         return self.large.owns_logseg(logical_segment(oid))
 
     def bulk_build(self, records: Iterable[Tuple[int, bytes]]) -> Dict[int, int]:
+        """Two-phase build: every record first, every bound sidecar after.
+
+        Deferring the sidecars keeps the records' object ids and segment
+        layout byte-for-byte what a pre-bounds build produced, so
+        layout-sensitive observables (segment counts, record placement)
+        stay comparable across index versions.
+        """
         keys: Dict[int, int] = {}
+        pending: List[Tuple[int, Tuple[List[int], List[int], List[int]]]] = []
         for term_id, data in records:
             pool = self._pool_for(data)
             if pool is self.large:
                 oid = self._create_large(data)
+                key = self.store.global_id(self.mfile, oid)
+                pending.append((key, self._last_chain_stats))
             else:
                 oid = pool.create(data)
-            keys[term_id] = self.store.global_id(self.mfile, oid)
+                key = self.store.global_id(self.mfile, oid)
+            keys[term_id] = key
+        for key, (oids, last_docs, max_tfs) in pending:
+            self._register_bounds(key, encode_chunk_bounds(oids, last_docs, max_tfs))
         self.flush()
         return keys
 
     def add_record(self, term_id: int, data: bytes) -> int:
         pool = self._pool_for(data)
-        oid = self._create_large(data) if pool is self.large else pool.create(data)
-        return self.store.global_id(self.mfile, oid)
+        if pool is self.large:
+            oid = self._create_large(data)
+            key = self.store.global_id(self.mfile, oid)
+            self._register_bounds(key, encode_chunk_bounds(*self._last_chain_stats))
+            return key
+        return self.store.global_id(self.mfile, pool.create(data))
 
     def fetch(self, key: int) -> bytes:
         if not self._is_large_key(key):
@@ -352,13 +415,21 @@ class LinkedMnemeInvertedFile(MnemeInvertedFile):
                 return super().update_record(key, data)
             # Crossing into the large category: re-home as a chain.
             self.mfile.delete(split_global(key)[1])
-            return self.store.global_id(self.mfile, self._create_large(data))
+            new_key = self.store.global_id(self.mfile, self._create_large(data))
+            self._register_bounds(
+                new_key, encode_chunk_bounds(*self._last_chain_stats)
+            )
+            return new_key
         _file_no, oid = split_global(key)
         delete_linked(self.large, oid)
+        self._fresh_bounds.discard(key)
         if self._pool_for(data) is self.large:
-            new_oid = self._create_large(data)
-        else:
-            new_oid = self._pool_for(data).create(data)
+            new_key = self.store.global_id(self.mfile, self._create_large(data))
+            self._register_bounds(
+                new_key, encode_chunk_bounds(*self._last_chain_stats)
+            )
+            return new_key
+        new_oid = self._pool_for(data).create(data)
         return self.store.global_id(self.mfile, new_oid)
 
     def append_postings(self, key: int, new_postings) -> int:
@@ -380,4 +451,103 @@ class LinkedMnemeInvertedFile(MnemeInvertedFile):
         for postings in slices:
             chunk = encode_record(postings)
             append_linked(self.large, oid, chunk, chunk_bytes=len(chunk))
+        # The chain changed under any registered sidecar; a later
+        # refresh_bounds() rebuilds it from the chunks on disk.
+        self._fresh_bounds.discard(key)
         return key
+
+    # -- bound sidecars --------------------------------------------------------
+
+    def _sidecar_create(self, payload: bytes) -> int:
+        """Store a sidecar payload, chaining it if it outgrows the pools."""
+        pool = self._pool_for(payload)
+        if pool is self.large:
+            oid = write_linked(self.large, payload, self.chunk_bytes)
+        else:
+            oid = pool.create(payload)
+        return self.store.global_id(self.mfile, oid)
+
+    def _sidecar_delete(self, bounds_key: int) -> None:
+        if not bounds_key:
+            return
+        _file_no, oid = split_global(bounds_key)
+        if self._is_large_key(bounds_key):
+            delete_linked(self.large, oid)
+        else:
+            self.mfile.delete(oid)
+
+    def _read_bounds(self, bounds_key: int) -> bytes:
+        _file_no, oid = split_global(bounds_key)
+        if self._is_large_key(bounds_key):
+            return read_linked(self.large, oid)
+        return self.mfile.fetch(oid)
+
+    def _register_bounds(self, key: int, payload: bytes) -> int:
+        bounds_key = self._sidecar_create(payload)
+        self._bounds_keys[key] = bounds_key
+        self._fresh_bounds.add(key)
+        return bounds_key
+
+    def chunk_bounds_key(self, key: int) -> int:
+        return self._bounds_keys.get(key, 0)
+
+    def refresh_bounds(self, key: int, old_bounds_key: int = 0) -> int:
+        """Bring the bound sidecar for ``key`` up to date with its chain.
+
+        Incremental updates mutate records after their sidecar was
+        written; the indexer calls this afterwards and stores the
+        returned key in the dictionary entry.  ``old_bounds_key`` is the
+        entry's previous sidecar, released here if superseded.  Records
+        that are not chunked chains keep no sidecar (returns 0).
+        """
+        current = self._bounds_keys.get(key, 0)
+        if old_bounds_key and old_bounds_key != current:
+            self._sidecar_delete(old_bounds_key)
+        if not self._is_large_key(key):
+            if current:
+                self._sidecar_delete(current)
+                del self._bounds_keys[key]
+                self._fresh_bounds.discard(key)
+            return 0
+        if current and key in self._fresh_bounds:
+            return current
+        if current:
+            self._sidecar_delete(current)
+        _file_no, head = split_global(key)
+        oids = chunk_ids(self.large, head)
+        slices = [
+            decode_record(_unpack_chunk(self.large.fetch(oid))[1]) for oid in oids
+        ]
+        last_docs, max_tfs = chunk_stats(slices)
+        return self._register_bounds(
+            key, encode_chunk_bounds(oids, last_docs, max_tfs)
+        )
+
+    def open_prune_source(self, entry) -> PrunableSource:
+        """One block per chunk, each independently fetchable and bounded.
+
+        Without a sidecar (an index saved before bound metadata existed)
+        the chain degrades to a single whole-record block — still
+        correct, just not range-skippable.  ``record_lookups`` counts
+        the term once, on the first chunk actually fetched: a term whose
+        every block is skipped costs no lookup at all.
+        """
+        key = entry.storage_key
+        if not self._is_large_key(key):
+            return super().open_prune_source(entry)
+        bounds_key = entry.bounds_key or self._bounds_keys.get(key, 0)
+        if not bounds_key:
+            return PrunableSource([lambda: self.fetch(key)], [None], [entry.max_tf])
+        oids, last_docs, max_tfs = decode_chunk_bounds(self._read_bounds(bounds_key))
+        counted = [False]
+
+        def chunk_fetcher(oid: int):
+            def fetch() -> bytes:
+                if not counted[0]:
+                    counted[0] = True
+                    self.record_lookups += 1
+                return _unpack_chunk(self.large.fetch(oid))[1]
+
+            return fetch
+
+        return PrunableSource([chunk_fetcher(oid) for oid in oids], last_docs, max_tfs)

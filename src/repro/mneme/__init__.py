@@ -30,6 +30,7 @@ from .linked import (
     reachable,
     read_linked,
     write_linked,
+    write_linked_chain,
     write_linked_parts,
 )
 from .pool import (
@@ -114,5 +115,6 @@ __all__ = [
     "slot_in_segment",
     "split_global",
     "write_linked",
+    "write_linked_chain",
     "write_linked_parts",
 ]

@@ -81,19 +81,27 @@ def write_linked_parts(pool: ChunkedLargeObjectPool, parts: List[bytes]) -> int:
     be independently meaningful (e.g. a self-contained slice of an
     inverted list record that a document-at-a-time reader can decode
     without its neighbours).
+    """
+    return write_linked_chain(pool, parts)[0]
+
+
+def write_linked_chain(pool: ChunkedLargeObjectPool, parts: List[bytes]) -> List[int]:
+    """Like :func:`write_linked_parts` but returning every chunk's id.
 
     Chunks are allocated head-first, so a chain streams through the file
     at ascending offsets (file allocation sympathetic to sequential
     readers and the FS cache's read-ahead).  Each header's next-pointer
     is patched in place, same-size, after its successor exists; the head
-    id only escapes once the chain is complete.
+    id only escapes once the chain is complete.  The full id list is
+    what bound-metadata sidecars record so a reader can fetch any chunk
+    without walking the chain.
     """
     if not parts:
         raise MnemeError("a linked object needs at least one part")
     oids = [pool.create(_pack_chunk(NULL_ID, part)) for part in parts]
     for index in range(len(oids) - 1):
         pool.modify(oids[index], _pack_chunk(oids[index + 1], parts[index]))
-    return oids[0]
+    return oids
 
 
 def iter_linked(pool: ChunkedLargeObjectPool, head_oid: int) -> Iterator[bytes]:

@@ -57,7 +57,7 @@ from ..core.prepared import IRSystem
 from ..core.stats import latency_summary
 from ..errors import ConfigError, ServiceUnavailableError, ShardUnavailableError
 from ..inquery.daat import DocumentAtATimeEngine
-from ..inquery.engine import QueryResult, RetrievalEngine
+from ..inquery.engine import DEFAULT_TOP_K, QueryResult, RetrievalEngine
 from ..inquery.normalize import normalize_tree, render_canonical
 from ..inquery.query import count_nodes, parse_query
 from ..shard.system import ShardedIRSystem
@@ -161,22 +161,33 @@ class QueryService:
     ``use_cache=False`` for an honest no-cache baseline (also disables
     in-wave sharing), or supply a prebuilt ``cache`` to share one
     across services.
+
+    ``prune`` (document-at-a-time only) turns on dynamic top-k pruning
+    in the backend engines.  Pruned results are bit-identical to
+    exhaustive ones, so the cache key deliberately does *not*
+    discriminate on it — a pruned service can share a cache with an
+    exhaustive one.
     """
 
     def __init__(
         self,
         backend: Union[IRSystem, ShardedIRSystem],
         engine: str = "taat",
-        top_k: int = 50,
+        top_k: int = DEFAULT_TOP_K,
         workers: int = 1,
         max_batch: int = 8,
         cache: Optional[ResultCache] = None,
         use_cache: bool = True,
         cache_size: int = 512,
         cold: bool = True,
+        prune: str = "off",
     ):
         if engine not in ("taat", "daat"):
             raise ConfigError(f"unknown service engine {engine!r}")
+        if prune != "off" and engine != "daat":
+            raise ConfigError(
+                "dynamic pruning requires the document-at-a-time engine"
+            )
         if workers < 1:
             raise ConfigError("service needs at least one worker")
         if max_batch < 1:
@@ -184,6 +195,7 @@ class QueryService:
         self.backend = backend
         self.engine = engine
         self.top_k = top_k
+        self.prune = prune
         self.workers = workers
         self.max_batch = max_batch
         self.sharded = isinstance(backend, ShardedIRSystem)
@@ -199,13 +211,21 @@ class QueryService:
             else:
                 cold_start(backend)
         if self.sharded:
-            self._scheduler = backend.scheduler(top_k=top_k, engine=engine)
-            index = backend.shards[0].index
-        else:
-            engine_cls = (
-                DocumentAtATimeEngine if engine == "daat" else RetrievalEngine
+            self._scheduler = backend.scheduler(
+                top_k=top_k, engine=engine, prune=prune
             )
-            self._engine = engine_cls(
+            index = backend.shards[0].index
+        elif engine == "daat":
+            self._engine = DocumentAtATimeEngine(
+                backend.index,
+                top_k=top_k,
+                use_reservation=backend.config.use_reservation,
+                use_fastpath=backend.config.use_fastpath,
+                prune=prune,
+            )
+            index = backend.index
+        else:
+            self._engine = RetrievalEngine(
                 backend.index,
                 top_k=top_k,
                 use_reservation=backend.config.use_reservation,

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..inquery import QueryResult
+from ..inquery.engine import DEFAULT_TOP_K
 
 
 @dataclass
@@ -55,7 +56,7 @@ class ShardedQueryResult(QueryResult):
 def merge_results(
     text: str,
     outcomes: List[ShardOutcome],
-    top_k: int = 50,
+    top_k: int = DEFAULT_TOP_K,
     doc_home: Optional[Dict[int, int]] = None,
 ) -> ShardedQueryResult:
     """Merge per-shard query results into the collection-wide ranking.

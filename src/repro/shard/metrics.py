@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..core.metrics import RunMetrics, SystemSnapshot, cold_start
+from ..inquery.engine import DEFAULT_TOP_K
 from ..mneme import BufferStats
 from .system import ShardedIRSystem
 
@@ -69,11 +70,12 @@ def measure_sharded_run(
     sharded: ShardedIRSystem,
     queries: List[str],
     query_set_name: str = "",
-    top_k: int = 50,
+    top_k: int = DEFAULT_TOP_K,
     engine: str = "taat",
     cold: bool = True,
     keep_results: bool = True,
     max_workers=None,
+    prune: str = "off",
 ) -> ShardRunMetrics:
     """Run a query set through the shard scheduler and measure everything."""
     live = sharded.live_shards
@@ -85,7 +87,9 @@ def measure_sharded_run(
         shard_id: SystemSnapshot(sharded.shards[shard_id]) for shard_id in live
     }
     coordinator_start = sharded.clock.snapshot()
-    scheduler = sharded.scheduler(top_k=top_k, engine=engine, max_workers=max_workers)
+    scheduler = sharded.scheduler(
+        top_k=top_k, engine=engine, max_workers=max_workers, prune=prune
+    )
     outcome = scheduler.run_batch(queries)
     coordinator = sharded.clock.since(coordinator_start)
 
@@ -115,6 +119,14 @@ def measure_sharded_run(
         results=results if keep_results else [],
         degraded_queries=sum(1 for r in results if r.degraded),
         terms_failed=sum(r.terms_failed for r in results),
+        # Pruning counters live on the per-shard engine results (the
+        # merged coordinator results don't carry them), so the summed
+        # view comes from the per-shard metrics.
+        documents_skipped=sum(m.documents_skipped for m in per_shard),
+        blocks_skipped=sum(m.blocks_skipped for m in per_shard),
+        prune_threshold_updates=sum(
+            m.prune_threshold_updates for m in per_shard
+        ),
         wall_s_sum=shard_wall_sum + coordinator.wall_ms / 1000.0,
         coordinator_wall_s=coordinator.wall_ms / 1000.0,
         per_shard=per_shard,

@@ -158,6 +158,11 @@ class ShardPrepared:
             ctf={t: prepared.ctf[t] for t in shard_terms},
             doctable=prepared.doctable,
             stats=self.stats,
+            # Global max_tf >= any shard-local max_tf, so the pruning
+            # bound stays admissible on every shard (like df/ctf, bound
+            # metadata is collection-wide so shard rankings agree with
+            # the single-disk engine's).
+            max_tf={t: prepared.max_tf.get(t, 0) for t in shard_terms},
         )
 
 

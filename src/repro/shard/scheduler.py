@@ -30,7 +30,13 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.stats import max_over_mean
 from ..errors import ConfigError
-from ..inquery import DocumentAtATimeEngine, QueryResult, parse_query, query_terms
+from ..inquery import (
+    DEFAULT_TOP_K,
+    DocumentAtATimeEngine,
+    QueryResult,
+    parse_query,
+    query_terms,
+)
 from ..simdisk.timing import TimeBreakdown
 from .merge import ShardOutcome, ShardedQueryResult, merge_results
 from .system import ShardedIRSystem
@@ -92,20 +98,32 @@ class ShardScheduler:
     two-phase term-at-a-time exchange (any query shape), ``"daat"`` runs
     the document-at-a-time engine (flat #sum/#wsum; global df comes from
     the shard dictionaries, so no exchange phase is needed).
+
+    ``prune`` is forwarded to every per-shard document-at-a-time engine
+    (``"off"`` / ``"auto"`` / ``"require"``).  Each shard prunes against
+    its own top-k threshold; the coordinator's merge is unchanged, and
+    because per-shard top-k is bit-identical to per-shard exhaustive
+    evaluation, the merged ranking is too.
     """
 
     def __init__(
         self,
         sharded: ShardedIRSystem,
-        top_k: int = 50,
+        top_k: int = DEFAULT_TOP_K,
         engine: str = "taat",
         max_workers: Optional[int] = None,
+        prune: str = "off",
     ):
         if engine not in ("taat", "daat"):
             raise ConfigError(f"unknown shard engine {engine!r}")
+        if prune != "off" and engine != "daat":
+            raise ConfigError(
+                "dynamic pruning requires the document-at-a-time engine"
+            )
         self.sharded = sharded
         self.top_k = top_k
         self.engine = engine
+        self.prune = prune
         self.max_workers = max_workers or sharded.n_shards
         self._locks = [threading.Lock() for _ in sharded.shards]
         if engine == "taat":
@@ -119,6 +137,7 @@ class ShardScheduler:
                     top_k=top_k,
                     use_reservation=sharded.config.use_reservation,
                     use_fastpath=sharded.config.use_fastpath,
+                    prune=prune,
                 )
                 for shard in sharded.shards
             ]

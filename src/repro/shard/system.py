@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Set, Union
 from ..core.config import SystemConfig
 from ..core.prepared import IRSystem, PreparedCollection, materialize
 from ..errors import ConfigError, ShardUnavailableError
+from ..inquery import DEFAULT_TOP_K
 from ..simdisk import SimClock
 from .partition import Partitioner, ShardPrepared, make_partitioner, partition_prepared
 
@@ -98,11 +99,17 @@ class ShardedIRSystem:
         self._check_shard(shard_id)
         self.shards[shard_id].fs.disk.attach_fault_plan(plan)
 
-    def scheduler(self, top_k: int = 50, engine: str = "taat", max_workers=None):
+    def scheduler(
+        self,
+        top_k: int = DEFAULT_TOP_K,
+        engine: str = "taat",
+        max_workers=None,
+        prune: str = "off",
+    ):
         from .scheduler import ShardScheduler
 
         return ShardScheduler(
-            self, top_k=top_k, engine=engine, max_workers=max_workers
+            self, top_k=top_k, engine=engine, max_workers=max_workers, prune=prune
         )
 
 

@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.prepared import IRSystem
 from ..errors import BadBlockError, ReproError
 from ..inquery import InferenceNetwork, OpNode, QueryResult, TermNode, parse_query
-from ..inquery.engine import _IndexProvider
+from ..inquery.engine import DEFAULT_TOP_K, _IndexProvider
 from ..inquery.network import DEFAULT_BELIEF
 from ..inquery.postings import Posting
 from ..inquery.query import QueryNode, count_nodes, query_terms
@@ -166,7 +166,7 @@ class ShardTaatRunner:
     it does on the unsharded engine.
     """
 
-    def __init__(self, system: IRSystem, top_k: int = 50):
+    def __init__(self, system: IRSystem, top_k: int = DEFAULT_TOP_K):
         self.system = system
         self.top_k = top_k
         self._pending: List[

@@ -1,0 +1,230 @@
+"""Dynamic pruning: bit-identical top-k, honest counters, durable bounds.
+
+The MaxScore engine (:mod:`repro.fastpath.prune`) skips documents and
+blocks that provably cannot enter the top-k, so its I/O and CPU
+observables legitimately shrink — but the ranking itself must be
+*bit-identical* to exhaustive evaluation: same documents, same belief
+floats, same tie-break order, at every ``k``, on every backend, with
+the fast path on or off (``REPRO_FASTPATH=0`` exercises the pure-Python
+reference driver).  These properties check all of that over generated
+corpora, plus the metadata's durability: per-term bounds survive
+``gc.compact`` and write-ahead-log recovery, and sharded pruned runs
+reproduce the single-disk exhaustive rankings.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.wallclock import _daat_queries
+from repro.core import config_by_name, materialize, prepare_collection
+from repro.core.metrics import cold_start
+from repro.fastpath import use_fastpath
+from repro.inquery import (
+    Document,
+    DocumentAtATimeEngine,
+    IndexBuilder,
+    LinkedMnemeInvertedFile,
+    MnemeInvertedFile,
+    RetrievalEngine,
+)
+from repro.mneme import RedoLog, compact, recover
+from repro.shard import materialize_sharded, measure_sharded_run
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+from repro.synth import (
+    CollectionProfile,
+    QueryProfile,
+    SyntheticCollection,
+    generate_query_set,
+)
+
+VOCAB = [f"t{i}" for i in range(12)]
+
+corpus_st = st.lists(
+    st.lists(st.sampled_from(VOCAB), min_size=1, max_size=20),
+    min_size=1,
+    max_size=25,
+)
+
+terms_st = st.lists(st.sampled_from(VOCAB + ["zzz"]), min_size=1, max_size=5)
+
+k_st = st.sampled_from([1, 5, 10, 100])
+
+
+def build(corpus, linked=False, wal=None):
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=64)
+    if wal is not None:
+        wal = RedoLog(fs.create("invfile.wal"))
+    if linked:
+        store = LinkedMnemeInvertedFile(
+            fs, medium_max_bytes=24, chunk_bytes=64, wal=wal
+        )
+    else:
+        store = MnemeInvertedFile(fs, wal=wal)
+    builder = IndexBuilder(fs, store, stem_fn=str)
+    for doc_id, tokens in enumerate(corpus, start=1):
+        builder.add_document(Document(doc_id, tokens=tokens))
+    return builder.finalize()
+
+
+def observe(index, query, k, fast, prune):
+    with use_fastpath(fast):
+        result = DocumentAtATimeEngine(
+            index, top_k=k, use_fastpath=fast, prune=prune
+        ).run_query(query)
+    return result
+
+
+def counters(result):
+    return (
+        result.documents_scored,
+        result.documents_skipped,
+        result.blocks_skipped,
+        result.prune_threshold_updates,
+        result.peak_resident_bytes,
+    )
+
+
+def assert_pruned_invariant(corpus, query, k, linked, fast):
+    exhaustive = observe(build(corpus, linked), query, k, fast, "off")
+    pruned = observe(build(corpus, linked), query, k, fast, "auto")
+    # The contract: same top-k, belief for belief, tie for tie.
+    assert pruned.ranking == exhaustive.ranking
+    # Exhaustive paths never report pruning work.
+    assert not exhaustive.pruned
+    assert exhaustive.documents_skipped == 0
+    assert exhaustive.blocks_skipped == 0
+    assert exhaustive.prune_threshold_updates == 0
+    # And the term-at-a-time engine agrees on the ranking itself.
+    taat = RetrievalEngine(build(corpus, linked), top_k=k).run_query(query)
+    assert pruned.ranking == taat.ranking
+    return pruned
+
+
+@given(corpus=corpus_st, terms=terms_st, k=k_st, linked=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_pruned_sum_identical(corpus, terms, k, linked):
+    query = "#sum( " + " ".join(terms) + " )"
+    assert_pruned_invariant(corpus, query, k, linked, fast=True)
+
+
+@given(
+    corpus=corpus_st,
+    terms=terms_st,
+    weights=st.lists(st.integers(min_value=1, max_value=7), min_size=5, max_size=5),
+    k=k_st,
+)
+@settings(max_examples=25, deadline=None)
+def test_pruned_wsum_identical(corpus, terms, weights, k):
+    inner = " ".join(f"{w} {t}" for w, t in zip(weights, terms))
+    assert_pruned_invariant(corpus, f"#wsum( {inner} )", k, True, fast=True)
+
+
+@given(corpus=corpus_st, terms=terms_st, k=k_st, linked=st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_reference_driver_identical(corpus, terms, k, linked):
+    # REPRO_FASTPATH=0 territory: the pure-Python reference driver must
+    # satisfy the same contract...
+    query = "#sum( " + " ".join(terms) + " )"
+    ref = assert_pruned_invariant(corpus, query, k, linked, fast=False)
+    # ...and agree with the vectorized driver on every pruning
+    # observable, not just the ranking: same documents scored and
+    # skipped, same block skips, same threshold updates, same resident
+    # peak.  The two drivers are one algorithm in two dialects.
+    fast = observe(build(corpus, linked), query, k, True, "auto")
+    assert fast.ranking == ref.ranking
+    assert counters(fast) == counters(ref)
+
+
+@given(corpus=corpus_st, term=st.sampled_from(VOCAB), k=k_st)
+@settings(max_examples=15, deadline=None)
+def test_pruned_single_term_identical(corpus, term, k):
+    # Single-term queries: the whole list is essential; pruning can
+    # only cut scoring after the heap fills.
+    assert_pruned_invariant(corpus, f"#sum( {term} )", k, True, fast=True)
+
+
+@given(corpus=corpus_st, k=k_st, linked=st.booleans())
+@settings(max_examples=10, deadline=None)
+def test_pruned_all_missing_terms_identical(corpus, k, linked):
+    assert_pruned_invariant(corpus, "#sum( zzz yyy )", k, linked, fast=True)
+
+
+# -- metadata durability ----------------------------------------------------
+
+DURABLE_CORPUS = [
+    [VOCAB[(i + j * j) % len(VOCAB)] for j in range(1 + i % 17)]
+    for i in range(60)
+]
+DURABLE_QUERY = "#sum( t1 t3 t5 )"
+
+
+def test_bounds_survive_compaction():
+    """``gc.compact`` relocates every segment; bounds keys must hold."""
+    index = build(DURABLE_CORPUS, linked=True)
+    expected = observe(index, DURABLE_QUERY, 5, True, "off").ranking
+    before = observe(index, DURABLE_QUERY, 5, True, "require")
+    report = compact(index.store.mfile)
+    assert report.segments_copied > 0
+    after = observe(index, DURABLE_QUERY, 5, True, "require")
+    assert after.ranking == expected
+    assert after.ranking == before.ranking
+    assert counters(after) == counters(before)
+
+
+def test_bounds_survive_wal_recovery():
+    """Replaying the redo log restores postings *and* bound sidecars."""
+    index = build(DURABLE_CORPUS, linked=True, wal=True)
+    expected = observe(index, DURABLE_QUERY, 5, True, "off").ranking
+    before = observe(index, DURABLE_QUERY, 5, True, "require")
+    mfile = index.store.mfile
+    # Crash: lose the main file body; the redo log restores it.
+    image = mfile.main.read(0, mfile.main.size)
+    mfile.main.write(16, b"\x00" * (mfile.main.size - 16))
+    recover(mfile.wal, mfile.main)
+    assert mfile.main.read(0, mfile.main.size) == image
+    after = observe(index, DURABLE_QUERY, 5, True, "require")
+    assert after.ranking == expected
+    assert counters(after) == counters(before)
+
+
+# -- sharded composition ----------------------------------------------------
+
+TINY = CollectionProfile(
+    name="tiny-prune", models="test", documents=220, mean_doc_length=50,
+    doc_length_sigma=0.5, vocab_size=2500, seed=43,
+)
+PRUNE_QUERIES = QueryProfile(
+    name="prune-weighted", style="weighted", n_queries=8,
+    mean_terms=4, seed=211,
+)
+
+
+@pytest.fixture(scope="module")
+def shard_setup():
+    collection = SyntheticCollection(TINY)
+    prepared = prepare_collection(collection)
+    config = config_by_name("mneme-cache")
+    queries = _daat_queries(
+        generate_query_set(collection, PRUNE_QUERIES).queries
+    )
+    baseline = materialize(prepared, config)
+    cold_start(baseline)
+    engine = DocumentAtATimeEngine(
+        baseline.index, top_k=10, use_fastpath=config.use_fastpath
+    )
+    reference = [r.ranking for r in engine.run_batch(queries)]
+    return prepared, config, queries, reference
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_sharded_pruned_rankings_bit_identical(shard_setup, n_shards):
+    prepared, config, queries, reference = shard_setup
+    sharded = materialize_sharded(prepared, config, n_shards=n_shards)
+    metrics = measure_sharded_run(
+        sharded, queries, query_set_name="prune-weighted",
+        engine="daat", top_k=10, prune="auto",
+    )
+    assert [r.ranking for r in metrics.results] == reference
+    # The counters must show pruning actually happened somewhere.
+    assert metrics.documents_skipped > 0

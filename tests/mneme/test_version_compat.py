@@ -1,0 +1,127 @@
+"""Pre-bounds platters still load — and transparently run exhaustive.
+
+The bound metadata added for dynamic pruning changed the dictionary
+record layout (v2: ``max_tf`` + bound-sidecar key per term).  A v1
+file, written before bounds existed, starts with its entry count where
+a v2 file carries a magic word, so :meth:`HashDictionary.load` sniffs
+the version from the first word alone.  These tests pin that sniff and
+the behavioural contract on old data: ``prune="auto"`` silently
+evaluates exhaustively (no metadata, no bound, no skip), and
+``prune="require"`` refuses loudly with
+:class:`~repro.errors.PruningUnsupportedError`.
+"""
+
+import struct
+
+import pytest
+
+from repro.errors import PruningUnsupportedError
+from repro.inquery import (
+    CollectionIndex,
+    DocTable,
+    Document,
+    DocumentAtATimeEngine,
+    HashDictionary,
+    IndexBuilder,
+    MnemeInvertedFile,
+)
+from repro.simdisk import SimClock, SimDisk, SimFileSystem
+
+
+def v1_bytes(dictionary: HashDictionary) -> bytes:
+    """Re-serialize a dictionary in the pre-bounds v1 layout."""
+    parts = [struct.pack("<II", len(dictionary), dictionary._next_id)]
+    for entry in dictionary.entries():
+        raw = entry.term.encode("utf-8")
+        parts.append(
+            HashDictionary._REC.pack(
+                entry.term_id, entry.df, entry.ctf,
+                entry.storage_key, len(raw),
+            )
+        )
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def build_index():
+    fs = SimFileSystem(SimDisk(SimClock()), cache_blocks=64)
+    store = MnemeInvertedFile(fs)
+    builder = IndexBuilder(fs, store, stem_fn=str)
+    docs = [
+        "object store segments hold inverted records",
+        "records are read one inverted list per term",
+        "belief values rank documents for every query",
+        "query terms map to records through the dictionary",
+        "the dictionary survives a version change intact",
+    ]
+    for doc_id, text in enumerate(docs, start=1):
+        builder.add_document(Document(doc_id, tokens=text.split()))
+    return builder.finalize()
+
+
+def reopen_with_v1_dictionary(index) -> CollectionIndex:
+    """A fresh process view of a platter whose dictionary predates bounds."""
+    fs = index.fs
+    index.save()
+    fs.open("index.dict").truncate(0)
+    fs.open("index.dict").write(0, v1_bytes(index.dictionary))
+    return CollectionIndex(
+        fs=fs,
+        dictionary=HashDictionary.load(fs.open("index.dict")),
+        doctable=DocTable.load(fs.open("index.docs")),
+        store=MnemeInvertedFile(fs),
+        stats=index.stats,
+        stopwords=index.stopwords,
+        stem_fn=index.stem_fn,
+    )
+
+
+def test_v1_load_sniffs_version_and_zeroes_bound_metadata():
+    index = build_index()
+    fs = index.fs
+    file = fs.create("v1.dict")
+    file.write(0, v1_bytes(index.dictionary))
+    loaded = HashDictionary.load(file)
+    assert len(loaded) == len(index.dictionary)
+    for entry in index.dictionary.entries():
+        old = loaded.lookup(entry.term)
+        assert old is not None
+        assert (old.term_id, old.df, old.ctf, old.storage_key) == (
+            entry.term_id, entry.df, entry.ctf, entry.storage_key
+        )
+        # The v2 build recorded real bounds; the v1 round-trip has none.
+        assert entry.max_tf > 0
+        assert old.max_tf == 0
+        assert old.bounds_key == 0
+
+
+def test_v2_save_reloads_bound_metadata():
+    index = build_index()
+    file = index.fs.create("v2.dict")
+    index.dictionary.save(file)
+    loaded = HashDictionary.load(file)
+    for entry in index.dictionary.entries():
+        reloaded = loaded.lookup(entry.term)
+        assert reloaded.max_tf == entry.max_tf
+        assert reloaded.bounds_key == entry.bounds_key
+
+
+def test_v1_platter_auto_falls_back_to_exhaustive():
+    index = build_index()
+    query = "#sum( records inverted query )"
+    expected = DocumentAtATimeEngine(index, top_k=3).run_query(query).ranking
+    old = reopen_with_v1_dictionary(index)
+    result = DocumentAtATimeEngine(old, top_k=3, prune="auto").run_query(query)
+    assert result.ranking == expected
+    assert not result.pruned
+    assert result.documents_skipped == 0
+    assert result.blocks_skipped == 0
+    assert result.prune_threshold_updates == 0
+
+
+def test_v1_platter_require_raises():
+    index = build_index()
+    old = reopen_with_v1_dictionary(index)
+    engine = DocumentAtATimeEngine(old, top_k=3, prune="require")
+    with pytest.raises(PruningUnsupportedError):
+        engine.run_query("#sum( records inverted query )")
