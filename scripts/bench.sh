@@ -17,6 +17,11 @@
 #                               # writes BENCH_serve.json at the root.
 #                               # Extra args pass through, e.g.
 #                               #   scripts/bench.sh serve --profile cacm-s
+#   scripts/bench.sh saturate   # overload-control gate: deterministic
+#                               # shedding past capacity; writes
+#                               # BENCH_saturate.json at the root. Extra args
+#                               # pass through, e.g.
+#                               #   scripts/bench.sh saturate --check
 #   scripts/bench.sh prune      # dynamic-pruning invariance + effect gate
 #                               # (pruned top-k bit-identical to exhaustive,
 #                               # documents_scored reduced); writes
@@ -42,6 +47,10 @@ case "${1:-all}" in
     serve)
         shift 2>/dev/null || true
         python -m repro.bench.serve "$@"
+        ;;
+    saturate)
+        shift 2>/dev/null || true
+        python -m repro.bench.saturate "$@"
         ;;
     prune)
         shift 2>/dev/null || true

@@ -1,0 +1,478 @@
+"""Saturation gate: overload control measured past capacity.
+
+Light-load averages say nothing about the regime the paper cares
+about — sustained heavy traffic.  For each collection this gate offers
+the serving layer an open-loop Poisson stream well above its capacity
+and checks that overload is a *controlled*, deterministic state:
+
+* **bounded p99** — admitted requests (the population the SLO is
+  stated over) finish within an analytic bound: the worst class
+  deadline budget (admitted requests start by their deadline — the
+  expiry-at-dequeue invariant) plus one wave's worst-case service
+  time;
+* **deterministic shedding** — the shed fraction is nonzero at every
+  worker count (the stream really is past capacity) and a second run
+  with the same seed and knobs produces a byte-identical metrics dict,
+  including the exact shed set;
+* **bit-identity survives overload** — every *admitted* ranking still
+  equals a cold single-disk evaluation of its own query text;
+* **goodput monotone in workers** — admitted completions per second of
+  makespan rises 1 → 2 → 4 workers (raw throughput is a property of
+  the trace; goodput is the service's);
+* **control beats no control** — with the same traffic and no
+  admission control (unbounded queue, no deadlines), p99 explodes past
+  the controlled p99, which is the whole argument for shedding.
+
+All timing is simulated, so every number — and the shed set itself —
+is a pure function of the seed and the knobs: the ``--check``
+comparator gates shed-fraction *drift* exactly and p99 within a band.
+
+Run it directly::
+
+    PYTHONPATH=src python -m repro.bench.saturate             # write baseline
+    PYTHONPATH=src python -m repro.bench.saturate --check     # gate a change
+
+(or ``scripts/bench.sh saturate``).  Writes ``BENCH_saturate.json``;
+exit status 0 on pass, 1 on violation or regression, 2 on operator
+error (missing/unreadable baseline).
+"""
+
+import argparse
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import config_by_name
+from ..core.metrics import cold_start
+from ..core.prepared import materialize, prepare_collection
+from ..inquery.engine import DEFAULT_TOP_K, RetrievalEngine
+from ..serve import QueryService, ServiceMetrics
+from ..synth import PROFILES, SyntheticCollection, generate_query_set
+from ..synth.traffic import TrafficProfile, open_loop_requests
+from .runner import PROFILE_ORDER
+from .wallclock import _query_profiles
+
+DEFAULT_CONFIG = "mneme-cache"
+DEFAULT_SHARDS = 2
+DEFAULT_REQUESTS = 120
+DEFAULT_WORKER_SWEEP = (1, 2, 4)
+DEFAULT_MAX_BATCH = 8
+#: Allowed fractional p99 increase over the baseline in ``--check``.
+DEFAULT_P99_BAND = 0.10
+TRAFFIC_SEED = 41
+#: Offered load as a multiple of the estimated 4-worker *single-disk*
+#: capacity.  The sharded backend roughly halves per-query cost and the
+#: wave batching amortizes barriers, so the factor is set well past the
+#: naive 1.0 to keep every sweep point saturated — shedding never zero.
+OVERLOAD_FACTOR = 6.0
+
+
+def _reference(
+    prepared, config, pool: Sequence[str]
+) -> Tuple[Dict[str, list], float, float]:
+    """Cold single-disk rankings per distinct query; mean and max cost."""
+    system = materialize(prepared, config)
+    cold_start(system)
+    runner = RetrievalEngine(
+        system.index,
+        top_k=DEFAULT_TOP_K,
+        use_reservation=config.use_reservation,
+        use_fastpath=config.use_fastpath,
+    )
+    rankings: Dict[str, list] = {}
+    costs: List[float] = []
+    for text in dict.fromkeys(pool):
+        start = system.clock.snapshot()
+        rankings[text] = runner.run_query(text).ranking
+        costs.append(system.clock.since(start).wall_ms)
+    return rankings, sum(costs) / len(costs), max(costs)
+
+
+def _check_invariance(report, reference, label: str, violations: List[str]):
+    """Every admitted ranking must equal the cold reference, bit for bit."""
+    bad = 0
+    for row in report.served:
+        if row.result.ranking != reference[row.text]:
+            bad += 1
+            if bad <= 3:
+                violations.append(
+                    f"{label}: admitted ranking for {row.text!r} "
+                    f"({row.outcome}) differs from the cold single-disk "
+                    "evaluation"
+                )
+    if bad > 3:
+        violations.append(f"{label}: {bad} admitted rankings diverged in total")
+    return bad
+
+
+def _saturation_traffic(
+    profile_name: str, n_requests: int, mean_cost: float, max_batch: int
+) -> TrafficProfile:
+    """The overload stream: past 4-worker capacity, both classes deadlined."""
+    capacity_4w = 4 * 1000.0 / mean_cost  # queries/second, roughly
+    return TrafficProfile(
+        name=f"{profile_name}-saturate",
+        mode="open",
+        n_requests=n_requests,
+        rate_qps=OVERLOAD_FACTOR * capacity_4w,
+        repeat_rate=0.0,  # no repeats: the cache cannot absorb the load
+        deadline_ms=1.0 * max_batch * mean_cost,
+        batch_fraction=0.3,
+        batch_deadline_ms=2.0 * max_batch * mean_cost,
+        seed=TRAFFIC_SEED,
+    )
+
+
+def _metrics_json(report) -> str:
+    """The canonical byte string the determinism check compares."""
+    metrics = ServiceMetrics.from_report(report)
+    return json.dumps(
+        metrics.as_dict(shed_trace=report.shed), sort_keys=True
+    )
+
+
+def bench_profile(
+    profile_name: str,
+    config_name: str = DEFAULT_CONFIG,
+    n_requests: int = DEFAULT_REQUESTS,
+    shards: int = DEFAULT_SHARDS,
+    worker_sweep=DEFAULT_WORKER_SWEEP,
+    max_batch: int = DEFAULT_MAX_BATCH,
+) -> dict:
+    """The full overload contract for one collection profile."""
+    violations: List[str] = []
+    collection = SyntheticCollection(PROFILES[profile_name])
+    prepared = prepare_collection(collection)
+    query_sets = [
+        generate_query_set(collection, query_profile)
+        for query_profile in _query_profiles(profile_name)
+    ]
+    pool = [query for query_set in query_sets for query in query_set.queries]
+    config = config_by_name(config_name)
+    reference, mean_cost, max_cost = _reference(prepared, config, pool)
+
+    traffic = _saturation_traffic(profile_name, n_requests, mean_cost, max_batch)
+    requests = open_loop_requests(pool, traffic)
+    # Deep enough that the deadline-expiry path triggers alongside the
+    # queue bound (a shallow queue would shed everything at admission).
+    queue_limit = 4 * max_batch
+
+    def controlled_run(workers: int):
+        backend = materialize(prepared, config, shards=shards)
+        service = QueryService(
+            backend, engine="taat", workers=workers, max_batch=max_batch,
+            use_cache=False, queue_limit=queue_limit,
+        )
+        return service, service.process(requests, name=f"w{workers}")
+
+    # -- the worker sweep, every point past saturation --------------------
+    runs: Dict[str, dict] = {}
+    bounds: Dict[str, float] = {}
+    goodput: List[Tuple[int, float]] = []
+    shard_skew = 0.0
+    for workers in worker_sweep:
+        service, report = controlled_run(workers)
+        _check_invariance(report, reference, f"w{workers}", violations)
+        metrics = ServiceMetrics.from_report(report)
+        if metrics.shed_fraction <= 0.0:
+            violations.append(
+                f"w{workers}: shed fraction is zero — the stream did not "
+                "saturate the service, so the gate is not testing overload"
+            )
+        # Admitted queueing delay is capped by the worst class budget
+        # (expiry at dequeue), and one wave's service time is capped by
+        # ceil(max_batch / workers) evaluations of the costliest query
+        # (LPT packing), plus parse/probe overhead headroom.
+        bound = (
+            max(traffic.deadline_ms, traffic.batch_deadline_ms)
+            + math.ceil(max_batch / workers) * 2.0 * max_cost
+            + mean_cost + 5.0
+        )
+        bounds[str(workers)] = round(bound, 4)
+        p99 = metrics.latency.get("p99_ms", 0.0)
+        if p99 > bound:
+            violations.append(
+                f"w{workers}: admitted p99 {p99:.3f}ms exceeds the "
+                f"deadline-derived bound {bound:.3f}ms"
+            )
+        goodput.append((workers, metrics.goodput_qps))
+        shard_skew = max(shard_skew, service.stats.shard_skew)
+        runs[str(workers)] = metrics.as_dict()
+    for (w_before, g_before), (w_after, g_after) in zip(goodput, goodput[1:]):
+        if g_after < g_before:
+            violations.append(
+                f"goodput fell from {g_before:.2f} q/s at {w_before} workers "
+                f"to {g_after:.2f} q/s at {w_after}"
+            )
+
+    # -- same seed, same knobs: byte-identical metrics and shed set ------
+    _service_a, report_a = controlled_run(2)
+    _service_b, report_b = controlled_run(2)
+    deterministic = _metrics_json(report_a) == _metrics_json(report_b)
+    if not deterministic:
+        violations.append(
+            "determinism: two identical w=2 runs produced different "
+            "metrics/shed traces"
+        )
+
+    # -- no control: the same traffic with an unbounded FIFO queue -------
+    uncontrolled_traffic = TrafficProfile(
+        name=f"{profile_name}-uncontrolled",
+        mode="open",
+        n_requests=n_requests,
+        rate_qps=traffic.rate_qps,
+        repeat_rate=traffic.repeat_rate,
+        deadline_ms=0.0,
+        batch_fraction=traffic.batch_fraction,
+        batch_deadline_ms=0.0,
+        seed=traffic.seed,
+    )
+    backend = materialize(prepared, config, shards=shards)
+    service = QueryService(
+        backend, engine="taat", workers=2, max_batch=max_batch, use_cache=False
+    )
+    uncontrolled = service.process(
+        open_loop_requests(pool, uncontrolled_traffic), name="uncontrolled"
+    )
+    uncontrolled_metrics = ServiceMetrics.from_report(uncontrolled)
+    controlled_p99 = runs["2"]["latency"].get("p99_ms", 0.0)
+    uncontrolled_p99 = uncontrolled_metrics.latency.get("p99_ms", 0.0)
+    if uncontrolled_p99 <= controlled_p99:
+        violations.append(
+            f"control: uncontrolled p99 {uncontrolled_p99:.3f}ms does not "
+            f"exceed controlled p99 {controlled_p99:.3f}ms — admission "
+            "control bought nothing on this stream"
+        )
+
+    return {
+        "config": config_name,
+        "shards": shards,
+        "max_batch": max_batch,
+        "queue_limit": queue_limit,
+        "mean_service_ms": round(mean_cost, 4),
+        "max_service_ms": round(max_cost, 4),
+        "traffic": {
+            "n_requests": n_requests,
+            "rate_qps": round(traffic.rate_qps, 2),
+            "repeat_rate": traffic.repeat_rate,
+            "deadline_ms": round(traffic.deadline_ms, 4),
+            "batch_fraction": traffic.batch_fraction,
+            "batch_deadline_ms": round(traffic.batch_deadline_ms, 4),
+            "seed": traffic.seed,
+        },
+        "p99_bound_ms": bounds,
+        "workers": runs,
+        "deterministic": deterministic,
+        "shard_skew": round(shard_skew, 4),
+        "uncontrolled": {
+            "p99_ms": uncontrolled_p99,
+            "max_ms": uncontrolled_metrics.latency.get("max_ms", 0.0),
+            "throughput_qps": round(uncontrolled_metrics.goodput_qps, 2),
+        },
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
+def run_benchmark(
+    profiles: Optional[List[str]] = None,
+    config_name: str = DEFAULT_CONFIG,
+    n_requests: int = DEFAULT_REQUESTS,
+    shards: int = DEFAULT_SHARDS,
+    out_path: Optional[Path] = None,
+) -> dict:
+    report = {
+        "benchmark": "saturate",
+        "description": (
+            "Overload control on simulated time: open-loop traffic past "
+            "capacity with a bounded admission queue, per-class deadlines "
+            "(interactive beats batch), and deterministic shedding — "
+            "admitted p99 within the deadline-derived bound, shed set "
+            "byte-identical across same-seed runs, every admitted ranking "
+            "bit-identical to a cold single-disk evaluation, goodput "
+            "monotone in worker count, and p99 worse without control."
+        ),
+        "config": config_name,
+        "profiles": {},
+        "ok": True,
+    }
+    for profile_name in profiles or list(PROFILE_ORDER):
+        cell = bench_profile(profile_name, config_name, n_requests, shards)
+        report["profiles"][profile_name] = cell
+        report["ok"] = report["ok"] and cell["ok"]
+    if out_path is not None:
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def compare_reports(
+    current: dict, baseline: dict, p99_band: float = DEFAULT_P99_BAND
+) -> List[str]:
+    """Regressions of ``current`` against ``baseline`` (empty = pass).
+
+    Shedding is a pure function of the seeded trace, so any
+    shed-fraction drift at all is a behavior change and fails exactly;
+    p99 of admitted requests may grow by at most ``p99_band`` (fraction
+    of the baseline).  Missing profiles or worker points, and any
+    violation recorded in the current run, fail outright.
+    """
+    failures: List[str] = []
+    for profile_name, base_cell in baseline.get("profiles", {}).items():
+        cell = current.get("profiles", {}).get(profile_name)
+        if cell is None:
+            failures.append(f"{profile_name}: missing from the current run")
+            continue
+        if not cell.get("ok", False):
+            for violation in cell.get("violations", ["violations recorded"]):
+                failures.append(f"{profile_name}: {violation}")
+        for workers, base_run in base_cell.get("workers", {}).items():
+            run = cell.get("workers", {}).get(workers)
+            if run is None:
+                failures.append(
+                    f"{profile_name}/w{workers}: worker point missing "
+                    "from the current run"
+                )
+                continue
+            base_shed = base_run.get("shed_fraction", 0.0)
+            shed = run.get("shed_fraction", 0.0)
+            if shed != base_shed:
+                failures.append(
+                    f"{profile_name}/w{workers}: shed fraction drifted "
+                    f"from {base_shed} to {shed} (shedding is deterministic; "
+                    "any drift is a behavior change)"
+                )
+            base_p99 = base_run.get("latency", {}).get("p99_ms", 0.0)
+            p99 = run.get("latency", {}).get("p99_ms", 0.0)
+            ceiling = base_p99 * (1.0 + p99_band)
+            if base_p99 > 0 and p99 > ceiling:
+                failures.append(
+                    f"{profile_name}/w{workers}: admitted p99 {p99:.3f}ms "
+                    f"exceeds {ceiling:.3f}ms "
+                    f"(baseline {base_p99:.3f}ms, band {p99_band:.2f})"
+                )
+    return failures
+
+
+def _print_report(report: dict) -> None:
+    for name, cell in report["profiles"].items():
+        print(
+            f"{name} ({cell['config']}, {cell['shards']} shards, "
+            f"mean query {cell['mean_service_ms']:.2f}ms, "
+            f"offered {cell['traffic']['rate_qps']:.0f} q/s):"
+        )
+        for workers, run in cell["workers"].items():
+            latency = run["latency"]
+            print(
+                f"  w={workers}  admitted {run['admitted']:4d}/"
+                f"{run['offered']:4d}  shed {run['shed_fraction']:6.2%} "
+                f"(queue {run['shed_queue_full']}, deadline "
+                f"{run['shed_deadline']})  p99 {latency.get('p99_ms', 0.0):9.3f}ms  "
+                f"goodput {run['goodput_qps']:7.1f} q/s"
+            )
+        uncontrolled = cell["uncontrolled"]
+        print(
+            f"  uncontrolled (w=2, no queue bound, no deadlines)  "
+            f"p99 {uncontrolled['p99_ms']:9.3f}ms"
+        )
+        print(
+            f"  deterministic: {cell['deterministic']}  "
+            f"shard skew {cell['shard_skew']:.2f}"
+        )
+        for violation in cell["violations"]:
+            print(f"  VIOLATION: {violation}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile", action="append", dest="profiles", choices=PROFILE_ORDER,
+        help="collection profile to benchmark (repeatable; default: all four)",
+    )
+    parser.add_argument("--config", default=DEFAULT_CONFIG)
+    parser.add_argument(
+        "--requests", type=int, default=DEFAULT_REQUESTS,
+        help="requests in each saturation stream (default 120)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=DEFAULT_SHARDS,
+        help="shard count behind the service (default 2)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output JSON path (default ./BENCH_saturate.json; "
+        "not written in --check mode unless given explicitly)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline instead of writing it; "
+        "exit non-zero on drift or regression",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=Path("BENCH_saturate.json"),
+        help="baseline JSON to gate against (with --check)",
+    )
+    parser.add_argument(
+        "--p99-band", type=float, default=DEFAULT_P99_BAND,
+        help="allowed fractional p99 increase over baseline (with --check)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        # Fail fast with a one-line diagnosis — a missing or mangled
+        # baseline is an operator error, not a traceback-worthy crash.
+        try:
+            baseline = json.loads(args.baseline.read_text())
+        except FileNotFoundError:
+            print(f"no baseline at {args.baseline}; run without --check first")
+            return 2
+        except OSError as error:
+            print(
+                f"cannot read baseline {args.baseline}: "
+                f"{error.strerror or error}"
+            )
+            return 2
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            print(
+                f"baseline {args.baseline} is not valid JSON ({error}); "
+                "regenerate it by running without --check"
+            )
+            return 2
+        if not isinstance(baseline, dict) or "profiles" not in baseline:
+            print(
+                f"baseline {args.baseline} is not a saturate report "
+                "(no 'profiles' key); regenerate it by running without --check"
+            )
+            return 2
+        report = run_benchmark(
+            args.profiles, args.config, args.requests, args.shards, args.out
+        )
+        _print_report(report)
+        failures = compare_reports(report, baseline, p99_band=args.p99_band)
+        if failures:
+            print("\nSATURATION GATE FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(
+            "\nsaturation gate passed (shed set unchanged; p99 within band)"
+        )
+        return 0
+
+    out_path = args.out if args.out is not None else Path("BENCH_saturate.json")
+    report = run_benchmark(
+        args.profiles, args.config, args.requests, args.shards, out_path
+    )
+    _print_report(report)
+    if not report["ok"]:
+        print("\nSATURATION GATE FAILED")
+        return 1
+    print(
+        "\nsaturation gate passed (bounded admitted p99; deterministic "
+        "nonzero shedding; goodput monotone in workers)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ self-contained and deterministic):
 * ``chaos``    — fault-tolerant serving under seeded fault injection;
 * ``shards``   — document-partitioned scaling and invariance benchmark;
 * ``serve``    — concurrent batch query service traffic benchmark;
+* ``saturate`` — overload-control gate: deterministic shedding past capacity;
 * ``prune``    — dynamic-pruning invariance and speedup benchmark.
 
 ``demo`` additionally accepts ``--shards N`` (with ``--partitioner``) to
@@ -25,6 +26,10 @@ exists to demonstrate the per-shard provenance it prints.  With
 ``--serve`` the queries go through the full
 :class:`~repro.serve.service.QueryService` front door (admission waves,
 result cache) and each answer is annotated with its cache outcome.
+``--rate`` spreads the demo queries over a seeded Poisson arrival
+stream instead of one burst, and ``--deadline`` gives each request a
+relative deadline budget — requests the service sheds are printed with
+their verdict instead of a ranking (both require ``--serve``).
 """
 
 import argparse
@@ -99,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--serve", action="store_true",
         help="route the queries through the QueryService (waves + cache)",
+    )
+    demo.add_argument(
+        "--rate", type=float, default=0.0, metavar="QPS",
+        help="with --serve: Poisson arrival rate in simulated queries/s "
+             "(default 0 = all queries arrive at t=0)",
+    )
+    demo.add_argument(
+        "--deadline", type=float, default=0.0, metavar="MS",
+        help="with --serve: per-request deadline budget in simulated ms "
+             "(default 0 = no deadline; expired requests are shed)",
     )
 
     compare = commands.add_parser(
@@ -178,6 +193,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache-on p50 latency improvement floor")
     serve.add_argument("--out", default=None, help="write the JSON report here")
 
+    saturate = commands.add_parser(
+        "saturate", help="overload-control gate: deterministic shedding "
+                         "past capacity"
+    )
+    saturate.add_argument("--profile", action="append", dest="profiles",
+                          help="collection profile (repeatable; default: "
+                               "all four)")
+    saturate.add_argument("--config", default="mneme-cache")
+    saturate.add_argument("--requests", type=int, default=120,
+                          help="requests in each saturation stream")
+    saturate.add_argument("--shards", type=int, default=2,
+                          help="shard count behind the service")
+    saturate.add_argument("--check", action="store_true",
+                          help="gate against the committed BENCH_saturate.json")
+    saturate.add_argument("--out", default=None,
+                          help="write the JSON report here")
+
     prune = commands.add_parser(
         "prune", help="dynamic-pruning invariance and speedup benchmark"
     )
@@ -226,6 +258,12 @@ def _print_prune_line(result) -> None:
 def cmd_demo(args) -> int:
     if args.prune != "off" and not args.daat:
         print("--prune requires --daat (document-at-a-time)", file=sys.stderr)
+        return 2
+    if (args.rate or args.deadline) and not args.serve:
+        print("--rate/--deadline require --serve", file=sys.stderr)
+        return 2
+    if args.rate < 0 or args.deadline < 0:
+        print("--rate and --deadline must be non-negative", file=sys.stderr)
         return 2
     print(f"Building {args.profile!r} on {args.config!r} ...")
     workload = load_workload(args.profile)
@@ -305,8 +343,25 @@ def _demo_serve(args, workload) -> int:
         top_k=args.top_k,
         prune=args.prune,
     )
+    if args.rate > 0:
+        # A seeded Poisson spread of the demo queries, so --deadline has
+        # queueing to bite on; deterministic for a given query list.
+        import numpy as np
+
+        gaps = np.random.default_rng(17).exponential(
+            1000.0 / args.rate, size=len(args.queries)
+        )
+        arrivals = [float(arrival) for arrival in np.cumsum(gaps)]
+    else:
+        arrivals = [0.0] * len(args.queries)
     requests = [
-        TimedRequest(text=query, arrival_ms=0.0) for query in args.queries
+        TimedRequest(
+            text=query,
+            arrival_ms=arrival,
+            deadline_ms=arrival + args.deadline if args.deadline > 0 else None,
+            seq=seq,
+        )
+        for seq, (query, arrival) in enumerate(zip(args.queries, arrivals))
     ]
     report = service.process(requests, name="demo")
     for row in report.served:
@@ -316,12 +371,22 @@ def _demo_serve(args, workload) -> int:
         for rank, (doc_id, belief) in enumerate(row.result.ranking, start=1):
             print(f"  {rank:>3d}. doc {doc_id:<8d} belief={belief:.4f}")
         _print_prune_line(row.result)
+    for row in report.shed:
+        print(
+            f"\nQuery: {row.text}  [SHED: {row.reason} at "
+            f"{row.shed_ms:.3f}ms -> {row.error}]"
+        )
     if service.cache is not None:
         stats = service.cache.stats
         print(
             f"\nService: {report.waves} wave(s), cache "
             f"{stats.hits}/{stats.lookups} hits, "
             f"{len(service.cache)} entrie(s) resident"
+        )
+    if report.shed:
+        print(
+            f"Shed {len(report.shed)}/{report.offered} request(s) "
+            f"({report.shed_fraction:.0%})"
         )
     return 0
 
@@ -567,6 +632,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out:
             argv2 += ["--out", args.out]
         return serve_main(argv2)
+    if args.command == "saturate":
+        from .bench.saturate import main as saturate_main
+
+        argv2 = []
+        for profile in args.profiles or []:
+            argv2 += ["--profile", profile]
+        argv2 += ["--config", args.config]
+        argv2 += ["--requests", str(args.requests)]
+        argv2 += ["--shards", str(args.shards)]
+        if args.check:
+            argv2 += ["--check"]
+        if args.out:
+            argv2 += ["--out", args.out]
+        return saturate_main(argv2)
     if args.command == "prune":
         from .bench.prune import main as prune_main
 

@@ -68,6 +68,48 @@ class ServiceUnavailableError(ReproError):
         self.reason = reason
 
 
+class RequestSheddedError(ServiceUnavailableError):
+    """A request was refused by admission control instead of queued.
+
+    Overload is a first-class state of the service, not an accident: a
+    bounded admission queue refuses work it could only serve uselessly
+    late.  The request is *accounted* — it appears in the service's
+    shed ledger and per-class metrics — never silently dropped.
+    ``reason`` is the admission verdict (``"queue-full"`` for a bounded
+    queue at capacity); ``query`` and ``priority`` identify the victim.
+    """
+
+    def __init__(self, reason: str = "", query: str = "",
+                 priority: str = "interactive"):
+        detail = f": {reason}" if reason else ""
+        Exception.__init__(self, f"request {query!r} shed{detail}")
+        self.reason = reason
+        self.query = query
+        self.priority = priority
+
+
+class DeadlineExceededError(RequestSheddedError):
+    """A request's deadline passed before the service could start it.
+
+    Requests carry an absolute deadline on the service clock; one that
+    would be dequeued past its deadline is expired at wave-formation
+    time (serving it would burn capacity on an answer the client has
+    already abandoned).  ``deadline_ms`` is the missed deadline and
+    ``now_ms`` the service time at which it was declared dead — both on
+    the simulated clock, so the expiry set is a pure function of the
+    request trace.
+    """
+
+    def __init__(self, query: str = "", priority: str = "interactive",
+                 deadline_ms: float = 0.0, now_ms: float = 0.0):
+        super().__init__(
+            f"deadline {deadline_ms:.3f}ms passed at t={now_ms:.3f}ms",
+            query=query, priority=priority,
+        )
+        self.deadline_ms = deadline_ms
+        self.now_ms = now_ms
+
+
 class CacheInconsistencyError(ReproError):
     """A result-cache entry survived past its invalidation epoch.
 

@@ -19,26 +19,39 @@ with:
   bit-identical to cold evaluation; degraded results
   (``completeness < 1``) are never admitted.
 
-Traffic comes from :mod:`repro.synth.traffic`; the regression gate is
-:mod:`repro.bench.serve`.
+Overload is a first-class state rather than an accident: a bounded
+admission queue (``queue_limit``), per-request deadlines expired at
+wave formation, and two priority classes (``interactive`` beats
+``batch``) make shedding deterministic and accounted — see
+:mod:`repro.serve.service` for the model and
+:class:`~repro.serve.metrics.ServiceMetrics` for the per-class ledger.
+
+Traffic comes from :mod:`repro.synth.traffic`; the regression gates are
+:mod:`repro.bench.serve` (light load) and :mod:`repro.bench.saturate`
+(past capacity).
 """
 
 from .cache import CacheStats, ResultCache, clone_result
+from .metrics import ClassMetrics, ServiceMetrics
 from .service import (
     CACHE_PROBE_MS,
     QueryService,
     ServedRequest,
     ServiceReport,
     ServiceStats,
+    ShedRequest,
 )
 
 __all__ = [
     "CACHE_PROBE_MS",
     "CacheStats",
+    "ClassMetrics",
     "QueryService",
     "ResultCache",
     "ServedRequest",
+    "ServiceMetrics",
     "ServiceReport",
     "ServiceStats",
+    "ShedRequest",
     "clone_result",
 ]

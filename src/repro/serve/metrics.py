@@ -1,0 +1,179 @@
+"""Per-class service metrics: latency, shedding, goodput.
+
+:class:`ServiceMetrics` shapes one :class:`~repro.serve.service.ServiceReport`
+into the overload-control ledger the saturation gate and the CLI read:
+per priority class, how many requests were admitted, how many were
+shed (and why), and the latency distribution of the *admitted* ones —
+the population an SLO is stated over.  Latency digests come from
+:func:`repro.core.stats.latency_summary`, the same nearest-rank
+percentile arithmetic every other benchmark uses, so two identical
+runs produce byte-identical metric dicts.
+
+Goodput is admitted completions per second of makespan (first offered
+arrival to last served completion): the throughput the service
+*delivered*, with shed requests in the denominator's time window but
+not in the numerator.  Under overload this is the number that should
+be monotone in worker count — raw offered throughput is a property of
+the trace, not the service.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.stats import latency_summary
+from ..synth.traffic import PRIORITIES
+
+
+def _round_digest(digest: Dict[str, float]) -> Dict[str, float]:
+    return {key: round(value, 4) for key, value in digest.items()}
+
+
+@dataclass
+class ClassMetrics:
+    """One priority class's slice of a traffic run."""
+
+    priority: str
+    admitted: int = 0
+    shed_queue_full: int = 0
+    shed_deadline: int = 0
+    latency: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def offered(self) -> int:
+        return self.admitted + self.shed_queue_full + self.shed_deadline
+
+    @property
+    def shed_fraction(self) -> float:
+        offered = self.offered
+        if not offered:
+            return 0.0
+        return (self.shed_queue_full + self.shed_deadline) / offered
+
+    def as_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_deadline": self.shed_deadline,
+            "shed_fraction": round(self.shed_fraction, 4),
+            "latency": dict(self.latency),
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """The whole run: per-class ledgers plus the service-wide digest."""
+
+    name: str
+    offered: int
+    admitted: int
+    shed_queue_full: int
+    shed_deadline: int
+    goodput_qps: float
+    makespan_ms: float
+    latency: Dict[str, float]
+    per_class: Dict[str, ClassMetrics]
+    waves: int = 0
+    workers: int = 0
+    queue_limit: int = 0
+
+    @property
+    def shed_fraction(self) -> float:
+        if not self.offered:
+            return 0.0
+        return (self.shed_queue_full + self.shed_deadline) / self.offered
+
+    @classmethod
+    def from_report(cls, report) -> "ServiceMetrics":
+        """Shape a :class:`~repro.serve.service.ServiceReport`."""
+        per_class: Dict[str, ClassMetrics] = {
+            priority: ClassMetrics(priority=priority) for priority in PRIORITIES
+        }
+        class_latencies: Dict[str, List[float]] = {p: [] for p in PRIORITIES}
+        for row in report.served:
+            bucket = per_class.setdefault(
+                row.priority, ClassMetrics(priority=row.priority)
+            )
+            bucket.admitted += 1
+            class_latencies.setdefault(row.priority, []).append(row.latency_ms)
+        for row in report.shed:
+            bucket = per_class.setdefault(
+                row.priority, ClassMetrics(priority=row.priority)
+            )
+            if row.reason == "queue-full":
+                bucket.shed_queue_full += 1
+            else:
+                bucket.shed_deadline += 1
+        for priority, bucket in per_class.items():
+            bucket.latency = _round_digest(
+                latency_summary(class_latencies.get(priority, []))
+            )
+        admitted = len(report.served)
+        shed_queue_full = sum(
+            1 for row in report.shed if row.reason == "queue-full"
+        )
+        shed_deadline = len(report.shed) - shed_queue_full
+        # Makespan opens at the first *offered* arrival (shed or not)
+        # and closes at the last served completion, so goodput charges
+        # the service for the whole window it was offered work in.
+        events = [row.arrival_ms for row in report.served]
+        events += [row.arrival_ms for row in report.shed]
+        start = min(events) if events else 0.0
+        end = max((row.completion_ms for row in report.served), default=start)
+        makespan_ms = max(0.0, end - start)
+        goodput = admitted / makespan_ms * 1000.0 if makespan_ms > 0 else 0.0
+        return cls(
+            name=report.name,
+            offered=admitted + len(report.shed),
+            admitted=admitted,
+            shed_queue_full=shed_queue_full,
+            shed_deadline=shed_deadline,
+            goodput_qps=goodput,
+            makespan_ms=makespan_ms,
+            latency=_round_digest(latency_summary(report.latencies_ms())),
+            per_class={
+                priority: per_class[priority] for priority in sorted(per_class)
+            },
+            waves=report.waves,
+            workers=report.workers,
+            queue_limit=report.queue_limit,
+        )
+
+    def as_dict(self, shed_trace: Optional[List] = None) -> dict:
+        """A JSON-ready dict; byte-identical across identical runs.
+
+        ``shed_trace`` (a report's ``shed`` list) additionally embeds
+        the exact shed set — which requests, when, and why — which the
+        determinism gate compares across runs.
+        """
+        cell = {
+            "name": self.name,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_deadline": self.shed_deadline,
+            "shed_fraction": round(self.shed_fraction, 4),
+            "goodput_qps": round(self.goodput_qps, 2),
+            "makespan_ms": round(self.makespan_ms, 4),
+            "waves": self.waves,
+            "workers": self.workers,
+            "queue_limit": self.queue_limit,
+            "latency": dict(self.latency),
+            "per_class": {
+                priority: bucket.as_dict()
+                for priority, bucket in self.per_class.items()
+            },
+        }
+        if shed_trace is not None:
+            cell["shed_trace"] = [
+                {
+                    "text": row.text,
+                    "priority": row.priority,
+                    "arrival_ms": round(row.arrival_ms, 4),
+                    "shed_ms": round(row.shed_ms, 4),
+                    "reason": row.reason,
+                    "error": row.error,
+                }
+                for row in shed_trace
+            ]
+        return cell

@@ -15,7 +15,10 @@ request's life:
 
 1. It waits in the admission queue until the service is free — the
    service forms a wave of up to ``max_batch`` requests that have
-   arrived by ``now``, FIFO.
+   arrived by ``now``, ordered by the stable key
+   ``(priority, arrival, seq)`` (interactive beats batch; ties break
+   on arrival time, then stream position), so the schedule is a pure
+   function of the request trace.
 2. Each wave query is normalized to its canonical key
    (:func:`~repro.inquery.normalize.canonical_query_key`; parse charge
    ``cpu_ms_per_query_node`` × nodes, plus :data:`CACHE_PROBE_MS` for
@@ -32,36 +35,67 @@ request's life:
 4. The wave ends when its slowest worker finishes; the next wave is
    admitted then (a barrier, matching the scheduler's semantics).
 
-A request's latency is completion − arrival: queueing delay, the
-normalization/probe overhead, and its service time.  With the cache
-off the service also disables in-wave sharing, so the cache-off
-baseline honestly evaluates every request.
+Overload control
+----------------
+Under sustained open-loop load above capacity an unbounded FIFO queue
+"serves" every request with unbounded latency; overload is instead a
+first-class, accounted state:
+
+* **Bounded admission** (``queue_limit``): a request that arrives
+  while ``queue_limit`` requests are already waiting is rejected at
+  its arrival time — a :class:`~repro.errors.RequestSheddedError`
+  verdict (reason ``"queue-full"``) recorded in the report's shed
+  ledger.  ``queue_limit=0`` keeps the historical unbounded queue.
+* **Deadline expiry**: requests may carry an absolute
+  ``deadline_ms``; at every wave formation, waiting requests whose
+  deadline has passed are expired with a
+  :class:`~repro.errors.DeadlineExceededError` verdict instead of
+  being served uselessly late.  Expiry is checked at *dequeue* time
+  (lazy, like a real server popping its run queue) — an admitted
+  request therefore always starts by its deadline, which is what
+  bounds admitted queueing delay.
+* **Priority classes**: wave formation orders by
+  ``(priority rank, arrival, seq)`` — ``interactive`` ahead of
+  ``batch`` — so under saturation batch work yields capacity first.
+
+Shed requests never reach normalization, evaluation, or the result
+cache — they cannot populate or touch cached state — and they are
+never silently dropped: every one appears in
+:attr:`ServiceReport.shed` and the per-class
+:class:`~repro.serve.metrics.ServiceMetrics`.
 
 Correctness
 -----------
 Every served result — hit, miss, or shared — is bit-identical to a
-cold evaluation of its own query text; the gate in
-:mod:`repro.bench.serve` verifies this against a fresh single-disk
-engine for every request of every traffic run.  Degraded results are
-served (never raised) but never cached, and
-:meth:`QueryService.invalidate_cache` must be called when the index
-mutates (the incremental-update paths are the canonical callers).
+cold evaluation of its own query text; the gates in
+:mod:`repro.bench.serve` and :mod:`repro.bench.saturate` verify this
+against a fresh single-disk engine for every admitted request of every
+traffic run.  Degraded results are served (never raised) but never
+cached, and :meth:`QueryService.invalidate_cache` must be called when
+the index mutates (the incremental-update paths are the canonical
+callers).
 """
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.metrics import cold_start
 from ..core.prepared import IRSystem
-from ..core.stats import latency_summary
-from ..errors import ConfigError, ServiceUnavailableError, ShardUnavailableError
+from ..core.stats import latency_summary, max_over_mean
+from ..errors import (
+    ConfigError,
+    DeadlineExceededError,
+    RequestSheddedError,
+    ServiceUnavailableError,
+    ShardUnavailableError,
+)
 from ..inquery.daat import DocumentAtATimeEngine
 from ..inquery.engine import DEFAULT_TOP_K, QueryResult, RetrievalEngine
 from ..inquery.normalize import normalize_tree, render_canonical
 from ..inquery.query import count_nodes, parse_query
 from ..shard.system import ShardedIRSystem
-from ..synth.traffic import ClosedLoopTraffic, TimedRequest
+from ..synth.traffic import PRIORITY_RANK, ClosedLoopTraffic, TimedRequest
 from .cache import CacheStats, ResultCache, clone_result
 
 #: Simulated cost of one cache probe (hash the canonical key, compare).
@@ -78,10 +112,48 @@ class ServedRequest:
     completion_ms: float
     outcome: str           #: "hit" | "miss" | "shared"
     result: QueryResult
+    priority: str = "interactive"
+    deadline_ms: Optional[float] = None
 
     @property
     def latency_ms(self) -> float:
         return self.completion_ms - self.arrival_ms
+
+
+@dataclass
+class ShedRequest:
+    """One request refused by admission control — accounted, not served.
+
+    ``reason`` is ``"queue-full"`` (bounded queue at capacity when the
+    request arrived) or ``"deadline"`` (expired at wave formation);
+    ``error`` names the matching exception class, the taxonomy callers
+    of :meth:`as_error` receive.
+    """
+
+    text: str
+    priority: str
+    arrival_ms: float
+    shed_ms: float        #: service time at which the verdict was pronounced
+    reason: str           #: "queue-full" | "deadline"
+    deadline_ms: Optional[float] = None
+
+    @property
+    def error(self) -> str:
+        return (
+            "DeadlineExceededError" if self.reason == "deadline"
+            else "RequestSheddedError"
+        )
+
+    def as_error(self) -> RequestSheddedError:
+        """The verdict as its exception (what :meth:`serve_one` raises)."""
+        if self.reason == "deadline":
+            return DeadlineExceededError(
+                query=self.text, priority=self.priority,
+                deadline_ms=self.deadline_ms or 0.0, now_ms=self.shed_ms,
+            )
+        return RequestSheddedError(
+            reason=self.reason, query=self.text, priority=self.priority
+        )
 
 
 @dataclass
@@ -96,6 +168,17 @@ class ServiceStats:
     degraded_served: int = 0
     busy_ms: float = 0.0      #: summed evaluation cost (machine time)
     barriers: int = 0         #: shard-scheduler barriers paid
+    admitted: int = 0         #: requests that made it into a wave
+    shed_queue_full: int = 0  #: rejected at arrival, bounded queue full
+    shed_deadline: int = 0    #: expired at wave formation
+    #: Simulated busy milliseconds per shard, summed over every wave
+    #: (sharded backends only) — the scheduler's ledger surfaced here.
+    shard_busy_ms: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def shard_skew(self) -> float:
+        """Max-over-mean shard busy time: 1.0 is a perfectly even load."""
+        return max_over_mean(self.shard_busy_ms.values())
 
 
 @dataclass
@@ -108,9 +191,21 @@ class ServiceReport:
     max_batch: int
     cache_stats: Optional[CacheStats] = None
     waves: int = 0
+    shed: List[ShedRequest] = field(default_factory=list)
+    queue_limit: int = 0
 
     def latencies_ms(self) -> List[float]:
         return [row.latency_ms for row in self.served]
+
+    @property
+    def offered(self) -> int:
+        """Everything the trace presented: served plus shed."""
+        return len(self.served) + len(self.shed)
+
+    @property
+    def shed_fraction(self) -> float:
+        offered = self.offered
+        return len(self.shed) / offered if offered else 0.0
 
     @property
     def makespan_ms(self) -> float:
@@ -146,7 +241,27 @@ class ServiceReport:
                 for outcome in ("hit", "miss", "shared")
             },
         )
+        if self.shed:
+            digest["shed"] = {
+                "queue_full": sum(
+                    1 for r in self.shed if r.reason == "queue-full"
+                ),
+                "deadline": sum(
+                    1 for r in self.shed if r.reason == "deadline"
+                ),
+                "fraction": round(self.shed_fraction, 4),
+            }
         return digest
+
+
+def _priority_rank(priority: str) -> int:
+    rank = PRIORITY_RANK.get(priority)
+    if rank is None:
+        raise ConfigError(
+            f"unknown priority class {priority!r} "
+            f"(expected one of {sorted(PRIORITY_RANK)})"
+        )
+    return rank
 
 
 class QueryService:
@@ -161,6 +276,10 @@ class QueryService:
     ``use_cache=False`` for an honest no-cache baseline (also disables
     in-wave sharing), or supply a prebuilt ``cache`` to share one
     across services.
+
+    ``queue_limit`` bounds the admission queue (0 = unbounded, the
+    historical behavior); see the module docstring for the shedding
+    and priority semantics.
 
     ``prune`` (document-at-a-time only) turns on dynamic top-k pruning
     in the backend engines.  Pruned results are bit-identical to
@@ -181,6 +300,7 @@ class QueryService:
         cache_size: int = 512,
         cold: bool = True,
         prune: str = "off",
+        queue_limit: int = 0,
     ):
         if engine not in ("taat", "daat"):
             raise ConfigError(f"unknown service engine {engine!r}")
@@ -192,12 +312,15 @@ class QueryService:
             raise ConfigError("service needs at least one worker")
         if max_batch < 1:
             raise ConfigError("max_batch must be at least 1")
+        if queue_limit < 0:
+            raise ConfigError("queue_limit must be non-negative (0 = unbounded)")
         self.backend = backend
         self.engine = engine
         self.top_k = top_k
         self.prune = prune
         self.workers = workers
         self.max_batch = max_batch
+        self.queue_limit = queue_limit
         self.sharded = isinstance(backend, ShardedIRSystem)
         if cold:
             # Serve from the paper's cold state: caches purged, clocks
@@ -279,36 +402,115 @@ class QueryService:
         )
         return f"{self.engine}|k{self.top_k}|{canonical}", overhead
 
+    # -- shedding ----------------------------------------------------------
+
+    def _shed(self, request: TimedRequest, shed_ms: float, reason: str,
+              ledger: List[ShedRequest]) -> None:
+        """Pronounce one shed verdict: counted, ledgered, never silent."""
+        if reason == "deadline":
+            self.stats.shed_deadline += 1
+        else:
+            self.stats.shed_queue_full += 1
+        ledger.append(ShedRequest(
+            text=request.text,
+            priority=request.priority,
+            arrival_ms=request.arrival_ms,
+            shed_ms=shed_ms,
+            reason=reason,
+            deadline_ms=request.deadline_ms,
+        ))
+
     # -- serving -----------------------------------------------------------
 
-    def serve_one(self, text: str) -> QueryResult:
-        """Serve one query right now (a wave of one)."""
+    def serve_one(
+        self,
+        text: str,
+        priority: str = "interactive",
+        deadline_ms: Optional[float] = None,
+    ) -> QueryResult:
+        """Serve one query right now (a wave of one).
+
+        ``deadline_ms`` is absolute on the service clock (the request
+        arrives at t=0); a deadline already in the past raises
+        :class:`~repro.errors.DeadlineExceededError` — the verdict a
+        stream run records in its shed ledger instead.
+        """
         self._check_open()
-        rows, _wave_end = self._serve_wave(
-            [TimedRequest(text=text, arrival_ms=0.0)], 0.0
+        _priority_rank(priority)
+        if deadline_ms is not None and deadline_ms < 0.0:
+            self.stats.shed_deadline += 1
+            raise DeadlineExceededError(
+                query=text, priority=priority,
+                deadline_ms=deadline_ms, now_ms=0.0,
+            )
+        request = TimedRequest(
+            text=text, arrival_ms=0.0, priority=priority, deadline_ms=deadline_ms
         )
+        self.stats.admitted += 1
+        rows, _wave_end = self._serve_wave([request], 0.0)
         return rows[0].result
 
     def process(
         self, requests: Sequence[TimedRequest], name: str = ""
     ) -> ServiceReport:
-        """Serve an open-loop request stream to completion."""
+        """Serve an open-loop request stream to completion.
+
+        The schedule — wave composition, shed set, every latency — is a
+        pure function of the request trace and the service knobs: ties
+        are broken by input position, expiry is checked on the
+        simulated clock, and nothing samples randomness.
+        """
         self._check_open()
-        pending = sorted(requests, key=lambda r: (r.arrival_ms,))
+        order = sorted(
+            range(len(requests)), key=lambda i: (requests[i].arrival_ms, i)
+        )
+        for i in order:
+            _priority_rank(requests[i].priority)
         served: List[ServedRequest] = []
+        shed: List[ShedRequest] = []
+        waiting: List[int] = []
         waves = 0
         now = 0.0
         cursor = 0
-        while cursor < len(pending):
-            now = max(now, pending[cursor].arrival_ms)
-            wave: List[TimedRequest] = []
+        while cursor < len(order) or waiting:
+            if not waiting:
+                now = max(now, requests[order[cursor]].arrival_ms)
+            # Admission: arrivals up to `now`, each checked against the
+            # bounded queue at its own arrival instant.
             while (
-                cursor < len(pending)
-                and pending[cursor].arrival_ms <= now
-                and len(wave) < self.max_batch
+                cursor < len(order)
+                and requests[order[cursor]].arrival_ms <= now
             ):
-                wave.append(pending[cursor])
+                i = order[cursor]
                 cursor += 1
+                if self.queue_limit and len(waiting) >= self.queue_limit:
+                    self._shed(
+                        requests[i], requests[i].arrival_ms, "queue-full", shed
+                    )
+                else:
+                    waiting.append(i)
+            # Wave formation: lazily expire what is already past its
+            # deadline, then take the best (priority, arrival, seq)
+            # prefix.
+            still: List[int] = []
+            for i in waiting:
+                request = requests[i]
+                if (
+                    request.deadline_ms is not None
+                    and request.deadline_ms < now
+                ):
+                    self._shed(request, now, "deadline", shed)
+                else:
+                    still.append(i)
+            waiting = still
+            if not waiting:
+                continue
+            waiting.sort(key=lambda i: (
+                _priority_rank(requests[i].priority), requests[i].arrival_ms, i
+            ))
+            wave = [requests[i] for i in waiting[: self.max_batch]]
+            waiting = waiting[self.max_batch:]
+            self.stats.admitted += len(wave)
             rows, wave_end = self._serve_wave(wave, now)
             served.extend(rows)
             waves += 1
@@ -320,10 +522,19 @@ class QueryService:
             max_batch=self.max_batch,
             cache_stats=self.cache.stats if self.cache is not None else None,
             waves=waves,
+            shed=shed,
+            queue_limit=self.queue_limit,
         )
 
     def process_closed(self, traffic: ClosedLoopTraffic) -> ServiceReport:
-        """Drive a closed-loop stream: completions pace the users."""
+        """Drive a closed-loop stream: completions pace the users.
+
+        Deadlines and priorities apply exactly as in :meth:`process`; a
+        user whose request expires re-thinks from the shed time (the
+        client saw its deadline blow and re-issues later).  The queue
+        bound is not applied — a closed loop's backlog is already
+        bounded by ``concurrency``.
+        """
         self._check_open()
         traffic.reset()
         ready: List[Tuple[float, int]] = [
@@ -332,25 +543,47 @@ class QueryService:
         ]
         heapq.heapify(ready)
         served: List[ServedRequest] = []
+        shed: List[ShedRequest] = []
+        #: Requests drawn but not yet admitted to a wave, with their user.
+        waiting: List[Tuple[TimedRequest, int]] = []
         waves = 0
         now = 0.0
-        while ready:
-            now = max(now, ready[0][0])
-            wave: List[TimedRequest] = []
-            users: List[int] = []
-            while ready and ready[0][0] <= now and len(wave) < self.max_batch:
+        while ready or waiting:
+            if not waiting:
+                now = max(now, ready[0][0])
+            while ready and ready[0][0] <= now:
                 arrival, user = heapq.heappop(ready)
-                text = traffic.next_text()
-                if text is None:
+                request = traffic.next_request(arrival)
+                if request is None:
                     continue  # budget spent: retire this user
-                wave.append(TimedRequest(text=text, arrival_ms=arrival))
-                users.append(user)
-            if not wave:
+                waiting.append((request, user))
+            still: List[Tuple[TimedRequest, int]] = []
+            for request, user in waiting:
+                if (
+                    request.deadline_ms is not None
+                    and request.deadline_ms < now
+                ):
+                    self._shed(request, now, "deadline", shed)
+                    heapq.heappush(ready, (now + traffic.think(user), user))
+                else:
+                    still.append((request, user))
+            waiting = still
+            if not waiting:
                 continue
-            rows, wave_end = self._serve_wave(wave, now)
+            waiting.sort(key=lambda pair: (
+                _priority_rank(pair[0].priority),
+                pair[0].arrival_ms,
+                pair[0].seq,
+            ))
+            wave_pairs = waiting[: self.max_batch]
+            waiting = waiting[self.max_batch:]
+            self.stats.admitted += len(wave_pairs)
+            rows, wave_end = self._serve_wave(
+                [pair[0] for pair in wave_pairs], now
+            )
             served.extend(rows)
             waves += 1
-            for row, user in zip(rows, users):
+            for row, (_request, user) in zip(rows, wave_pairs):
                 heapq.heappush(
                     ready, (row.completion_ms + traffic.think(user), user)
                 )
@@ -362,6 +595,8 @@ class QueryService:
             max_batch=self.max_batch,
             cache_stats=self.cache.stats if self.cache is not None else None,
             waves=waves,
+            shed=shed,
+            queue_limit=self.queue_limit,
         )
 
     # -- one wave ----------------------------------------------------------
@@ -391,6 +626,8 @@ class QueryService:
                     completion_ms=start_ms + overhead,
                     outcome="hit",
                     result=cached,
+                    priority=request.priority,
+                    deadline_ms=request.deadline_ms,
                 )
             elif self.cache is not None and key in first_of_key:
                 # In-wave duplicate: ride the first occurrence's
@@ -439,6 +676,8 @@ class QueryService:
                 completion_ms=finish_of[owner] + overhead,
                 outcome=outcome,
                 result=served_result,
+                priority=request.priority,
+                deadline_ms=request.deadline_ms,
             )
         wave_end = max(row.completion_ms for row in rows) if rows else start_ms
         return rows, wave_end  # type: ignore[return-value]
@@ -457,6 +696,10 @@ class QueryService:
                 ) from error
             self.stats.barriers += outcome.stats.barriers
             self.stats.busy_ms += sum(outcome.per_query_ms)
+            for shard_id, busy in sorted(outcome.stats.busy_ms.items()):
+                self.stats.shard_busy_ms[shard_id] = (
+                    self.stats.shard_busy_ms.get(shard_id, 0.0) + busy
+                )
             return list(zip(outcome.results, outcome.per_query_ms))
         clock = self.backend.clock
         out: List[Tuple[QueryResult, float]] = []

@@ -50,6 +50,9 @@ class SchedulerStats:
     workers: int = 0
     tasks: int = 0
     barriers: int = 0
+    #: Batched wave rounds served (``run_wave`` calls); 0 for per-query
+    #: batch runs, where no wave amortization happened.
+    waves: int = 0
     #: Most tasks simultaneously submitted and unfinished (per barrier,
     #: every live shard has exactly one task in flight).
     max_queue_depth: int = 0
@@ -203,7 +206,7 @@ class ShardScheduler:
         against the single-disk engine.
         """
         sharded = self.sharded
-        stats = SchedulerStats(workers=self.max_workers)
+        stats = SchedulerStats(workers=self.max_workers, waves=1)
         critical = TimeBreakdown()
         per_shard: Dict[int, List[QueryResult]] = {
             i: [] for i in range(sharded.n_shards)

@@ -23,9 +23,26 @@ Two standard load shapes are provided:
   completion times pace the stream, so the generator is driven by
   :meth:`~repro.serve.service.QueryService.process_closed`.
 
-Everything is seeded and deterministic: the same profile over the same
-pool yields the same request stream, which the serving gate relies on
-to compare cache-on and cache-off runs on identical traffic.
+Overload knobs
+--------------
+Requests optionally carry a **priority class** and a **deadline** for
+the admission-control machinery in :mod:`repro.serve`:
+
+* ``batch_fraction`` makes each request ``"batch"`` with that
+  probability (``"interactive"`` otherwise) — interactive beats batch
+  at wave formation;
+* ``deadline_ms`` / ``batch_deadline_ms`` are per-class *relative*
+  deadline budgets; a request's absolute deadline is its arrival plus
+  its class's budget (0 means that class carries no deadline and may
+  wait forever).
+
+Both draws come from the stream's single seeded generator, so the
+arrival/class/deadline triple is one deterministic stream: the same
+profile over the same pool yields the same requests, the same classes,
+and the same deadlines, which the saturation gate relies on to call
+its shed set deterministic.  With ``batch_fraction = 0`` no class draw
+is made at all, so pre-overload profiles reproduce their historical
+streams bit for bit.
 """
 
 from dataclasses import dataclass
@@ -34,6 +51,10 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..errors import ConfigError
+
+#: Priority classes, best first; rank order is wave-formation order.
+PRIORITIES = ("interactive", "batch")
+PRIORITY_RANK = {name: rank for rank, name in enumerate(PRIORITIES)}
 
 
 @dataclass(frozen=True)
@@ -50,15 +71,34 @@ class TrafficProfile:
     think_ms: float = 20.0      #: closed loop: mean think time
     #: Probability a request repeats an earlier query verbatim.
     repeat_rate: float = 0.5
+    #: Relative deadline budget for interactive requests, in simulated
+    #: milliseconds past arrival; 0 means interactive requests carry
+    #: no deadline.
+    deadline_ms: float = 0.0
+    #: Probability a request belongs to the ``"batch"`` class.
+    batch_fraction: float = 0.0
+    #: Relative deadline budget for batch requests; 0 means batch
+    #: requests carry no deadline (they tolerate arbitrary queueing).
+    batch_deadline_ms: float = 0.0
     seed: int = 17
 
 
 @dataclass(frozen=True)
 class TimedRequest:
-    """One request: the query text and its arrival on the service clock."""
+    """One request: query text, arrival, class, and admission deadline.
+
+    ``deadline_ms`` is *absolute* on the service clock (arrival plus
+    the class's budget), or ``None`` for a request that may wait
+    forever.  ``seq`` is the request's position in its stream — the
+    deterministic tie-breaker the service's (priority, arrival, seq)
+    wave order needs when arrivals coincide (bursts).
+    """
 
     text: str
     arrival_ms: float
+    priority: str = "interactive"
+    deadline_ms: Optional[float] = None
+    seq: int = 0
 
 
 def _validate(profile: TrafficProfile, pool: Sequence[str], mode: str) -> None:
@@ -72,6 +112,12 @@ def _validate(profile: TrafficProfile, pool: Sequence[str], mode: str) -> None:
         raise ConfigError("repeat_rate must be in [0, 1)")
     if profile.rate_qps < 0.0:
         raise ConfigError("rate_qps must be non-negative")
+    if not 0.0 <= profile.batch_fraction <= 1.0:
+        raise ConfigError("batch_fraction must be in [0, 1]")
+    if profile.deadline_ms < 0.0:
+        raise ConfigError("deadline_ms must be non-negative")
+    if profile.batch_deadline_ms < 0.0:
+        raise ConfigError("batch_deadline_ms must be non-negative")
     if not pool:
         raise ConfigError("traffic needs a non-empty query pool")
 
@@ -98,6 +144,33 @@ class _QueryChooser:
         return text
 
 
+class _ClassStamper:
+    """Draws a request's priority class and computes its deadline.
+
+    The class draw shares the stream's generator (one seed, one
+    stream), but is skipped entirely when ``batch_fraction`` is 0 so
+    profiles without the overload knobs reproduce their historical
+    random streams exactly.
+    """
+
+    def __init__(self, profile: TrafficProfile, rng: np.random.Generator):
+        self._profile = profile
+        self._rng = rng
+
+    def stamp(self, arrival_ms: float):
+        profile = self._profile
+        if profile.batch_fraction > 0 and (
+            self._rng.random() < profile.batch_fraction
+        ):
+            priority = "batch"
+            budget = profile.batch_deadline_ms
+        else:
+            priority = "interactive"
+            budget = profile.deadline_ms
+        deadline = arrival_ms + budget if budget > 0 else None
+        return priority, deadline
+
+
 def open_loop_requests(
     pool: Sequence[str], profile: TrafficProfile
 ) -> List[TimedRequest]:
@@ -105,24 +178,34 @@ def open_loop_requests(
     _validate(profile, pool, "open")
     rng = np.random.default_rng(profile.seed)
     chooser = _QueryChooser(pool, profile.repeat_rate, rng)
+    stamper = _ClassStamper(profile, rng)
     if profile.rate_qps > 0:
         gaps = rng.exponential(1000.0 / profile.rate_qps, size=profile.n_requests)
         arrivals = np.cumsum(gaps)
     else:
         arrivals = np.zeros(profile.n_requests)
-    return [
-        TimedRequest(text=chooser.next(), arrival_ms=float(arrival))
-        for arrival in arrivals
-    ]
+    requests: List[TimedRequest] = []
+    for seq, arrival in enumerate(arrivals):
+        text = chooser.next()
+        priority, deadline = stamper.stamp(float(arrival))
+        requests.append(TimedRequest(
+            text=text,
+            arrival_ms=float(arrival),
+            priority=priority,
+            deadline_ms=deadline,
+            seq=seq,
+        ))
+    return requests
 
 
 class ClosedLoopTraffic:
     """A think-time stream paced by the service's completions.
 
-    The service pulls from this object: :meth:`next_text` hands out the
-    next request (``None`` once the budget is spent, retiring that
-    user), and :meth:`think` draws the exponential pause before a user
-    re-issues.  :meth:`reset` rewinds to the same deterministic stream.
+    The service pulls from this object: :meth:`next_request` hands out
+    the next request stamped with its class and deadline (``None`` once
+    the budget is spent, retiring that user), and :meth:`think` draws
+    the exponential pause before a user re-issues.  :meth:`reset`
+    rewinds to the same deterministic stream.
     """
 
     def __init__(self, pool: Sequence[str], profile: TrafficProfile):
@@ -144,6 +227,7 @@ class ClosedLoopTraffic:
         self._chooser = _QueryChooser(
             self._pool, self.profile.repeat_rate, self._rng
         )
+        self._stamper = _ClassStamper(self.profile, self._rng)
         self._issued = 0
 
     def first_arrival(self, user: int) -> float:
@@ -155,8 +239,27 @@ class ClosedLoopTraffic:
             return 0.0
         return float(self._rng.exponential(self.profile.think_ms))
 
-    def next_text(self) -> Optional[str]:
+    def next_request(self, arrival_ms: float) -> Optional[TimedRequest]:
+        """The next request, arriving at ``arrival_ms`` on the service clock.
+
+        Stamps the class draw and the class's absolute deadline; returns
+        ``None`` once the stream's budget is spent (retiring the user).
+        """
         if self._issued >= self.profile.n_requests:
             return None
+        seq = self._issued
         self._issued += 1
-        return self._chooser.next()
+        text = self._chooser.next()
+        priority, deadline = self._stamper.stamp(arrival_ms)
+        return TimedRequest(
+            text=text,
+            arrival_ms=arrival_ms,
+            priority=priority,
+            deadline_ms=deadline,
+            seq=seq,
+        )
+
+    def next_text(self) -> Optional[str]:
+        """The next query text alone (legacy callers; same stream)."""
+        request = self.next_request(0.0)
+        return request.text if request is not None else None

@@ -1,0 +1,226 @@
+"""The saturation gate's verdict machinery, without running the bench.
+
+The four-collection overload benchmark itself is tier-2
+(``scripts/bench.sh saturate``); here we pin down the checking logic —
+the ``--check`` comparator (exact shed-fraction drift, banded p99), the
+baseline error handling and exit codes, and the report printer —
+against fabricated reports, mirroring the serve-gate self-tests.
+"""
+
+import json
+from types import SimpleNamespace
+
+import repro.bench.saturate as saturate_bench
+from repro.bench.saturate import (
+    _check_invariance,
+    _print_report,
+    compare_reports,
+)
+
+
+def served_row(text, ranking, outcome="miss"):
+    return SimpleNamespace(
+        text=text, outcome=outcome, result=SimpleNamespace(ranking=ranking)
+    )
+
+
+def worker_cell(p99=800.0, shed_fraction=0.25, goodput=40.0):
+    return {
+        "name": "w2",
+        "offered": 120,
+        "admitted": 90,
+        "shed_queue_full": 25,
+        "shed_deadline": 5,
+        "shed_fraction": shed_fraction,
+        "goodput_qps": goodput,
+        "makespan_ms": 2250.0,
+        "waves": 12,
+        "workers": 2,
+        "queue_limit": 32,
+        "latency": {"count": 90, "mean_ms": 300.0, "p50_ms": 250.0,
+                    "p95_ms": 700.0, "p99_ms": p99, "max_ms": p99},
+        "per_class": {},
+    }
+
+
+def make_report(ok=True, p99=800.0, shed_fraction=0.25):
+    cell = {
+        "config": "mneme-cache",
+        "shards": 2,
+        "max_batch": 8,
+        "queue_limit": 32,
+        "mean_service_ms": 40.0,
+        "max_service_ms": 90.0,
+        "traffic": {"n_requests": 120, "rate_qps": 600.0, "repeat_rate": 0.0,
+                    "deadline_ms": 320.0, "batch_fraction": 0.3,
+                    "batch_deadline_ms": 640.0, "seed": 41},
+        "p99_bound_ms": {"1": 2000.0, "2": 1500.0, "4": 1200.0},
+        "workers": {
+            "1": worker_cell(p99=1.5 * p99, shed_fraction=0.4, goodput=20.0),
+            "2": worker_cell(p99=p99, shed_fraction=shed_fraction),
+            "4": worker_cell(p99=0.7 * p99, shed_fraction=0.1, goodput=80.0),
+        },
+        "deterministic": True,
+        "shard_skew": 1.02,
+        "uncontrolled": {"p99_ms": 5.0 * p99, "max_ms": 6.0 * p99,
+                         "throughput_qps": 30.0},
+        "violations": [] if ok else ["w2: shed fraction is zero"],
+        "ok": ok,
+    }
+    return {
+        "benchmark": "saturate",
+        "config": "mneme-cache",
+        "profiles": {"cacm-s": cell},
+        "ok": ok,
+    }
+
+
+# -- invariance comparator ------------------------------------------------
+
+def test_invariance_passes_on_identical_rankings():
+    reference = {"q1": [(1, 0.5)], "q2": [(2, 0.4)]}
+    report = SimpleNamespace(served=[
+        served_row("q1", [(1, 0.5)]),
+        served_row("q2", [(2, 0.4)]),
+    ])
+    violations = []
+    assert _check_invariance(report, reference, "w2", violations) == 0
+    assert violations == []
+
+
+def test_invariance_catches_any_divergence():
+    reference = {"q1": [(1, 0.5)]}
+    report = SimpleNamespace(served=[served_row("q1", [(1, 0.5000001)])])
+    violations = []
+    assert _check_invariance(report, reference, "w2", violations) == 1
+    assert "w2" in violations[0] and "'q1'" in violations[0]
+
+
+def test_invariance_summarizes_mass_failures():
+    reference = {"q": [(1, 0.5)]}
+    report = SimpleNamespace(
+        served=[served_row("q", [(1, 0.6)]) for _ in range(10)]
+    )
+    violations = []
+    assert _check_invariance(report, reference, "w1", violations) == 10
+    assert len(violations) == 4
+    assert "10 admitted rankings diverged" in violations[-1]
+
+
+# -- the --check comparator -----------------------------------------------
+
+def test_compare_identical_reports_pass():
+    baseline = make_report(ok=True)
+    assert compare_reports(make_report(ok=True), baseline) == []
+
+
+def test_compare_rejects_any_shed_fraction_drift():
+    baseline = make_report(ok=True, shed_fraction=0.25)
+    current = make_report(ok=True, shed_fraction=0.2501)
+    failures = compare_reports(current, baseline)
+    assert len(failures) == 1
+    assert "shed fraction drifted" in failures[0]
+    assert "cacm-s/w2" in failures[0]
+
+
+def test_compare_bands_p99_regressions():
+    baseline = make_report(ok=True, p99=800.0)
+    within = make_report(ok=True, p99=850.0)     # +6.25% < 10% band
+    assert compare_reports(within, baseline) == []
+    beyond = make_report(ok=True, p99=900.0)     # +12.5% > 10% band
+    failures = compare_reports(beyond, baseline)
+    assert any("p99" in failure for failure in failures)
+    improved = make_report(ok=True, p99=500.0)   # improvements always pass
+    assert compare_reports(improved, baseline) == []
+
+
+def test_compare_fails_on_missing_profile_or_worker_point():
+    baseline = make_report(ok=True)
+    empty = {"benchmark": "saturate", "profiles": {}, "ok": True}
+    failures = compare_reports(empty, baseline)
+    assert failures == ["cacm-s: missing from the current run"]
+
+    partial = make_report(ok=True)
+    del partial["profiles"]["cacm-s"]["workers"]["4"]
+    failures = compare_reports(partial, baseline)
+    assert any("w4" in failure and "missing" in failure for failure in failures)
+
+
+def test_compare_surfaces_current_violations():
+    baseline = make_report(ok=True)
+    broken = make_report(ok=False)
+    failures = compare_reports(broken, baseline)
+    assert any("shed fraction is zero" in failure for failure in failures)
+
+
+# -- printer --------------------------------------------------------------
+
+def test_print_report_smoke(capsys):
+    _print_report(make_report(ok=True))
+    out = capsys.readouterr().out
+    assert "cacm-s" in out
+    assert "w=1" in out and "w=4" in out
+    assert "uncontrolled" in out
+    assert "deterministic: True" in out
+
+    _print_report(make_report(ok=False))
+    assert "VIOLATION" in capsys.readouterr().out
+
+
+# -- exit codes -----------------------------------------------------------
+
+def _patch_run(monkeypatch, report):
+    def fake_run(profiles, config_name, n_requests, shards, out_path=None):
+        if out_path is not None:
+            out_path.write_text(json.dumps(report) + "\n")
+        return report
+
+    monkeypatch.setattr(saturate_bench, "run_benchmark", fake_run)
+
+
+def test_main_exit_codes_without_check(tmp_path, monkeypatch):
+    out = tmp_path / "BENCH_saturate.json"
+    _patch_run(monkeypatch, make_report(ok=True))
+    assert saturate_bench.main(["--out", str(out)]) == 0
+    assert json.loads(out.read_text())["ok"] is True
+
+    _patch_run(monkeypatch, make_report(ok=False))
+    assert saturate_bench.main(["--out", str(out)]) == 1
+
+
+def test_check_passes_and_fails_against_baseline(tmp_path, monkeypatch):
+    baseline_path = tmp_path / "BENCH_saturate.json"
+    baseline_path.write_text(json.dumps(make_report(ok=True)) + "\n")
+
+    _patch_run(monkeypatch, make_report(ok=True))
+    assert saturate_bench.main(
+        ["--check", "--baseline", str(baseline_path)]
+    ) == 0
+
+    _patch_run(monkeypatch, make_report(ok=True, shed_fraction=0.3))
+    assert saturate_bench.main(
+        ["--check", "--baseline", str(baseline_path)]
+    ) == 1
+
+
+def test_check_missing_baseline_is_operator_error(tmp_path, monkeypatch, capsys):
+    _patch_run(monkeypatch, make_report(ok=True))
+    missing = tmp_path / "nope.json"
+    assert saturate_bench.main(["--check", "--baseline", str(missing)]) == 2
+    out = capsys.readouterr().out
+    assert "no baseline" in out
+    assert "\n" not in out.strip()  # a one-line diagnosis, not a traceback
+
+
+def test_check_unparsable_baseline_is_operator_error(
+    tmp_path, monkeypatch, capsys
+):
+    _patch_run(monkeypatch, make_report(ok=True))
+    mangled = tmp_path / "BENCH_saturate.json"
+    mangled.write_text("{not json")
+    assert saturate_bench.main(["--check", "--baseline", str(mangled)]) == 2
+    assert "not valid JSON" in capsys.readouterr().out
+
+    mangled.write_text(json.dumps({"benchmark": "saturate"}))
+    assert saturate_bench.main(["--check", "--baseline", str(mangled)]) == 2
+    assert "not a saturate report" in capsys.readouterr().out

@@ -64,6 +64,31 @@ def test_transaction_errors_are_mneme_errors():
     assert issubclass(LockConflictError, TransactionAborted)
 
 
+def test_shed_errors_are_service_unavailable():
+    from repro.errors import (
+        DeadlineExceededError,
+        RequestSheddedError,
+        ServiceUnavailableError,
+    )
+
+    assert issubclass(RequestSheddedError, ServiceUnavailableError)
+    assert issubclass(DeadlineExceededError, RequestSheddedError)
+    shed = RequestSheddedError(
+        reason="queue-full", query="#sum( a b )", priority="batch"
+    )
+    assert shed.reason == "queue-full"
+    assert shed.priority == "batch"
+    assert "#sum( a b )" in str(shed)
+    assert "queue-full" in str(shed)
+    expired = DeadlineExceededError(
+        query="#sum( a )", priority="interactive",
+        deadline_ms=12.5, now_ms=20.0,
+    )
+    assert expired.deadline_ms == 12.5
+    assert expired.now_ms == 20.0
+    assert "12.500" in str(expired) and "20.000" in str(expired)
+
+
 def test_one_catch_all_at_the_api_boundary():
     """A caller can guard any library call with one except clause."""
     from repro.inquery import parse_query

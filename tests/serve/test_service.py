@@ -116,6 +116,43 @@ def test_degraded_results_served_but_never_cached(prepared, config, pool):
     assert service.stats.degraded_served == len(report.served)
 
 
+def test_shed_requests_never_touch_the_cache(prepared, config, pool):
+    # Admission hygiene: a shed request is refused before normalization,
+    # so it can neither insert a result nor even register a lookup —
+    # cache state and stats are exactly what the admitted request left.
+    service = QueryService(
+        materialize(prepared, config), max_batch=1, queue_limit=1
+    )
+    report = service.process(burst(pool[:5]), name="shed-hygiene")
+    assert len(report.shed) == 4
+    assert len(service.cache) == 1        # only the admitted request's entry
+    assert service.cache.stats.lookups == 1
+    assert service.cache.stats.insertions == 1
+    shed_keys = {service.key_of(row.text) for row in report.shed}
+    resident = shed_keys - {service.key_of(report.served[0].text)}
+    for key in resident:
+        assert key not in service.cache  # __contains__ does not count
+
+
+def test_deadline_expired_requests_never_touch_the_cache(prepared, config, pool):
+    service = QueryService(materialize(prepared, config), max_batch=1)
+    requests = [
+        TimedRequest(text=pool[0], arrival_ms=0.0, seq=0),
+        TimedRequest(text=pool[1], arrival_ms=0.0, deadline_ms=0.001, seq=1),
+        TimedRequest(text=pool[2], arrival_ms=0.0, deadline_ms=0.001, seq=2),
+    ]
+    report = service.process(requests, name="expiry-hygiene")
+    assert len(report.shed) == 2
+    assert all(row.reason == "deadline" for row in report.shed)
+    assert len(service.cache) == 1
+    assert service.cache.stats.lookups == 1
+    assert service.cache.stats.insertions == 1
+    # A later identical query is a genuine miss: nothing was pre-warmed
+    # on the expired requests' behalf.
+    service.serve_one(pool[1])
+    assert service.stats.cache_hits == 0
+
+
 def test_close_makes_service_unavailable(prepared, config, pool):
     service = QueryService(materialize(prepared, config))
     service.serve_one(pool[0])
