@@ -22,6 +22,12 @@
 #                               # BENCH_saturate.json at the root. Extra args
 #                               # pass through, e.g.
 #                               #   scripts/bench.sh saturate --check
+#   scripts/bench.sh failover   # replication gate: every single-replica
+#                               # kill invisible, re-replication
+#                               # byte-identical, mid-traffic 2->4 split;
+#                               # writes BENCH_failover.json at the root.
+#                               # Extra args pass through, e.g.
+#                               #   scripts/bench.sh failover --check
 #   scripts/bench.sh prune      # dynamic-pruning invariance + effect gate
 #                               # (pruned top-k bit-identical to exhaustive,
 #                               # documents_scored reduced); writes
@@ -51,6 +57,10 @@ case "${1:-all}" in
     saturate)
         shift 2>/dev/null || true
         python -m repro.bench.saturate "$@"
+        ;;
+    failover)
+        shift 2>/dev/null || true
+        python -m repro.bench.failover "$@"
         ;;
     prune)
         shift 2>/dev/null || true

@@ -1,0 +1,518 @@
+"""Failover gate: replication must be observationally invisible.
+
+The replication layer's whole contract is negative — with ``R`` mirrors
+per shard, no single replica failure may change anything a client can
+observe.  For each collection profile this gate checks, on simulated
+time:
+
+* **kill matrix** — at every ``N ∈ {2, 4} × R ∈ {1, 2}``, killing each
+  ``(shard, replica)`` in turn with a dead-disk fault plan leaves every
+  TAAT ranking bit-identical to the cold single-disk reference, with
+  ``completeness == 1.0`` and zero degraded queries (the DAAT engine is
+  spot-checked on its flat query subset);
+* **R=0 control** — the same kill without replication degrades a
+  deterministic, nonzero number of queries (PR 3/4 semantics), which is
+  the baseline replication is measured against;
+* **re-replication** — a lost mirror rebuilt live from its survivor is
+  byte-identical platter-for-platter, the copy is charged to the
+  source's simulated clock, and the healed group serves with no further
+  failovers;
+* **determinism** — two fresh builds through the same kill, failover,
+  and re-replication produce byte-identical traces (served-by maps,
+  failover events, replica busy ledgers);
+* **mid-traffic split** — a live 2 -> 4 rebalance under the serving
+  layer: every request before and after the cutover matches the
+  single-disk reference, the child platters are byte-identical to a
+  stop-the-world N=4 build, the result cache is invalidated exactly
+  once, and a pre-split cached query is re-evaluated (a "miss") on its
+  first post-split occurrence.
+
+Everything is simulated and seeded, so the whole report is a pure
+function of the code: ``--check`` gates every deterministic cell by
+exact equality against the committed baseline.
+
+Run it directly::
+
+    PYTHONPATH=src python -m repro.bench.failover             # write baseline
+    PYTHONPATH=src python -m repro.bench.failover --check     # gate a change
+
+(or ``scripts/bench.sh failover``).  Writes ``BENCH_failover.json``;
+exit status 0 on pass, 1 on violation or drift, 2 on operator error
+(missing/unreadable baseline).
+"""
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import config_by_name
+from ..core.metrics import cold_start
+from ..core.prepared import materialize, prepare_collection
+from ..faults.plan import FaultPlan
+from ..inquery.daat import DocumentAtATimeEngine
+from ..inquery.engine import DEFAULT_TOP_K, RetrievalEngine
+from ..serve import QueryService
+from ..shard import measure_sharded_run, split_shards
+from ..synth import PROFILES, SyntheticCollection, generate_query_set
+from ..synth.traffic import TimedRequest
+from .runner import PROFILE_ORDER
+from .wallclock import _daat_queries, _query_profiles
+
+DEFAULT_CONFIG = "mneme-cache"
+#: Queries per profile (keeps the 30-run kill matrix affordable).
+DEFAULT_QUERIES = 8
+SHARD_COUNTS = (2, 4)
+REPLICA_COUNTS = (1, 2)
+
+
+def _reference(prepared, config, pool: Sequence[str], engine: str = "taat"):
+    """Cold single-disk rankings: the identity target for every cell."""
+    system = materialize(prepared, config)
+    cold_start(system)
+    if engine == "daat":
+        runner = DocumentAtATimeEngine(
+            system.index, top_k=DEFAULT_TOP_K,
+            use_reservation=config.use_reservation,
+            use_fastpath=config.use_fastpath,
+        )
+    else:
+        runner = RetrievalEngine(
+            system.index, top_k=DEFAULT_TOP_K,
+            use_reservation=config.use_reservation,
+            use_fastpath=config.use_fastpath,
+        )
+    return {text: runner.run_query(text).ranking for text in dict.fromkeys(pool)}
+
+
+def _reset_victim(sharded, shard_id: int, replica_id: int) -> None:
+    """Detach the kill and revive the victim so the build can be reused."""
+    sharded.fault_shard(shard_id, None, replica_id=replica_id)
+    sharded.mark_up(shard_id, replica_id=replica_id)
+
+
+def _trace(metrics) -> dict:
+    """The deterministic failover trace of one run, JSON-comparable."""
+    return {
+        "failovers": metrics.failovers,
+        "served_by": [
+            {str(k): v for k, v in round.items()} for round in metrics.served_by
+        ],
+        "replica_busy_ms": {
+            f"{s}/{r}": round_ms
+            for (s, r), round_ms in sorted(metrics.replica_busy_ms.items())
+        },
+        "replicas_down": [list(pair) for pair in metrics.replicas_down],
+        "rankings": [
+            [[doc, round(belief, 12)] for doc, belief in r.ranking]
+            for r in metrics.results
+        ],
+    }
+
+
+def bench_profile(
+    profile_name: str,
+    config_name: str = DEFAULT_CONFIG,
+    n_queries: int = DEFAULT_QUERIES,
+) -> dict:
+    """The full replication contract for one collection profile."""
+    violations: List[str] = []
+    collection = SyntheticCollection(PROFILES[profile_name])
+    prepared = prepare_collection(collection)
+    query_set = generate_query_set(
+        collection, _query_profiles(profile_name)[0]
+    )
+    queries = query_set.queries[:n_queries]
+    daat_pool = _daat_queries(query_set.queries)[: max(2, n_queries // 2)]
+    config = config_by_name(config_name)
+    reference = _reference(prepared, config, queries)
+    daat_reference = _reference(prepared, config, daat_pool, engine="daat")
+
+    def build(n_shards: int, replicas: int):
+        return materialize(
+            prepared, config, shards=n_shards, replicas=replicas
+        )
+
+    # -- R=0 control: the same kill without replication degrades ---------
+    def degraded_run():
+        sharded = build(2, 0)
+        sharded.fault_shard(0, FaultPlan.dead_disk(label="s0/r0"))
+        metrics = measure_sharded_run(sharded, queries)
+        return metrics.degraded_queries, [r.ranking for r in metrics.results]
+
+    r0_degraded, r0_rankings = degraded_run()
+    r0_again = degraded_run()
+    if r0_degraded == 0:
+        violations.append(
+            "control: the R=0 dead-disk run degraded nothing — the kill "
+            "is not reaching the disk, so the matrix proves nothing"
+        )
+    if (r0_degraded, r0_rankings) != r0_again:
+        violations.append("control: R=0 degradation is not deterministic")
+
+    # -- the kill matrix -------------------------------------------------
+    kill_matrix: Dict[str, dict] = {}
+    for n_shards in SHARD_COUNTS:
+        for replicas in REPLICA_COUNTS:
+            sharded = build(n_shards, replicas)
+            victims = clean = failovers = 0
+            for shard_id in range(n_shards):
+                for replica_id in range(replicas + 1):
+                    victims += 1
+                    sharded.fault_shard(
+                        shard_id,
+                        FaultPlan.dead_disk(label=f"s{shard_id}/r{replica_id}"),
+                        replica_id=replica_id,
+                    )
+                    metrics = measure_sharded_run(sharded, queries)
+                    failovers += len(metrics.failovers)
+                    ok = (
+                        metrics.degraded_queries == 0
+                        and all(r.completeness == 1.0 for r in metrics.results)
+                        and [r.ranking for r in metrics.results]
+                        == [reference[text] for text in queries]
+                    )
+                    clean += ok
+                    if not ok:
+                        violations.append(
+                            f"N={n_shards} R={replicas}: killing shard "
+                            f"{shard_id} replica {replica_id} was observable "
+                            f"({metrics.degraded_queries} degraded)"
+                        )
+                    _reset_victim(sharded, shard_id, replica_id)
+            kill_matrix[f"N{n_shards}xR{replicas}"] = {
+                "victims": victims,
+                "clean": clean,
+                "failovers": failovers,
+            }
+
+    # DAAT spot check: dead primary, flat queries, same contract.
+    sharded = build(2, 1)
+    sharded.fault_shard(0, FaultPlan.dead_disk(label="s0/r0"))
+    daat_metrics = measure_sharded_run(sharded, daat_pool, engine="daat")
+    daat_ok = (
+        daat_metrics.degraded_queries == 0
+        and [r.ranking for r in daat_metrics.results]
+        == [daat_reference[text] for text in daat_pool]
+    )
+    if not daat_ok:
+        violations.append("daat: failover changed a flat-query ranking")
+
+    # -- re-replication ---------------------------------------------------
+    def heal_run():
+        sharded = build(2, 1)
+        sharded.fault_shard(0, FaultPlan.dead_disk(label="s0/r0"))
+        killed = measure_sharded_run(sharded, queries)
+        healed = sharded.rereplicate(0, 0)
+        identical = (
+            sharded.replica(0, 0).fs.disk._blocks
+            == sharded.replica(0, 1).fs.disk._blocks
+        )
+        after = measure_sharded_run(sharded, queries)
+        return killed, healed, identical, after
+
+    killed, healed, identical, after = heal_run()
+    if not identical:
+        violations.append("heal: rebuilt mirror is not byte-identical")
+    if healed["source_scan_ms"] <= 0.0:
+        violations.append("heal: the copy charged nothing to the source clock")
+    if after.failovers or after.degraded_queries:
+        violations.append("heal: the healed group still fails over")
+    rereplication = {
+        "blocks_scanned": healed["blocks_scanned"],
+        "source_replica": healed["source_replica"],
+        "byte_identical": identical,
+        "post_heal_failovers": len(after.failovers),
+    }
+
+    # -- determinism: the full trace, twice, from fresh builds ------------
+    killed_b, healed_b, identical_b, after_b = heal_run()
+    trace_a = json.dumps(
+        [_trace(killed), healed, identical, _trace(after)], sort_keys=True
+    )
+    trace_b = json.dumps(
+        [_trace(killed_b), healed_b, identical_b, _trace(after_b)],
+        sort_keys=True,
+    )
+    deterministic = trace_a == trace_b
+    if not deterministic:
+        violations.append(
+            "determinism: two identical kill/failover/heal runs produced "
+            "different traces"
+        )
+
+    # -- mid-traffic 2 -> 4 split under the serving layer -----------------
+    service = QueryService(build(2, 1), engine="taat", workers=2)
+    half = max(1, len(queries) // 2)
+    pre = service.process(
+        [TimedRequest(text=t, arrival_ms=0.0, seq=i)
+         for i, t in enumerate(queries[:half])],
+        name="pre-split",
+    )
+    report = service.rebalance(factor=2)
+    # First post-split occurrence of an already-cached text must be a
+    # genuine miss: the epoch bump forbids serving pre-split entries.
+    replay = queries[0]
+    post_texts = [replay] + queries[half:]
+    post = service.process(
+        [TimedRequest(text=t, arrival_ms=0.0, seq=i)
+         for i, t in enumerate(post_texts)],
+        name="post-split",
+    )
+    rows_ok = all(
+        row.result.ranking == reference[row.text]
+        for run in (pre, post) for row in run.served
+    )
+    if not rows_ok:
+        violations.append("split: a served ranking diverged across the cutover")
+    outcomes = {row.text: row.outcome for row in post.served}
+    post_split_miss = outcomes.get(replay) == "miss"
+    if not post_split_miss:
+        violations.append(
+            f"split: pre-split cache entry for {replay!r} leaked through "
+            f"the cutover (outcome {outcomes.get(replay)!r})"
+        )
+    invalidations = service.cache.stats.invalidations
+    if invalidations != 1:
+        violations.append(
+            f"split: expected exactly 1 cache invalidation, saw {invalidations}"
+        )
+    fresh = materialize(prepared, config, shards=4)
+    platters_match = all(
+        service.backend.replica(s, 0).fs.disk._blocks
+        == fresh.shards[s].fs.disk._blocks
+        for s in range(4)
+    )
+    if not platters_match:
+        violations.append(
+            "split: a child platter differs from the stop-the-world N=4 build"
+        )
+    split_cell = {
+        "records_streamed": report.records_streamed,
+        "postings_moved": report.postings_moved,
+        "mirrors_verified": report.mirrors_verified,
+        "epoch": report.epoch,
+        "platters_match_fresh": platters_match,
+        "cache_invalidations": invalidations,
+        "post_split_miss": post_split_miss,
+        "rows_identical": rows_ok,
+    }
+
+    return {
+        "config": config_name,
+        "queries": len(queries),
+        "daat_queries": len(daat_pool),
+        "r0_control": {
+            "degraded_queries": r0_degraded,
+            "deterministic": (r0_degraded, r0_rankings) == r0_again,
+        },
+        "kill_matrix": kill_matrix,
+        "daat_failover_clean": daat_ok,
+        "rereplication": rereplication,
+        "deterministic": deterministic,
+        "split": split_cell,
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
+def run_benchmark(
+    profiles: Optional[List[str]] = None,
+    config_name: str = DEFAULT_CONFIG,
+    n_queries: int = DEFAULT_QUERIES,
+    out_path: Optional[Path] = None,
+) -> dict:
+    report = {
+        "benchmark": "failover",
+        "description": (
+            "Replicated serving on simulated time: every single-replica "
+            "kill across N ∈ {2,4} × R ∈ {1,2} leaves rankings "
+            "bit-identical to the cold single-disk reference with zero "
+            "degraded queries (while the R=0 control degrades "
+            "deterministically), live re-replication rebuilds "
+            "byte-identical platters on the source's clock, failover "
+            "traces are byte-identical across same-seed runs, and a "
+            "mid-traffic 2 -> 4 split is observationally invisible with "
+            "exactly one cache-epoch invalidation."
+        ),
+        "config": config_name,
+        "profiles": {},
+        "ok": True,
+    }
+    for profile_name in profiles or list(PROFILE_ORDER):
+        cell = bench_profile(profile_name, config_name, n_queries)
+        report["profiles"][profile_name] = cell
+        report["ok"] = report["ok"] and cell["ok"]
+    if out_path is not None:
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+#: Per-profile report keys gated by exact equality in ``--check`` — all
+#: pure functions of the seeded, simulated run.
+DETERMINISTIC_KEYS = (
+    "queries",
+    "daat_queries",
+    "r0_control",
+    "kill_matrix",
+    "daat_failover_clean",
+    "rereplication",
+    "deterministic",
+    "split",
+)
+
+
+def compare_reports(current: dict, baseline: dict) -> List[str]:
+    """Drift of ``current`` against ``baseline`` (empty = pass).
+
+    Everything this gate measures is deterministic, so the comparison
+    is exact equality per cell — any drift at all is a behavior change.
+    """
+    failures: List[str] = []
+    for profile_name, base_cell in baseline.get("profiles", {}).items():
+        cell = current.get("profiles", {}).get(profile_name)
+        if cell is None:
+            failures.append(f"{profile_name}: missing from the current run")
+            continue
+        if not cell.get("ok", False):
+            for violation in cell.get("violations", ["violations recorded"]):
+                failures.append(f"{profile_name}: {violation}")
+        for key in DETERMINISTIC_KEYS:
+            if cell.get(key) != base_cell.get(key):
+                failures.append(
+                    f"{profile_name}: {key} drifted from "
+                    f"{base_cell.get(key)!r} to {cell.get(key)!r}"
+                )
+    return failures
+
+
+def _print_report(report: dict) -> None:
+    for name, cell in report["profiles"].items():
+        print(f"{name} ({cell['config']}, {cell['queries']} queries):")
+        for grid, row in cell["kill_matrix"].items():
+            print(
+                f"  {grid}: {row['clean']}/{row['victims']} kills invisible, "
+                f"{row['failovers']} failovers absorbed"
+            )
+        control = cell["r0_control"]
+        print(
+            f"  R=0 control: {control['degraded_queries']} degraded "
+            f"(deterministic: {control['deterministic']})"
+        )
+        heal = cell["rereplication"]
+        print(
+            f"  re-replication: {heal['blocks_scanned']} blocks from "
+            f"replica {heal['source_replica']}, byte-identical: "
+            f"{heal['byte_identical']}"
+        )
+        split = cell["split"]
+        print(
+            f"  split 2->4: {split['records_streamed']} records streamed, "
+            f"platters match fresh build: {split['platters_match_fresh']}, "
+            f"cache invalidations: {split['cache_invalidations']}"
+        )
+        print(f"  trace deterministic: {cell['deterministic']}")
+        for violation in cell["violations"]:
+            print(f"  VIOLATION: {violation}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile", action="append", dest="profiles", choices=PROFILE_ORDER,
+        help="collection profile to benchmark (repeatable; default: all four)",
+    )
+    parser.add_argument("--config", default=DEFAULT_CONFIG)
+    parser.add_argument(
+        "--queries", type=int, default=DEFAULT_QUERIES,
+        help="queries per profile run (default 8)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output JSON path (default ./BENCH_failover.json; "
+        "not written in --check mode unless given explicitly)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline instead of writing it; "
+        "exit non-zero on drift or violation",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=Path("BENCH_failover.json"),
+        help="baseline JSON to gate against (with --check)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        try:
+            baseline = json.loads(args.baseline.read_text())
+        except FileNotFoundError:
+            print(f"no baseline at {args.baseline}; run without --check first")
+            return 2
+        except OSError as error:
+            print(
+                f"cannot read baseline {args.baseline}: "
+                f"{error.strerror or error}"
+            )
+            return 2
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            print(
+                f"baseline {args.baseline} is not valid JSON ({error}); "
+                "regenerate it by running without --check"
+            )
+            return 2
+        if not isinstance(baseline, dict) or "profiles" not in baseline:
+            print(
+                f"baseline {args.baseline} is not a failover report "
+                "(no 'profiles' key); regenerate it by running without --check"
+            )
+            return 2
+        if args.profiles:
+            # A restricted run gates only the profiles it executed; the
+            # baseline must still know about every one of them.
+            missing = [
+                name for name in args.profiles
+                if name not in baseline["profiles"]
+            ]
+            if missing:
+                print(
+                    f"baseline {args.baseline} lacks profile(s) "
+                    f"{', '.join(missing)}; regenerate it by running "
+                    "without --check"
+                )
+                return 2
+            baseline = dict(
+                baseline,
+                profiles={
+                    name: baseline["profiles"][name]
+                    for name in args.profiles
+                },
+            )
+        report = run_benchmark(
+            args.profiles, args.config, args.queries, args.out
+        )
+        _print_report(report)
+        failures = compare_reports(report, baseline)
+        if failures:
+            print("\nFAILOVER GATE FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("\nfailover gate passed (every cell equal to the baseline)")
+        return 0
+
+    out_path = args.out if args.out is not None else Path("BENCH_failover.json")
+    report = run_benchmark(args.profiles, args.config, args.queries, out_path)
+    _print_report(report)
+    if not report["ok"]:
+        print("\nFAILOVER GATE FAILED")
+        return 1
+    print(
+        "\nfailover gate passed (every single-replica kill invisible; "
+        "re-replication byte-identical; mid-traffic split invisible)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

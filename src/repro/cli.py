@@ -17,7 +17,9 @@ self-contained and deterministic):
 * ``shards``   — document-partitioned scaling and invariance benchmark;
 * ``serve``    — concurrent batch query service traffic benchmark;
 * ``saturate`` — overload-control gate: deterministic shedding past capacity;
-* ``prune``    — dynamic-pruning invariance and speedup benchmark.
+* ``prune``    — dynamic-pruning invariance and speedup benchmark;
+* ``failover`` — replication gate: single-replica kills invisible, live
+  re-replication byte-identical, mid-traffic 2→4 shard split.
 
 ``demo`` additionally accepts ``--shards N`` (with ``--partitioner``) to
 serve the queries from an N-machine document-partitioned build instead
@@ -100,6 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--partitioner", default="hash", choices=("hash", "range"),
         help="document partitioning scheme for --shards",
+    )
+    demo.add_argument(
+        "--replicas", type=int, default=0, metavar="R",
+        help="with --shards: byte-identical mirror machines per shard "
+             "(failover is automatic and observationally invisible)",
     )
     demo.add_argument(
         "--serve", action="store_true",
@@ -222,6 +229,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "TIPSTER profiles")
     prune.add_argument("--out", default=None, help="write the JSON report here")
 
+    failover = commands.add_parser(
+        "failover", help="replication gate: kills invisible, re-replication "
+                         "byte-identical, mid-traffic 2->4 split"
+    )
+    failover.add_argument("--profile", action="append", dest="profiles",
+                          help="collection profile (repeatable; default: "
+                               "all four)")
+    failover.add_argument("--config", default="mneme-cache")
+    failover.add_argument("--queries", type=int, default=8,
+                          help="queries per profile run")
+    failover.add_argument("--check", action="store_true",
+                          help="gate against the committed BENCH_failover.json")
+    failover.add_argument("--out", default=None,
+                          help="write the JSON report here")
+
     return parser
 
 
@@ -265,6 +287,9 @@ def cmd_demo(args) -> int:
     if args.rate < 0 or args.deadline < 0:
         print("--rate and --deadline must be non-negative", file=sys.stderr)
         return 2
+    if args.replicas and not (args.shards and args.shards > 1):
+        print("--replicas requires --shards N (N > 1)", file=sys.stderr)
+        return 2
     print(f"Building {args.profile!r} on {args.config!r} ...")
     workload = load_workload(args.profile)
     if args.serve:
@@ -273,12 +298,18 @@ def cmd_demo(args) -> int:
         sharded = materialize(
             workload.prepared, config_by_name(args.config),
             shards=args.shards, partitioner=args.partitioner,
+            replicas=args.replicas,
         )
         scheduler = sharded.scheduler(
             top_k=args.top_k, engine="daat" if args.daat else "taat",
             prune=args.prune,
         )
         outcome = scheduler.run_batch(list(args.queries))
+        if args.replicas:
+            print(
+                f"Replicated x{args.replicas}: replica health "
+                f"{sharded.replica_health()}"
+            )
         for q, result in enumerate(outcome.results):
             print(f"\nQuery: {result.query}")
             if not result.ranking:
@@ -334,6 +365,7 @@ def _demo_serve(args, workload) -> int:
         backend = materialize(
             workload.prepared, config_by_name(args.config),
             shards=args.shards, partitioner=args.partitioner,
+            replicas=args.replicas,
         )
     else:
         backend = materialize(workload.prepared, config_by_name(args.config))
@@ -658,6 +690,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out:
             argv2 += ["--out", args.out]
         return prune_main(argv2)
+    if args.command == "failover":
+        from .bench.failover import main as failover_main
+
+        argv2 = []
+        for profile in args.profiles or []:
+            argv2 += ["--profile", profile]
+        argv2 += ["--config", args.config]
+        argv2 += ["--queries", str(args.queries)]
+        if args.check:
+            argv2 += ["--check"]
+        if args.out:
+            argv2 += ["--out", args.out]
+        return failover_main(argv2)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -177,6 +177,7 @@ def materialize(
     fault_plan=None,
     shards: Optional[int] = None,
     partitioner: str = "hash",
+    replicas: int = 0,
 ):
     """Build one configuration's system on a fresh simulated machine.
 
@@ -189,7 +190,9 @@ def materialize(
     and Table 2 buffers) and a
     :class:`~repro.shard.system.ShardedIRSystem` is returned instead;
     ``partitioner`` selects the document partitioning scheme ("hash" or
-    "range") and ``fault_plan`` may then be a per-shard list.
+    "range"), ``replicas`` adds that many byte-identical mirror machines
+    per shard, and ``fault_plan`` may then be a per-shard list or a
+    mapping keyed by shard id / ``(shard, replica)``.
     """
     if shards is not None:
         from ..shard import materialize_sharded
@@ -200,7 +203,10 @@ def materialize(
             n_shards=shards,
             partitioner=partitioner,
             fault_plans=fault_plan,
+            replicas=replicas,
         )
+    if replicas:
+        raise ConfigError("replicas require a sharded build (set shards=)")
     clock = SimClock(cost=config.cost)
     fs = SimFileSystem(
         SimDisk(clock),

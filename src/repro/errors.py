@@ -43,13 +43,56 @@ class ShardUnavailableError(StorageError):
     and degrades the merged result (``completeness`` < 1) instead of
     failing the query.  It escapes to callers only when a shard is
     addressed directly.
+
+    ``replica_id`` identifies the mirror that failed when the error is
+    scoped to one replica of a replicated shard; it is ``None`` when the
+    whole shard (every replica) is unavailable.
     """
 
-    def __init__(self, shard_id: int, reason: str = ""):
+    def __init__(self, shard_id: int, reason: str = "", replica_id=None):
+        at = f" replica {replica_id}" if replica_id is not None else ""
         detail = f": {reason}" if reason else ""
-        super().__init__(f"shard {shard_id} is unavailable{detail}")
+        super().__init__(f"shard {shard_id}{at} is unavailable{detail}")
         self.shard_id = shard_id
+        self.replica_id = replica_id
         self.reason = reason
+
+
+class ReplicaFailedError(ShardUnavailableError):
+    """A specific replica of a shard failed or diverged.
+
+    Raised when a mirror platter fails byte-identity verification at
+    build or re-replication time, or when re-replication is requested
+    and no healthy source replica survives to stream from.  Failover
+    itself never raises this — the scheduler downgrades a failed replica
+    and retries the next healthy one — so seeing it means replication
+    *management*, not serving, went wrong.
+    """
+
+    def __init__(self, shard_id: int, replica_id: int, reason: str = ""):
+        super().__init__(shard_id, reason=reason, replica_id=replica_id)
+
+
+class RebalanceInProgressError(ReproError):
+    """A conflicting operation raced with a shard-split cutover.
+
+    Raised when re-replication or a second split is requested while a
+    rebalance is streaming records, and by stale schedulers whose
+    captured topology epoch no longer matches the backend after an
+    atomic cutover (``expected_epoch`` vs ``actual_epoch``).  Callers
+    rebuild their scheduler from the post-cutover backend and retry.
+    """
+
+    def __init__(self, reason: str = "", expected_epoch=None,
+                 actual_epoch=None):
+        detail = f": {reason}" if reason else ""
+        if expected_epoch is not None:
+            detail += (f" (scheduler epoch {expected_epoch}, "
+                       f"backend epoch {actual_epoch})")
+        super().__init__(f"rebalance conflict{detail}")
+        self.reason = reason
+        self.expected_epoch = expected_epoch
+        self.actual_epoch = actual_epoch
 
 
 class ServiceUnavailableError(ReproError):

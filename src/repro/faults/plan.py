@@ -139,8 +139,12 @@ class FaultPlan:
         self,
         events: Iterable[FaultEvent] = (),
         eligible_blocks: Optional[Set[int]] = None,
+        label: str = "",
     ):
         self.events: List[FaultEvent] = list(events)
+        #: Free-form tag naming the victim (e.g. ``"shard0/replica1"``),
+        #: surfaced by chaos harnesses and failover traces.
+        self.label = label
         #: Physical blocks the plan applies to (``None`` = every block).
         self.eligible_blocks = (
             None if eligible_blocks is None else set(eligible_blocks)
@@ -215,7 +219,7 @@ class FaultPlan:
 
     @classmethod
     def dead_disk(
-        cls, eligible_blocks: Optional[Set[int]] = None
+        cls, eligible_blocks: Optional[Set[int]] = None, label: str = ""
     ) -> "FaultPlan":
         """A plan under which every eligible read fails, forever.
 
@@ -228,6 +232,7 @@ class FaultPlan:
         return cls(
             [FaultEvent("transient-read", at_op=0, times=1 << 62, sticky=False)],
             eligible_blocks=eligible_blocks,
+            label=label,
         )
 
     # -- seeded generation --------------------------------------------------------

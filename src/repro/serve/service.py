@@ -171,9 +171,14 @@ class ServiceStats:
     admitted: int = 0         #: requests that made it into a wave
     shed_queue_full: int = 0  #: rejected at arrival, bounded queue full
     shed_deadline: int = 0    #: expired at wave formation
+    failovers: int = 0        #: replica failovers absorbed while serving
+    rebalances: int = 0       #: live topology cutovers (shard splits)
     #: Simulated busy milliseconds per shard, summed over every wave
     #: (sharded backends only) — the scheduler's ledger surfaced here.
     shard_busy_ms: Dict[int, float] = field(default_factory=dict)
+    #: Same ledger keyed by ``(shard, replica)`` — failed attempts stay
+    #: on the replica that burned them (replicated backends only).
+    replica_busy_ms: Dict[Tuple[int, int], float] = field(default_factory=dict)
 
     @property
     def shard_skew(self) -> float:
@@ -328,8 +333,11 @@ class QueryService:
             # into the first requests' latencies (and shield a faulted
             # disk from ever being read).
             if self.sharded:
-                for shard in backend.shards:
-                    cold_start(shard)
+                # Every replica, not just primaries: a failover must not
+                # land on a machine still warm from the build.
+                for group in backend.replica_groups:
+                    for machine in group:
+                        cold_start(machine)
                 backend.clock.reset()
             else:
                 cold_start(backend)
@@ -384,6 +392,33 @@ class QueryService:
         if self.cache is None:
             return 0
         return self.cache.invalidate(reason)
+
+    def rebalance(self, factor: int = 2):
+        """Split every shard into ``factor`` children, live.
+
+        Called between waves (the natural cutover boundary: nothing is
+        in flight).  The streaming copy reads from surviving replicas on
+        the simulated clock, the child platters are byte-identical to a
+        stop-the-world rebuild at the new shard count, and the result
+        cache epoch is bumped so no pre-split entry can ever be served
+        post-split — even though results are identical by construction,
+        a cached row must never outlive the topology that produced it.
+        Returns the :class:`~repro.shard.rebalance.SplitReport`.
+        """
+        self._check_open()
+        if not self.sharded:
+            raise ConfigError("rebalance requires a sharded backend")
+        from ..shard.rebalance import split_shards
+
+        report = split_shards(self.backend, factor=factor)
+        # The old scheduler is epoch-stale by design; build a fresh one
+        # against the new topology.
+        self._scheduler = self.backend.scheduler(
+            top_k=self.top_k, engine=self.engine, prune=self.prune
+        )
+        self.invalidate_cache("rebalance-cutover")
+        self.stats.rebalances += 1
+        return report
 
     # -- normalization -----------------------------------------------------
 
@@ -696,9 +731,14 @@ class QueryService:
                 ) from error
             self.stats.barriers += outcome.stats.barriers
             self.stats.busy_ms += sum(outcome.per_query_ms)
+            self.stats.failovers += len(outcome.stats.failovers)
             for shard_id, busy in sorted(outcome.stats.busy_ms.items()):
                 self.stats.shard_busy_ms[shard_id] = (
                     self.stats.shard_busy_ms.get(shard_id, 0.0) + busy
+                )
+            for pair, busy in sorted(outcome.stats.replica_busy_ms.items()):
+                self.stats.replica_busy_ms[pair] = (
+                    self.stats.replica_busy_ms.get(pair, 0.0) + busy
                 )
             return list(zip(outcome.results, outcome.per_query_ms))
         clock = self.backend.clock

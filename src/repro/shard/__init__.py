@@ -17,11 +17,20 @@ single-machine stack beneath it:
   sharded rankings bit-identical to the single-disk engine's;
 * :mod:`.merge` — lossless top-k merging with degraded-mode accounting;
 * :mod:`.metrics` — per-shard Table 3-6 breakdowns plus critical-path
-  wall clock, queue depth, and load skew.
+  wall clock, queue depth, and load skew;
+* :mod:`.rebalance` — deterministic online shard splitting (2 -> 4) with
+  byte-identical child platters and an atomic epoch-bumping cutover.
+
+Replication rides on the same layer: ``materialize_sharded(...,
+replicas=R)`` builds R byte-identical mirrors per shard, the scheduler
+routes each round to a healthy replica and fails over deterministically
+when one degrades, and :meth:`ShardedIRSystem.rereplicate` rebuilds a
+lost mirror from a survivor on the simulated clock.
 """
 
 from .merge import ShardOutcome, ShardedQueryResult, merge_results
 from .metrics import ShardRunMetrics, measure_sharded_run
+from .rebalance import SplitReport, split_shards
 from .partition import (
     HashPartitioner,
     Partitioner,
@@ -47,10 +56,12 @@ __all__ = [
     "ShardTaatRunner",
     "ShardedIRSystem",
     "ShardedQueryResult",
+    "SplitReport",
     "WaveOutcome",
     "materialize_sharded",
     "measure_sharded_run",
     "merge_results",
     "partition_prepared",
     "make_partitioner",
+    "split_shards",
 ]

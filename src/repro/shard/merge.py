@@ -36,11 +36,15 @@ class ShardOutcome:
     was marked down); ``attempted_down`` then counts the distinct stored
     terms of the query that shard holds, i.e. the reads that were never
     issued and must be accounted as failed.
+
+    ``replica_id`` records which replica of the shard produced
+    ``result`` (0 is the primary); it stays 0 on unreplicated systems.
     """
 
     shard_id: int
     result: Optional[QueryResult] = None
     attempted_down: int = 0
+    replica_id: int = 0
 
 
 @dataclass
@@ -51,6 +55,8 @@ class ShardedQueryResult(QueryResult):
     shard_contributions: Dict[int, int] = field(default_factory=dict)
     #: Shards that did not serve the query at all.
     shards_down: Tuple[int, ...] = ()
+    #: Which replica served each shard's slice (shard id -> replica id).
+    served_by: Dict[int, int] = field(default_factory=dict)
 
 
 def merge_results(
@@ -71,12 +77,14 @@ def merge_results(
     attempted = 0
     failed = 0
     down: List[int] = []
+    served_by: Dict[int, int] = {}
     for outcome in outcomes:
         if outcome.result is None:
             down.append(outcome.shard_id)
             attempted += outcome.attempted_down
             failed += outcome.attempted_down
             continue
+        served_by[outcome.shard_id] = outcome.replica_id
         candidates.extend(outcome.result.ranking)
         if doc_home is None:
             for doc_id, _belief in outcome.result.ranking:
@@ -101,4 +109,5 @@ def merge_results(
         terms_failed=failed,
         shard_contributions=contributions,
         shards_down=tuple(down),
+        served_by=served_by,
     )

@@ -15,6 +15,12 @@ metrics add the two quantities that only exist with N machines:
   means the fan-out actually ran in parallel; ``shard_skew`` near 1.0
   means the partitioner spread the load evenly.
 
+With replication a "shard" is a *group* of byte-identical machines; the
+shard's entry in ``per_shard`` sums the counters of every replica that
+was healthy when the run began (a failed-over attempt's reads happened
+on a real machine and stay on the bill), while the results-derived
+fields come from whatever replica actually served each query.
+
 I/A/B counters and per-pool buffer statistics are summed across shards:
 they count physical work, which does not care which machine did it.
 """
@@ -23,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..core.metrics import RunMetrics, SystemSnapshot, cold_start
+from ..inquery import QueryResult
 from ..inquery.engine import DEFAULT_TOP_K
 from ..mneme import BufferStats
 from .system import ShardedIRSystem
@@ -42,6 +49,16 @@ class ShardRunMetrics(RunMetrics):
     max_queue_depth: int = 0
     shard_skew: float = 1.0
     shards_down: Tuple[int, ...] = ()
+    #: Mirror count R of the measured system (0 = unreplicated).
+    replicas: int = 0
+    #: ``(shard, replica)`` pairs that were marked down when the run ended.
+    replicas_down: Tuple[Tuple[int, int], ...] = ()
+    #: Simulated busy ms per ``(shard, replica)``, failed attempts included.
+    replica_busy_ms: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    #: One ``{shard: replica}`` map per scheduler round.
+    served_by: List[Dict[int, int]] = field(default_factory=list)
+    #: Failover events in deterministic round/shard order (see scheduler).
+    failovers: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def parallel_efficiency(self) -> float:
@@ -66,6 +83,43 @@ def _sum_buffer_stats(per_shard: List[RunMetrics]) -> Dict[str, BufferStats]:
     return totals
 
 
+def _group_metrics(
+    parts: List[RunMetrics],
+    results: List[QueryResult],
+    query_set_name: str,
+    queries: int,
+    keep_results: bool,
+) -> RunMetrics:
+    """Fold one replica group's counter deltas into a shard-level view.
+
+    Counters sum across replicas (physical work on real machines);
+    results-derived fields come from the queries the group served.
+    """
+    return RunMetrics(
+        system=parts[0].system,
+        query_set=query_set_name,
+        queries=queries,
+        wall_s=sum(p.wall_s for p in parts),
+        user_s=sum(p.user_s for p in parts),
+        system_io_s=sum(p.system_io_s for p in parts),
+        io_inputs=sum(p.io_inputs for p in parts),
+        file_accesses=sum(p.file_accesses for p in parts),
+        record_lookups=sum(p.record_lookups for p in parts),
+        bytes_from_file=sum(p.bytes_from_file for p in parts),
+        buffer_stats=_sum_buffer_stats(parts),
+        results=results if keep_results else [],
+        degraded_queries=sum(1 for r in results if r.degraded),
+        terms_failed=sum(r.terms_failed for r in results),
+        documents_skipped=sum(
+            getattr(r, "documents_skipped", 0) for r in results
+        ),
+        blocks_skipped=sum(getattr(r, "blocks_skipped", 0) for r in results),
+        prune_threshold_updates=sum(
+            getattr(r, "prune_threshold_updates", 0) for r in results
+        ),
+    )
+
+
 def measure_sharded_run(
     sharded: ShardedIRSystem,
     queries: List[str],
@@ -76,32 +130,50 @@ def measure_sharded_run(
     keep_results: bool = True,
     max_workers=None,
     prune: str = "off",
+    replica_policy: str = "primary",
+    policy_seed: int = 0,
 ) -> ShardRunMetrics:
     """Run a query set through the shard scheduler and measure everything."""
     live = sharded.live_shards
+    groups = {
+        shard_id: sharded.healthy_replicas(shard_id) for shard_id in live
+    }
     if cold:
         for shard_id in live:
-            cold_start(sharded.shards[shard_id])
+            for replica_id in groups[shard_id]:
+                cold_start(sharded.replica(shard_id, replica_id))
         sharded.clock.reset()
     snapshots = {
-        shard_id: SystemSnapshot(sharded.shards[shard_id]) for shard_id in live
+        (shard_id, replica_id): SystemSnapshot(
+            sharded.replica(shard_id, replica_id)
+        )
+        for shard_id in live
+        for replica_id in groups[shard_id]
     }
     coordinator_start = sharded.clock.snapshot()
     scheduler = sharded.scheduler(
-        top_k=top_k, engine=engine, max_workers=max_workers, prune=prune
+        top_k=top_k, engine=engine, max_workers=max_workers, prune=prune,
+        replica_policy=replica_policy, policy_seed=policy_seed,
     )
     outcome = scheduler.run_batch(queries)
     coordinator = sharded.clock.since(coordinator_start)
 
-    per_shard = [
-        snapshots[shard_id].metrics(
+    per_shard = []
+    for shard_id in live:
+        parts = [
+            snapshots[(shard_id, replica_id)].metrics(
+                [], query_set_name=query_set_name,
+                queries=len(queries), keep_results=False,
+            )
+            for replica_id in groups[shard_id]
+        ]
+        per_shard.append(_group_metrics(
+            parts,
             outcome.per_shard_results[shard_id],
-            query_set_name=query_set_name,
-            queries=len(queries),
-            keep_results=keep_results,
-        )
-        for shard_id in live
-    ]
+            query_set_name,
+            len(queries),
+            keep_results,
+        ))
     shard_wall_sum = sum(m.wall_s for m in per_shard)
     results = outcome.results
     return ShardRunMetrics(
@@ -135,4 +207,9 @@ def measure_sharded_run(
         max_queue_depth=outcome.stats.max_queue_depth,
         shard_skew=outcome.stats.shard_skew,
         shards_down=tuple(sharded.shards_down),
+        replicas=sharded.replicas,
+        replicas_down=tuple(sharded.replicas_down),
+        replica_busy_ms=dict(outcome.stats.replica_busy_ms),
+        served_by=list(outcome.stats.served_by),
+        failovers=list(outcome.stats.failovers),
     )

@@ -50,6 +50,33 @@ class Partitioner:
     def shard_of(self, doc_id: int) -> int:
         raise NotImplementedError
 
+    def refine(self, factor: int) -> "Partitioner":
+        """A partitioner over ``n_shards * factor`` shards that *refines*
+        this one: every new shard's documents all come from a single old
+        shard (``parent_of``), so a split can stream each old platter
+        into its children without any cross-shard document motion.
+        """
+        raise NotImplementedError
+
+    def parent_of(self, child_shard: int, factor: int) -> int:
+        """Old shard that owned every document of ``child_shard`` after
+        ``refine(factor)``."""
+        raise NotImplementedError
+
+    def children_of(self, parent_shard: int, factor: int) -> List[int]:
+        """New shards whose documents come from ``parent_shard``."""
+        if not 0 <= parent_shard < self.n_shards:
+            raise ConfigError(f"no shard {parent_shard} in {self.n_shards}")
+        return [
+            child
+            for child in range(self.n_shards * factor)
+            if self.parent_of(child, factor) == parent_shard
+        ]
+
+    def _check_factor(self, factor: int) -> None:
+        if factor < 2:
+            raise ConfigError(f"split factor must be >= 2, got {factor}")
+
     def describe(self) -> dict:
         return {"scheme": self.scheme, "shards": self.n_shards}
 
@@ -65,6 +92,18 @@ class HashPartitioner(Partitioner):
 
     def shard_of(self, doc_id: int) -> int:
         return _mix64(doc_id) % self.n_shards
+
+    def refine(self, factor: int) -> "HashPartitioner":
+        # (h mod N·f) mod N == h mod N, so the residue class mod N·f
+        # determines the old shard: hashing refines itself.
+        self._check_factor(factor)
+        return HashPartitioner(self.n_shards * factor)
+
+    def parent_of(self, child_shard: int, factor: int) -> int:
+        self._check_factor(factor)
+        if not 0 <= child_shard < self.n_shards * factor:
+            raise ConfigError(f"no child shard {child_shard}")
+        return child_shard % self.n_shards
 
 
 class RangePartitioner(Partitioner):
@@ -88,6 +127,18 @@ class RangePartitioner(Partitioner):
             raise ConfigError(f"document id {doc_id} outside [1, {self.n_docs}]")
         scaled = (min(doc_id, self.n_docs) - 1) * self.n_shards
         return scaled // self.n_docs
+
+    def refine(self, factor: int) -> "RangePartitioner":
+        # floor(x·N·f/D) // f == floor(x·N/D): each old range slice is
+        # exactly the union of f consecutive finer slices.
+        self._check_factor(factor)
+        return RangePartitioner(self.n_shards * factor, self.n_docs)
+
+    def parent_of(self, child_shard: int, factor: int) -> int:
+        self._check_factor(factor)
+        if not 0 <= child_shard < self.n_shards * factor:
+            raise ConfigError(f"no child shard {child_shard}")
+        return child_shard // factor
 
     def describe(self) -> dict:
         return {**super().describe(), "n_docs": self.n_docs}

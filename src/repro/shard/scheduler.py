@@ -1,4 +1,4 @@
-"""Concurrent fan-out scheduling of queries across shards.
+"""Concurrent fan-out scheduling of queries across shards and replicas.
 
 Queries run against every live shard through a
 :class:`~concurrent.futures.ThreadPoolExecutor`; shards are real Python
@@ -8,12 +8,34 @@ loop while each shard's *simulated* time advances on its own clock.
 Determinism under threading is by construction, not by luck:
 
 * every task for shard *i* runs under shard *i*'s lock and touches only
-  shard *i*'s simulated machine, so per-shard state sees a serialized,
+  shard *i*'s simulated machines, so per-shard state sees a serialized,
   schedule-independent sequence of operations;
 * each query phase is a **barrier** — the coordinator collects every
   shard's answer (in shard-id order) before computing global statistics
   or merging, so downstream work never depends on arrival order;
 * the merge itself is pure and ordered (see :mod:`.merge`).
+
+**Replica routing and failover.**  A replicated shard carries R mirror
+machines with byte-identical platters (see :mod:`.system`).  Each
+shard's task picks one healthy replica per round — deterministically the
+lowest id (``replica_policy="primary"``), or a seeded hash of
+``(seed, round, shard)`` over the healthy set (``"spread"``) — and runs
+the phase there.  If the attempt comes back *degraded* (a
+``BadBlockError`` ate evidence: a dead disk, a torn record), the task
+marks that replica failed, abandons its pending state, and retries the
+next healthy replica — all inside the same barrier, charged sequentially
+to simulated time, so one replica failure costs latency but never
+correctness: the served ranking is the one a healthy single-disk system
+would produce.  Only when *every* replica of a shard has failed does the
+task keep the last degraded answer — the PR 3/4 degraded path — so a
+replicated system degrades exactly like an unreplicated one once
+redundancy is exhausted, and never raises mid-query.
+
+For TAAT the failover happens at the **collect** phase, before the df
+exchange: a degraded collect would contribute zeroed local dfs and
+silently poison every shard's idf weights.  The score phase then runs
+pinned to whichever replica collected (phase 2 replays memoized
+postings and touches no storage, so it cannot fail independently).
 
 Two clocks come out of a batch.  The **critical path** adds up, per
 barrier, the slowest shard's time slice plus the coordinator's own
@@ -26,10 +48,10 @@ reported by :mod:`repro.shard.metrics`.
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.stats import max_over_mean
-from ..errors import ConfigError
+from ..errors import ConfigError, RebalanceInProgressError
 from ..inquery import (
     DEFAULT_TOP_K,
     DocumentAtATimeEngine,
@@ -39,6 +61,7 @@ from ..inquery import (
 )
 from ..simdisk.timing import TimeBreakdown
 from .merge import ShardOutcome, ShardedQueryResult, merge_results
+from .partition import _mix64
 from .system import ShardedIRSystem
 from .taat import ShardTaatRunner
 
@@ -56,8 +79,19 @@ class SchedulerStats:
     #: Most tasks simultaneously submitted and unfinished (per barrier,
     #: every live shard has exactly one task in flight).
     max_queue_depth: int = 0
-    #: Simulated busy time per shard over the batch, in milliseconds.
+    #: Simulated busy time per shard over the batch, in milliseconds
+    #: (all replicas of the shard combined, failed attempts included).
     busy_ms: Dict[int, float] = field(default_factory=dict)
+    #: Simulated busy time per ``(shard, replica)`` — the replica-level
+    #: refinement of ``busy_ms``.
+    replica_busy_ms: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    #: Which replica served each round, one ``{shard: replica}`` map per
+    #: round (a round is one query in ``run_batch`` or one whole wave).
+    served_by: List[Dict[int, int]] = field(default_factory=list)
+    #: Every failover taken, in round order: round, shard, the replica
+    #: that failed, the replica the work moved to (``None`` when the
+    #: failed one was the last and its degraded answer was served).
+    failovers: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def shard_skew(self) -> float:
@@ -84,7 +118,9 @@ class WaveOutcome:
     charge + its slowest shard's score slice + its merge charge.  The
     shares sum to (at most) the wave's critical path — barriers are
     shared, so a query never pays for another query's shard time, which
-    is exactly the amortization the wave exists to buy.
+    is exactly the amortization the wave exists to buy.  (Failed
+    failover attempts are charged to the wave's critical path and busy
+    ledgers but not attributed to individual queries.)
     """
 
     results: List[ShardedQueryResult]
@@ -92,6 +128,21 @@ class WaveOutcome:
     per_shard_results: Dict[int, List[QueryResult]]
     stats: SchedulerStats
     critical: TimeBreakdown
+
+
+@dataclass
+class _TaskResult:
+    """One shard task's outcome after replica routing and failover."""
+
+    payload: object
+    replica_id: int
+    delta: TimeBreakdown                       #: all attempts, summed
+    attempts: List[Tuple[int, TimeBreakdown]]  #: (replica, delta) per attempt
+    #: Failover events this task recorded, in attempt order.  Kept
+    #: task-local and folded into ``SchedulerStats.failovers`` at the
+    #: barrier in shard-id order, so the trace is deterministic even
+    #: when several shards fail over concurrently.
+    events: List[Dict[str, object]] = field(default_factory=list)
 
 
 class ShardScheduler:
@@ -107,6 +158,16 @@ class ShardScheduler:
     its own top-k threshold; the coordinator's merge is unchanged, and
     because per-shard top-k is bit-identical to per-shard exhaustive
     evaluation, the merged ranking is too.
+
+    ``replica_policy`` picks which healthy replica serves a round:
+    ``"primary"`` always takes the lowest healthy id, ``"spread"``
+    hashes ``(policy_seed, round, shard)`` over the healthy set so load
+    spreads across mirrors while staying a pure function of the inputs.
+
+    The scheduler captures the backend's topology ``epoch`` at
+    construction; running it after a rebalance cutover raises
+    :class:`~repro.errors.RebalanceInProgressError` — callers rebuild
+    their scheduler from the post-cutover backend.
     """
 
     def __init__(
@@ -116,6 +177,8 @@ class ShardScheduler:
         engine: str = "taat",
         max_workers: Optional[int] = None,
         prune: str = "off",
+        replica_policy: str = "primary",
+        policy_seed: int = 0,
     ):
         if engine not in ("taat", "daat"):
             raise ConfigError(f"unknown shard engine {engine!r}")
@@ -123,31 +186,147 @@ class ShardScheduler:
             raise ConfigError(
                 "dynamic pruning requires the document-at-a-time engine"
             )
+        if replica_policy not in ("primary", "spread"):
+            raise ConfigError(f"unknown replica policy {replica_policy!r}")
         self.sharded = sharded
         self.top_k = top_k
         self.engine = engine
         self.prune = prune
+        self.replica_policy = replica_policy
+        self.policy_seed = policy_seed
         self.max_workers = max_workers or sharded.n_shards
-        self._locks = [threading.Lock() for _ in sharded.shards]
-        if engine == "taat":
-            self._taat = [
-                ShardTaatRunner(shard, top_k=top_k) for shard in sharded.shards
+        self.epoch = sharded.epoch
+        self._locks = [threading.Lock() for _ in range(sharded.n_shards)]
+        self._rounds = 0
+        # Engines are cached per (shard, replica) and validated against
+        # the machine object they were built for, so a re-replicated
+        # mirror transparently gets a fresh engine on first use.
+        self._taat: Dict[Tuple[int, int], ShardTaatRunner] = {}
+        self._daat: Dict[Tuple[int, int], DocumentAtATimeEngine] = {}
+
+    # -- per-replica engines ---------------------------------------------------
+
+    def _taat_runner(self, shard_id: int, replica_id: int) -> ShardTaatRunner:
+        machine = self.sharded.replica(shard_id, replica_id)
+        key = (shard_id, replica_id)
+        runner = self._taat.get(key)
+        if runner is None or runner.system is not machine:
+            runner = ShardTaatRunner(machine, top_k=self.top_k)
+            self._taat[key] = runner
+        return runner
+
+    def _daat_engine(self, shard_id: int, replica_id: int) -> DocumentAtATimeEngine:
+        machine = self.sharded.replica(shard_id, replica_id)
+        key = (shard_id, replica_id)
+        engine = self._daat.get(key)
+        if engine is None or engine.index is not machine.index:
+            engine = DocumentAtATimeEngine(
+                machine.index,
+                top_k=self.top_k,
+                use_reservation=self.sharded.config.use_reservation,
+                use_fastpath=self.sharded.config.use_fastpath,
+                prune=self.prune,
+            )
+            self._daat[key] = engine
+        return engine
+
+    # -- replica choice and failover -------------------------------------------
+
+    def _choose(self, shard_id: int, round_no: int, healthy: List[int]) -> int:
+        if self.replica_policy == "spread" and len(healthy) > 1:
+            mixed = _mix64(
+                ((self.policy_seed & 0xFFFFFFFF) << 32)
+                ^ (round_no << 8)
+                ^ shard_id
+            )
+            return healthy[mixed % len(healthy)]
+        return healthy[0]
+
+    def _failover_task(
+        self,
+        shard_id: int,
+        round_no: int,
+        phase: str,
+        run: Callable[[int], object],
+        clean: Callable[[int, object], bool],
+        abandon: Optional[Callable[[int], None]] = None,
+    ) -> _TaskResult:
+        """Run one phase on a healthy replica, failing over on degradation.
+
+        ``run(replica)`` performs the phase; ``clean(replica, payload)``
+        judges whether the attempt lost evidence.  A dirty attempt marks
+        its replica failed and retries the next healthy one *only while
+        one exists* — the last replica standing is never marked down, so
+        an exhausted group keeps serving its (degraded) best effort every
+        round instead of going dark, exactly the unreplicated behavior.
+        """
+        sharded = self.sharded
+        delta = TimeBreakdown()
+        attempts: List[Tuple[int, TimeBreakdown]] = []
+        events: List[Dict[str, object]] = []
+        tried: set = set()
+        while True:
+            healthy = [
+                r for r in sharded.healthy_replicas(shard_id) if r not in tried
             ]
-        else:
-            self._daat = [
-                DocumentAtATimeEngine(
-                    shard.index,
-                    top_k=top_k,
-                    use_reservation=sharded.config.use_reservation,
-                    use_fastpath=sharded.config.use_fastpath,
-                    prune=prune,
-                )
-                for shard in sharded.shards
+            choice = self._choose(shard_id, round_no, healthy)
+            if events and events[-1]["to_replica"] is None:
+                events[-1]["to_replica"] = choice
+            tried.add(choice)
+            machine = sharded.replica(shard_id, choice)
+            start = machine.clock.snapshot()
+            payload = run(choice)
+            d = machine.clock.since(start)
+            self._add(delta, d)
+            attempts.append((choice, d))
+            if clean(choice, payload):
+                return _TaskResult(payload, choice, delta, attempts, events)
+            remaining = [
+                r for r in sharded.healthy_replicas(shard_id) if r not in tried
             ]
+            if not remaining:
+                # Redundancy exhausted: serve the degraded answer.
+                events.append({
+                    "round": round_no,
+                    "shard": shard_id,
+                    "failed_replica": choice,
+                    "to_replica": None,
+                    "phase": phase,
+                })
+                return _TaskResult(payload, choice, delta, attempts, events)
+            sharded.mark_down(shard_id, replica_id=choice)
+            if abandon is not None:
+                abandon(choice)
+            events.append({
+                "round": round_no,
+                "shard": shard_id,
+                "failed_replica": choice,
+                "to_replica": None,
+                "phase": phase,
+            })
+
+    def _fixed_task(
+        self, shard_id: int, replica_id: int, run: Callable[[int], object]
+    ) -> _TaskResult:
+        """Run one phase pinned to a specific replica (no failover)."""
+        machine = self.sharded.replica(shard_id, replica_id)
+        start = machine.clock.snapshot()
+        payload = run(replica_id)
+        d = machine.clock.since(start)
+        return _TaskResult(payload, replica_id, d, [(replica_id, d)])
 
     # -- batch driving ---------------------------------------------------------
 
+    def _check_epoch(self) -> None:
+        if self.sharded.epoch != self.epoch:
+            raise RebalanceInProgressError(
+                reason="scheduler is stale after a topology cutover",
+                expected_epoch=self.epoch,
+                actual_epoch=self.sharded.epoch,
+            )
+
     def run_batch(self, queries: List[str]) -> BatchOutcome:
+        self._check_epoch()
         sharded = self.sharded
         stats = SchedulerStats(workers=self.max_workers)
         critical = TimeBreakdown()
@@ -158,19 +337,31 @@ class ShardScheduler:
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             for text in queries:
                 live = sharded.live_shards
+                round_no = self._rounds
+                self._rounds += 1
                 coord_start = sharded.clock.snapshot()
                 if self.engine == "taat":
-                    answers = self._serve_taat(pool, live, text, stats, critical)
+                    answers, served = self._serve_taat(
+                        pool, live, round_no, text, stats, critical
+                    )
                 else:
-                    answers = self._wave(
+                    answers, served = self._wave(
                         pool, live,
-                        lambda i: self._daat[i].run_query(text),
+                        lambda i: self._failover_task(
+                            i, round_no, "daat",
+                            run=lambda r, i=i: self._daat_engine(i, r).run_query(text),
+                            clean=lambda r, res: not res.degraded,
+                        ),
                         stats, critical,
                     )
+                stats.served_by.append(dict(sorted(served.items())))
                 outcomes: List[ShardOutcome] = []
                 for shard_id in range(sharded.n_shards):
                     if shard_id in answers:
-                        outcomes.append(ShardOutcome(shard_id, answers[shard_id]))
+                        outcomes.append(ShardOutcome(
+                            shard_id, answers[shard_id],
+                            replica_id=served[shard_id],
+                        ))
                         per_shard[shard_id].append(answers[shard_id])
                     else:
                         outcomes.append(ShardOutcome(
@@ -205,6 +396,7 @@ class ShardScheduler:
         scoring work, just grouped — which the serving gate checks
         against the single-disk engine.
         """
+        self._check_epoch()
         sharded = self.sharded
         stats = SchedulerStats(workers=self.max_workers, waves=1)
         critical = TimeBreakdown()
@@ -216,12 +408,21 @@ class ShardScheduler:
         n = len(texts)
         per_query_ms = [0.0] * n
         live = sharded.live_shards
+        round_no = self._rounds
+        self._rounds += 1
         cost = sharded.clock.cost
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             if self.engine == "taat":
-                collected = self._wave(
+                collected, served = self._wave(
                     pool, live,
-                    lambda i: self._taat[i].collect_many(texts),
+                    lambda i: self._failover_task(
+                        i, round_no, "collect",
+                        run=lambda r, i=i: self._taat_runner(i, r).collect_many(texts),
+                        clean=lambda r, _p, i=i: (
+                            self._taat_runner(i, r).pending_failures == 0
+                        ),
+                        abandon=lambda r, i=i: self._taat_runner(i, r).abandon(),
+                    ),
                     stats, critical,
                 )
                 # One coordinator pass sums every query's df vector.
@@ -237,9 +438,17 @@ class ShardScheduler:
                     sharded.clock.charge_user(exchange_ms)
                     per_query_ms[q] += exchange_ms
                 self._add(critical, sharded.clock.since(coord_start))
-                scored = self._wave(
+                # Score runs pinned to whichever replica collected: its
+                # memo provider holds the postings, and phase 2 touches
+                # no storage, so it cannot fail independently.
+                scored, _ = self._wave(
                     pool, live,
-                    lambda i: self._taat[i].score_many(global_df_lists),
+                    lambda i: self._fixed_task(
+                        i, served[i],
+                        run=lambda r, i=i: self._taat_runner(i, r).score_many(
+                            global_df_lists
+                        ),
+                    ),
                     stats, critical,
                 )
                 answers = [
@@ -253,21 +462,31 @@ class ShardScheduler:
                         scored[i][1][q].wall_ms for i in live
                     )
             else:
-                ran = self._wave(
+                ran, served = self._wave(
                     pool, live,
-                    lambda i: self._daat_many(i, texts),
+                    lambda i: self._failover_task(
+                        i, round_no, "daat",
+                        run=lambda r, i=i: self._daat_many(i, r, texts),
+                        clean=lambda r, payload: all(
+                            not res.degraded for res in payload[0]
+                        ),
+                    ),
                     stats, critical,
                 )
                 answers = [{i: ran[i][0][q] for i in live} for q in range(n)]
                 for q in range(n):
                     per_query_ms[q] += max(ran[i][1][q].wall_ms for i in live)
+        stats.served_by.append(dict(sorted(served.items())))
         results: List[ShardedQueryResult] = []
         coord_start = sharded.clock.snapshot()
         for q, text in enumerate(texts):
             outcomes: List[ShardOutcome] = []
             for shard_id in range(sharded.n_shards):
                 if shard_id in answers[q]:
-                    outcomes.append(ShardOutcome(shard_id, answers[q][shard_id]))
+                    outcomes.append(ShardOutcome(
+                        shard_id, answers[q][shard_id],
+                        replica_id=served[shard_id],
+                    ))
                     per_shard[shard_id].append(answers[q][shard_id])
                 else:
                     outcomes.append(ShardOutcome(
@@ -289,10 +508,10 @@ class ShardScheduler:
             critical=critical,
         )
 
-    def _daat_many(self, shard_id: int, texts: List[str]):
-        """One shard's whole-wave DAAT task, with per-query deltas."""
-        engine = self._daat[shard_id]
-        clock = self.sharded.shards[shard_id].clock
+    def _daat_many(self, shard_id: int, replica_id: int, texts: List[str]):
+        """One replica's whole-wave DAAT task, with per-query deltas."""
+        engine = self._daat_engine(shard_id, replica_id)
+        clock = self.sharded.replica(shard_id, replica_id).clock
         results, deltas = [], []
         for text in texts:
             start = clock.snapshot()
@@ -310,13 +529,23 @@ class ShardScheduler:
         self,
         pool: ThreadPoolExecutor,
         live: List[int],
+        round_no: int,
         text: str,
         stats: SchedulerStats,
         critical: TimeBreakdown,
-    ) -> Dict[int, QueryResult]:
+    ):
         """The two-phase exchange: collect local dfs, sum, score."""
-        local_dfs = self._wave(
-            pool, live, lambda i: self._taat[i].collect(text), stats, critical
+        local_dfs, served = self._wave(
+            pool, live,
+            lambda i: self._failover_task(
+                i, round_no, "collect",
+                run=lambda r, i=i: self._taat_runner(i, r).collect(text),
+                clean=lambda r, _p, i=i: (
+                    self._taat_runner(i, r).pending_failures == 0
+                ),
+                abandon=lambda r, i=i: self._taat_runner(i, r).abandon(),
+            ),
+            stats, critical,
         )
         slots = len(local_dfs[live[0]])
         global_dfs = [
@@ -326,26 +555,49 @@ class ShardScheduler:
         self.sharded.clock.charge_user(
             self.sharded.clock.cost.cpu_ms_per_posting * slots * len(live)
         )
-        return self._wave(
-            pool, live, lambda i: self._taat[i].score(global_dfs), stats, critical
+        answers, _ = self._wave(
+            pool, live,
+            lambda i: self._fixed_task(
+                i, served[i],
+                run=lambda r, i=i: self._taat_runner(i, r).score(global_dfs),
+            ),
+            stats, critical,
         )
+        return answers, served
 
     def _wave(
         self,
         pool: ThreadPoolExecutor,
         shard_ids: List[int],
-        fn: Callable[[int], object],
+        task: Callable[[int], _TaskResult],
         stats: SchedulerStats,
         critical: TimeBreakdown,
-    ) -> Dict[int, object]:
-        """One barrier: run ``fn`` on every listed shard, gather in order."""
+    ):
+        """One barrier: run ``task`` on every listed shard, gather in order.
+
+        Returns the payload map and the replica that produced each
+        shard's payload.  Busy ledgers charge every attempt (failed
+        failover probes included); the critical path takes the slowest
+        shard's *total* task delta, so failover latency is visible on
+        the simulated wall clock.
+        """
         stats.tasks += len(shard_ids)
         stats.max_queue_depth = max(stats.max_queue_depth, len(shard_ids))
-        futures = {i: pool.submit(self._on_shard, i, fn) for i in shard_ids}
+        futures = {i: pool.submit(self._on_shard, i, task) for i in shard_ids}
         answers: Dict[int, object] = {}
+        served: Dict[int, int] = {}
         deltas: Dict[int, TimeBreakdown] = {}
         for shard_id in shard_ids:  # shard order, regardless of completion order
-            answers[shard_id], deltas[shard_id] = futures[shard_id].result()
+            outcome = futures[shard_id].result()
+            answers[shard_id] = outcome.payload
+            served[shard_id] = outcome.replica_id
+            deltas[shard_id] = outcome.delta
+            for replica_id, attempt in outcome.attempts:
+                key = (shard_id, replica_id)
+                stats.replica_busy_ms[key] = (
+                    stats.replica_busy_ms.get(key, 0.0) + attempt.wall_ms
+                )
+            stats.failovers.extend(outcome.events)
         stats.barriers += 1
         slowest = max(shard_ids, key=lambda i: (deltas[i].wall_ms, i))
         critical.user_ms += deltas[slowest].user_ms
@@ -355,19 +607,17 @@ class ShardScheduler:
             stats.busy_ms[shard_id] = (
                 stats.busy_ms.get(shard_id, 0.0) + deltas[shard_id].wall_ms
             )
-        return answers
+        return answers, served
 
-    def _on_shard(self, shard_id: int, fn: Callable[[int], object]):
-        """Run one task against one shard's simulated machine.
+    def _on_shard(self, shard_id: int, task: Callable[[int], _TaskResult]):
+        """Run one task against one shard's simulated machines.
 
-        The per-shard lock serializes all touches of that machine, so
-        its clock delta is attributable to exactly this task.
+        The per-shard lock serializes all touches of that shard's
+        replicas, so their clock deltas are attributable to exactly
+        this task.
         """
         with self._locks[shard_id]:
-            clock = self.sharded.shards[shard_id].clock
-            start = clock.snapshot()
-            result = fn(shard_id)
-            return result, clock.since(start)
+            return task(shard_id)
 
     def _down_attempted(self, shard_id: int, text: str) -> int:
         """Stored terms a down shard would have been asked to read.

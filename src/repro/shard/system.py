@@ -10,33 +10,60 @@ buffer heuristics are functions of the data a machine stores, so a shard
 storing 1/N of the postings sizes its large buffer from *its* largest
 record.
 
+Replication extends the same move: a shard may carry ``R`` *mirror*
+machines built from the same :class:`~repro.shard.partition.ShardPrepared`
+slice.  Because every build is deterministic, a mirror's platter is
+byte-identical to the primary's (verified at build time), so the
+scheduler may serve any healthy replica and the rankings cannot tell the
+difference — failover is gated on bit-identity, not best effort.  Lost
+mirrors are rebuilt online (:meth:`ShardedIRSystem.rereplicate`) by
+scanning a surviving replica's platter on the simulated clock.
+
 The coordinator owns a clock of its own (statistics exchange, merge) and
 the administrative up/down state; the scheduler in :mod:`.scheduler`
 turns the pieces into query service.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.config import SystemConfig
 from ..core.prepared import IRSystem, PreparedCollection, materialize
-from ..errors import ConfigError, ShardUnavailableError
+from ..errors import (
+    ConfigError,
+    RebalanceInProgressError,
+    ReplicaFailedError,
+    ShardUnavailableError,
+)
 from ..inquery import DEFAULT_TOP_K
 from ..simdisk import SimClock
+
+
 from .partition import Partitioner, ShardPrepared, make_partitioner, partition_prepared
 
 
 @dataclass
 class ShardedIRSystem:
-    """One prepared collection served by N single-machine shards."""
+    """One prepared collection served by N single-machine shards.
+
+    ``replica_groups[s]`` holds shard ``s``'s machines; index 0 is the
+    primary and indexes 1..R are mirrors.  All replicas of a shard are
+    byte-identical at build; health is tracked per ``(shard, replica)``
+    so a single dead disk downgrades one mirror, not the shard.
+    ``epoch`` counts topology cutovers (shard splits): schedulers capture
+    it at construction and refuse to run across a cutover.
+    """
 
     config: SystemConfig
     prepared: PreparedCollection            #: the global (unsharded) preparation
     partitioner: Partitioner
-    shards: List[IRSystem]
+    replica_groups: List[List[IRSystem]]
     shard_prepared: List[ShardPrepared]
     clock: SimClock = field(default_factory=SimClock)  #: coordinator clock
+    epoch: int = 0                          #: bumped by every rebalance cutover
     _down: Set[int] = field(default_factory=set)
+    _replica_down: Set[Tuple[int, int]] = field(default_factory=set)
+    _rebalancing: bool = field(default=False)
 
     def __post_init__(self):
         self.clock = SimClock(cost=self.config.cost)
@@ -47,35 +74,92 @@ class ShardedIRSystem:
 
     @property
     def n_shards(self) -> int:
-        return len(self.shards)
+        return len(self.replica_groups)
+
+    @property
+    def replicas(self) -> int:
+        """Mirror count R (replicas beyond the primary)."""
+        return max(len(group) for group in self.replica_groups) - 1
+
+    @property
+    def shards(self) -> List[IRSystem]:
+        """The primary machine of every shard (legacy single-replica view)."""
+        return [group[0] for group in self.replica_groups]
+
+    def replica(self, shard_id: int, replica_id: int) -> IRSystem:
+        self._check_replica(shard_id, replica_id)
+        return self.replica_groups[shard_id][replica_id]
 
     def shard_of_doc(self, doc_id: int) -> int:
         return self.partitioner.shard_of(doc_id)
 
-    # -- administrative shard state ------------------------------------------
+    # -- administrative shard / replica state ---------------------------------
 
-    def mark_down(self, shard_id: int) -> None:
-        """Take a shard out of service; queries degrade around it."""
-        self._check_shard(shard_id)
-        self._down.add(shard_id)
+    def mark_down(self, shard_id: int, replica_id: Optional[int] = None) -> None:
+        """Take a shard (or one replica of it) out of service.
 
-    def mark_up(self, shard_id: int) -> None:
-        self._check_shard(shard_id)
-        self._down.discard(shard_id)
+        With ``replica_id=None`` the whole shard goes down and queries
+        degrade around it; with a replica id only that mirror is
+        removed and the scheduler fails over to the survivors.
+        """
+        if replica_id is None:
+            self._check_shard(shard_id)
+            self._down.add(shard_id)
+        else:
+            self._check_replica(shard_id, replica_id)
+            self._replica_down.add((shard_id, replica_id))
+
+    def mark_up(self, shard_id: int, replica_id: Optional[int] = None) -> None:
+        if replica_id is None:
+            self._check_shard(shard_id)
+            self._down.discard(shard_id)
+        else:
+            self._check_replica(shard_id, replica_id)
+            self._replica_down.discard((shard_id, replica_id))
 
     def is_down(self, shard_id: int) -> bool:
         return shard_id in self._down
+
+    def healthy_replicas(self, shard_id: int) -> List[int]:
+        """Replica ids of ``shard_id`` not marked down, lowest first."""
+        self._check_shard(shard_id)
+        return [
+            replica_id
+            for replica_id in range(len(self.replica_groups[shard_id]))
+            if (shard_id, replica_id) not in self._replica_down
+        ]
+
+    def replica_health(self) -> Dict[int, Dict[str, List[int]]]:
+        """Per-shard healthy/failed replica ids (for stats surfaces)."""
+        report = {}
+        for shard_id in range(self.n_shards):
+            healthy = self.healthy_replicas(shard_id)
+            all_ids = range(len(self.replica_groups[shard_id]))
+            report[shard_id] = {
+                "healthy": healthy,
+                "failed": [r for r in all_ids if r not in healthy],
+            }
+        return report
 
     @property
     def shards_down(self) -> Sequence[int]:
         return tuple(sorted(self._down))
 
     @property
+    def replicas_down(self) -> Sequence[Tuple[int, int]]:
+        return tuple(sorted(self._replica_down))
+
+    @property
     def live_shards(self) -> List[int]:
-        live = [i for i in range(self.n_shards) if i not in self._down]
+        live = [
+            i
+            for i in range(self.n_shards)
+            if i not in self._down and self.healthy_replicas(i)
+        ]
         if not live:
+            down = self._down or {s for s, _r in self._replica_down}
             raise ShardUnavailableError(
-                next(iter(sorted(self._down))),
+                next(iter(sorted(down))) if down else 0,
                 reason="every shard of the index is down",
             )
         return live
@@ -86,18 +170,27 @@ class ShardedIRSystem:
                 f"shard {shard_id} out of range for {self.n_shards} shards"
             )
 
+    def _check_replica(self, shard_id: int, replica_id: int) -> None:
+        self._check_shard(shard_id)
+        if not 0 <= replica_id < len(self.replica_groups[shard_id]):
+            raise ConfigError(
+                f"replica {replica_id} out of range for shard {shard_id} "
+                f"({len(self.replica_groups[shard_id])} replicas)"
+            )
+
     # -- convenience ----------------------------------------------------------
 
-    def fault_shard(self, shard_id: int, plan) -> None:
-        """Attach a serving-time fault plan to one shard's disk.
+    def fault_shard(self, shard_id: int, plan, replica_id: int = 0) -> None:
+        """Attach a serving-time fault plan to one replica's disk.
 
         Build-time faults go through ``materialize(...,
         fault_plan=...)``; this is the chaos harness's post-build hook —
         e.g. ``fault_shard(0, FaultPlan.dead_disk())`` kills shard 0's
-        reads from the next query on.  Pass ``None`` to detach.
+        primary from the next query on, and ``replica_id=1`` targets the
+        first mirror instead.  Pass ``None`` to detach.
         """
-        self._check_shard(shard_id)
-        self.shards[shard_id].fs.disk.attach_fault_plan(plan)
+        self._check_replica(shard_id, replica_id)
+        self.replica_groups[shard_id][replica_id].fs.disk.attach_fault_plan(plan)
 
     def scheduler(
         self,
@@ -105,38 +198,147 @@ class ShardedIRSystem:
         engine: str = "taat",
         max_workers=None,
         prune: str = "off",
+        replica_policy: str = "primary",
+        policy_seed: int = 0,
     ):
         from .scheduler import ShardScheduler
 
         return ShardScheduler(
-            self, top_k=top_k, engine=engine, max_workers=max_workers, prune=prune
+            self, top_k=top_k, engine=engine, max_workers=max_workers,
+            prune=prune, replica_policy=replica_policy, policy_seed=policy_seed,
         )
 
+    # -- re-replication -------------------------------------------------------
 
-def _per_shard_plans(fault_plans, n_shards: int) -> List[Optional[object]]:
-    """Normalize the ``fault_plans`` argument to one entry per shard.
+    def rereplicate(self, shard_id: int, replica_id: int) -> Dict[str, object]:
+        """Rebuild a lost replica from a surviving one, online.
 
-    Accepts ``None``, a sequence (padded with ``None``), a mapping from
-    shard id to plan, or a single plan — which is attached to shard 0,
-    the conventional victim of one-shard chaos runs.
+        The replacement machine is materialized from the shard's
+        prepared slice (deterministic, so its platter matches the
+        survivors byte for byte) while the *source* replica is charged a
+        full platter scan on its simulated clock — the cost a live
+        re-replication imposes on a machine that keeps serving queries.
+        The new machine swaps into the replica group and the down-mark
+        clears; byte-identity against the source is verified before the
+        swap.
+
+        Raises :class:`RebalanceInProgressError` during a split and
+        :class:`ReplicaFailedError` when no healthy source remains.
+        """
+        if self._rebalancing:
+            raise RebalanceInProgressError(
+                reason=f"cannot re-replicate shard {shard_id} during a split"
+            )
+        self._check_replica(shard_id, replica_id)
+        sources = [
+            r for r in self.healthy_replicas(shard_id) if r != replica_id
+        ]
+        if not sources:
+            raise ReplicaFailedError(
+                shard_id, replica_id,
+                reason="no healthy source replica to re-replicate from",
+            )
+        source_id = sources[0]
+        source = self.replica_groups[shard_id][source_id]
+
+        # Charge the survivor a sequential scan of its allocated blocks:
+        # live re-replication reads the platter it streams from.
+        start = source.clock.snapshot()
+        blocks = 0
+        for block_no in range(source.fs.disk.blocks_allocated):
+            source.fs.disk.read_block(block_no)
+            blocks += 1
+        scan = source.clock.since(start)
+
+        replacement = materialize(
+            self.shard_prepared[shard_id].serving_view(self.prepared),
+            self.config,
+        )
+        if replacement.fs.disk._blocks != source.fs.disk._blocks:
+            raise ReplicaFailedError(
+                shard_id, replica_id,
+                reason="re-replicated platter diverged from source",
+            )
+        self.replica_groups[shard_id][replica_id] = replacement
+        self._replica_down.discard((shard_id, replica_id))
+        return {
+            "shard": shard_id,
+            "replica": replica_id,
+            "source_replica": source_id,
+            "blocks_scanned": blocks,
+            "source_scan_ms": scan.wall_ms,
+            "verified": True,
+        }
+
+    # -- rebalance hooks (driven by shard.rebalance) --------------------------
+
+    def begin_rebalance(self) -> None:
+        if self._rebalancing:
+            raise RebalanceInProgressError(reason="a split is already running")
+        self._rebalancing = True
+
+    def abort_rebalance(self) -> None:
+        self._rebalancing = False
+
+    def cutover(
+        self,
+        partitioner: Partitioner,
+        replica_groups: List[List[IRSystem]],
+        shard_prepared: List[ShardPrepared],
+    ) -> None:
+        """Atomically switch to a new topology (called at a wave boundary).
+
+        Health state resets — the new machines are all freshly built and
+        verified — and ``epoch`` bumps so any scheduler still holding
+        the old topology refuses to run against the new one.
+        """
+        self.partitioner = partitioner
+        self.replica_groups = replica_groups
+        self.shard_prepared = shard_prepared
+        self._down = set()
+        self._replica_down = set()
+        self._rebalancing = False
+        self.epoch += 1
+
+
+def _per_shard_plans(
+    fault_plans, n_shards: int, replicas: int = 0
+) -> Dict[Tuple[int, int], object]:
+    """Normalize the ``fault_plans`` argument to ``(shard, replica)`` keys.
+
+    Accepts ``None``, a sequence (one plan per shard primary, padded), a
+    mapping from shard id *or* ``(shard, replica)`` tuple to plan, or a
+    single plan — which is attached to shard 0's primary, the
+    conventional victim of one-shard chaos runs.
     """
-    plans: List[Optional[object]] = [None] * n_shards
+    plans: Dict[Tuple[int, int], object] = {}
     if fault_plans is None:
         return plans
     if isinstance(fault_plans, dict):
-        for shard_id, plan in fault_plans.items():
+        for key, plan in fault_plans.items():
+            if isinstance(key, tuple):
+                shard_id, replica_id = key
+            else:
+                shard_id, replica_id = key, 0
             if not 0 <= shard_id < n_shards:
                 raise ConfigError(f"fault plan for unknown shard {shard_id}")
-            plans[shard_id] = plan
+            if not 0 <= replica_id <= replicas:
+                raise ConfigError(
+                    f"fault plan for unknown replica {replica_id} of "
+                    f"shard {shard_id} (R={replicas})"
+                )
+            plans[(shard_id, replica_id)] = plan
         return plans
     if isinstance(fault_plans, (list, tuple)):
         if len(fault_plans) > n_shards:
             raise ConfigError(
                 f"{len(fault_plans)} fault plans for {n_shards} shards"
             )
-        plans[: len(fault_plans)] = list(fault_plans)
+        for shard_id, plan in enumerate(fault_plans):
+            if plan is not None:
+                plans[(shard_id, 0)] = plan
         return plans
-    plans[0] = fault_plans
+    plans[(0, 0)] = fault_plans
     return plans
 
 
@@ -146,6 +348,8 @@ def materialize_sharded(
     n_shards: int,
     partitioner: Union[str, Partitioner] = "hash",
     fault_plans=None,
+    replicas: int = 0,
+    verify_replicas: bool = True,
 ) -> ShardedIRSystem:
     """Partition a prepared collection and build one machine per shard.
 
@@ -157,7 +361,17 @@ def materialize_sharded(
     df/ctf (see :meth:`~repro.shard.partition.ShardPrepared.serving_view`),
     which is what keeps sharded scoring bit-identical to the single-disk
     engine.
+
+    ``replicas=R`` additionally builds R mirror machines per shard from
+    the same slice.  Mirrors are built *clean* (serving-time fault plans
+    from ``fault_plans[(shard, r)]`` attach after the build) and each
+    clean-built platter is verified byte-identical against the group's
+    reference before the system is returned; a divergence raises
+    :class:`ReplicaFailedError` — it would mean the build is
+    nondeterministic, which breaks the failover bit-identity contract.
     """
+    if replicas < 0:
+        raise ConfigError(f"replicas must be >= 0, got {replicas}")
     if isinstance(partitioner, str):
         partitioner = make_partitioner(
             partitioner, n_shards, len(prepared.doctable)
@@ -166,16 +380,36 @@ def materialize_sharded(
         raise ConfigError(
             f"partitioner is for {partitioner.n_shards} shards, asked for {n_shards}"
         )
-    plans = _per_shard_plans(fault_plans, n_shards)
+    plans = _per_shard_plans(fault_plans, n_shards, replicas)
     shard_prepared = partition_prepared(prepared, partitioner)
-    shards = [
-        materialize(sp.serving_view(prepared), config, fault_plan=plans[sp.shard_id])
-        for sp in shard_prepared
-    ]
+    replica_groups: List[List[IRSystem]] = []
+    for sp in shard_prepared:
+        view = sp.serving_view(prepared)
+        build_plan = plans.get((sp.shard_id, 0))
+        group = [materialize(view, config, fault_plan=build_plan)]
+        # The reference platter for byte-identity is a clean build; a
+        # primary with a build-time fault plan (torn writes etc.) is
+        # exempt from verification, mirrors then verify among themselves.
+        reference = group[0] if build_plan is None else None
+        for replica_id in range(1, replicas + 1):
+            mirror = materialize(view, config)
+            if verify_replicas and reference is not None:
+                if mirror.fs.disk._blocks != reference.fs.disk._blocks:
+                    raise ReplicaFailedError(
+                        sp.shard_id, replica_id,
+                        reason="mirror platter diverged from primary at build",
+                    )
+            if reference is None:
+                reference = mirror
+            plan = plans.get((sp.shard_id, replica_id))
+            if plan is not None:
+                mirror.fs.disk.attach_fault_plan(plan)
+            group.append(mirror)
+        replica_groups.append(group)
     return ShardedIRSystem(
         config=config,
         prepared=prepared,
         partitioner=partitioner,
-        shards=shards,
+        replica_groups=replica_groups,
         shard_prepared=shard_prepared,
     )

@@ -201,6 +201,29 @@ class ShardTaatRunner:
         self._pending.append((text, tree, provider, collector.slots))
         return [slot.local_df for slot in collector.slots]
 
+    @property
+    def pending_failures(self) -> int:
+        """Storage failures seen by the pending collect phase(s).
+
+        The failover scheduler probes this after phase 1: a non-zero
+        count means this replica's collect already lost data (the score
+        phase would produce a degraded result), so the work should be
+        retried on another replica *before* the df exchange — a degraded
+        local df vector would poison the global sums.
+        """
+        return sum(
+            provider.failures for _text, _tree, provider, _slots in self._pending
+        )
+
+    def abandon(self) -> None:
+        """Drop pending collect state (failover gave up on this replica).
+
+        Releases any reservations phase 1 pinned so the machine is
+        clean if it ever comes back.
+        """
+        self._pending.clear()
+        self.system.index.store.release_reservations()
+
     def score(self, global_dfs: List[int]) -> QueryResult:
         """Phase 2: evaluate with global statistics and rank local docs."""
         if not self._pending:

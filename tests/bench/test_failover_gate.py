@@ -1,0 +1,194 @@
+"""The failover gate's verdict machinery, without running the bench.
+
+The four-collection replication benchmark itself is tier-2
+(``scripts/bench.sh failover``); here we pin down the checking logic —
+the exact-equality ``--check`` comparator, the baseline error handling
+and exit codes, and the report printer — against fabricated reports,
+mirroring the saturate-gate self-tests.
+"""
+
+import json
+
+import repro.bench.failover as failover_bench
+from repro.bench.failover import _print_report, compare_reports
+
+
+def make_cell(ok=True, failovers=2, post_split_miss=True):
+    return {
+        "config": "mneme-cache",
+        "queries": 8,
+        "daat_queries": 4,
+        "r0_control": {"degraded_queries": 8, "deterministic": True},
+        "kill_matrix": {
+            "N2xR1": {"victims": 4, "clean": 4, "failovers": failovers},
+            "N2xR2": {"victims": 6, "clean": 6, "failovers": failovers},
+            "N4xR1": {"victims": 8, "clean": 8, "failovers": 2 * failovers},
+            "N4xR2": {"victims": 12, "clean": 12, "failovers": 2 * failovers},
+        },
+        "daat_failover_clean": True,
+        "rereplication": {
+            "blocks_scanned": 31,
+            "source_replica": 1,
+            "byte_identical": True,
+            "post_heal_failovers": 0,
+        },
+        "deterministic": True,
+        "split": {
+            "records_streamed": 11386,
+            "postings_moved": 40000,
+            "mirrors_verified": 4,
+            "epoch": 1,
+            "platters_match_fresh": True,
+            "cache_invalidations": 1,
+            "post_split_miss": post_split_miss,
+            "rows_identical": True,
+        },
+        "violations": [] if ok else ["N=2 R=1: killing shard 0 was observable"],
+        "ok": ok,
+    }
+
+
+def make_report(ok=True, **cell_kwargs):
+    return {
+        "benchmark": "failover",
+        "config": "mneme-cache",
+        "profiles": {"cacm-s": make_cell(ok=ok, **cell_kwargs)},
+        "ok": ok,
+    }
+
+
+# -- the --check comparator -----------------------------------------------
+
+def test_compare_identical_reports_pass():
+    assert compare_reports(make_report(), make_report()) == []
+
+
+def test_compare_rejects_any_cell_drift():
+    baseline = make_report(failovers=2)
+    current = make_report(failovers=3)
+    failures = compare_reports(current, baseline)
+    assert len(failures) == 1
+    assert "kill_matrix drifted" in failures[0]
+
+
+def test_compare_rejects_split_drift():
+    baseline = make_report()
+    current = make_report(post_split_miss=False)
+    failures = compare_reports(current, baseline)
+    assert any("split drifted" in failure for failure in failures)
+
+
+def test_compare_fails_on_missing_profile():
+    baseline = make_report()
+    empty = {"benchmark": "failover", "profiles": {}, "ok": True}
+    assert compare_reports(empty, baseline) == [
+        "cacm-s: missing from the current run"
+    ]
+
+
+def test_compare_surfaces_current_violations():
+    failures = compare_reports(make_report(ok=False), make_report())
+    assert any("observable" in failure for failure in failures)
+
+
+# -- printer --------------------------------------------------------------
+
+def test_print_report_smoke(capsys):
+    _print_report(make_report())
+    out = capsys.readouterr().out
+    assert "cacm-s" in out
+    assert "N2xR1" in out and "N4xR2" in out
+    assert "re-replication" in out
+    assert "split 2->4" in out
+    assert "trace deterministic: True" in out
+
+    _print_report(make_report(ok=False))
+    assert "VIOLATION" in capsys.readouterr().out
+
+
+# -- exit codes -----------------------------------------------------------
+
+def _patch_run(monkeypatch, report):
+    def fake_run(profiles, config_name, n_queries, out_path=None):
+        if out_path is not None:
+            out_path.write_text(json.dumps(report) + "\n")
+        return report
+
+    monkeypatch.setattr(failover_bench, "run_benchmark", fake_run)
+
+
+def test_main_exit_codes_without_check(tmp_path, monkeypatch):
+    out = tmp_path / "BENCH_failover.json"
+    _patch_run(monkeypatch, make_report(ok=True))
+    assert failover_bench.main(["--out", str(out)]) == 0
+    assert json.loads(out.read_text())["ok"] is True
+
+    _patch_run(monkeypatch, make_report(ok=False))
+    assert failover_bench.main(["--out", str(out)]) == 1
+
+
+def test_check_passes_and_fails_against_baseline(tmp_path, monkeypatch):
+    baseline_path = tmp_path / "BENCH_failover.json"
+    baseline_path.write_text(json.dumps(make_report()) + "\n")
+
+    _patch_run(monkeypatch, make_report())
+    assert failover_bench.main(
+        ["--check", "--baseline", str(baseline_path)]
+    ) == 0
+
+    _patch_run(monkeypatch, make_report(failovers=5))
+    assert failover_bench.main(
+        ["--check", "--baseline", str(baseline_path)]
+    ) == 1
+
+
+def test_check_restricted_profiles_gate_only_that_subset(
+    tmp_path, monkeypatch
+):
+    # The nightly job checks two of the four baseline collections; the
+    # untested profiles must not count as "missing from the current run".
+    baseline = make_report()
+    baseline["profiles"]["legal-s"] = make_cell()
+    baseline_path = tmp_path / "BENCH_failover.json"
+    baseline_path.write_text(json.dumps(baseline) + "\n")
+
+    _patch_run(monkeypatch, make_report())
+    assert failover_bench.main(
+        ["--profile", "cacm-s", "--check", "--baseline", str(baseline_path)]
+    ) == 0
+
+
+def test_check_profile_absent_from_baseline_is_operator_error(
+    tmp_path, monkeypatch, capsys
+):
+    baseline_path = tmp_path / "BENCH_failover.json"
+    baseline_path.write_text(json.dumps(make_report()) + "\n")
+
+    _patch_run(monkeypatch, make_report())
+    assert failover_bench.main(
+        ["--profile", "legal-s", "--check", "--baseline", str(baseline_path)]
+    ) == 2
+    assert "lacks profile" in capsys.readouterr().out
+
+
+def test_check_missing_baseline_is_operator_error(tmp_path, monkeypatch, capsys):
+    _patch_run(monkeypatch, make_report())
+    missing = tmp_path / "nope.json"
+    assert failover_bench.main(["--check", "--baseline", str(missing)]) == 2
+    out = capsys.readouterr().out
+    assert "no baseline" in out
+    assert "\n" not in out.strip()  # a one-line diagnosis, not a traceback
+
+
+def test_check_unparsable_baseline_is_operator_error(
+    tmp_path, monkeypatch, capsys
+):
+    _patch_run(monkeypatch, make_report())
+    mangled = tmp_path / "BENCH_failover.json"
+    mangled.write_text("{not json")
+    assert failover_bench.main(["--check", "--baseline", str(mangled)]) == 2
+    assert "not valid JSON" in capsys.readouterr().out
+
+    mangled.write_text(json.dumps({"benchmark": "failover"}))
+    assert failover_bench.main(["--check", "--baseline", str(mangled)]) == 2
+    assert "not a failover report" in capsys.readouterr().out

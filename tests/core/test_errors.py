@@ -105,3 +105,22 @@ def test_index_error_shadow_safety():
     # The library's IndexError_ deliberately does not shadow builtins.
     assert IndexError_ is not IndexError
     assert not issubclass(IndexError_, IndexError)
+
+
+def test_replication_errors_hierarchy():
+    from repro.errors import (
+        RebalanceInProgressError,
+        ReplicaFailedError,
+        ShardUnavailableError,
+    )
+
+    assert issubclass(ReplicaFailedError, ShardUnavailableError)
+    assert issubclass(RebalanceInProgressError, ReproError)
+    failed = ReplicaFailedError(1, 2, reason="mirror diverged")
+    assert (failed.shard_id, failed.replica_id) == (1, 2)
+    assert "replica 2" in str(failed) and "mirror diverged" in str(failed)
+    stale = RebalanceInProgressError(
+        reason="scheduler is stale", expected_epoch=0, actual_epoch=1
+    )
+    assert (stale.expected_epoch, stale.actual_epoch) == (0, 1)
+    assert "epoch 0" in str(stale) and "epoch 1" in str(stale)

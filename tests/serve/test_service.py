@@ -206,3 +206,71 @@ def test_key_of_agrees_across_spellings(prepared, config, pool):
     text = pool[0]
     assert service.key_of(text) == service.key_of(text.upper())
     assert service.key_of(text) != service.key_of(pool[1])
+
+
+# -- live rebalancing (shard split under the service) ----------------------
+
+def test_rebalance_invalidates_cache_epoch(prepared, config, pool):
+    """A pre-split cache entry must never be served post-split: the
+    cutover bumps the cache epoch, so the first post-split occurrence of
+    a previously cached query is a genuine miss (with the same bits)."""
+    service = QueryService(materialize(prepared, config, shards=2), workers=2)
+    text = pool[0]
+    before = service.serve_one(text)
+    assert service.serve_one(text).ranking == before.ranking
+    assert service.stats.cache_hits == 1
+    epoch_before = service.cache.epoch
+
+    report = service.rebalance(factor=2)
+    assert report.new_shards == 4
+    assert service.backend.n_shards == 4
+    assert service.cache.epoch == epoch_before + 1
+    assert service.stats.rebalances == 1
+    assert len(service.cache) == 0
+
+    after = service.serve_one(text)
+    assert after.ranking == before.ranking
+    # Re-evaluated, not served from the stale epoch.
+    assert service.stats.cache_hits == 1
+    assert service.stats.evaluated == 2
+
+
+def test_rebalance_mid_stream_is_invisible(
+    prepared, config, pool, taat_reference
+):
+    """Half the pool on N=2, split live, the rest on N=4: every served
+    result still bit-identical to the cold single-disk reference."""
+    service = QueryService(
+        materialize(prepared, config, shards=2, replicas=1), workers=2
+    )
+    half = len(pool) // 2
+    first = service.process(burst(pool[:half]), name="pre-split")
+    service.rebalance(factor=2)
+    second = service.process(burst(pool[half:]), name="post-split")
+    for report in (first, second):
+        for row in report.served:
+            assert row.result.ranking == taat_reference[row.text], row.text
+    assert service.stats.rebalances == 1
+    assert service.stats.degraded_served == 0
+
+
+def test_rebalance_requires_sharded_backend(prepared, config):
+    service = QueryService(materialize(prepared, config))
+    with pytest.raises(ConfigError):
+        service.rebalance()
+
+
+def test_service_absorbs_replica_failover(prepared, config, pool, taat_reference):
+    """A dead primary behind the service: zero degraded results, the
+    failover surfaced in ServiceStats, rankings still reference-equal."""
+    backend = materialize(prepared, config, shards=2, replicas=1)
+    backend.fault_shard(0, FaultPlan.dead_disk(label="s0/r0"), replica_id=0)
+    service = QueryService(backend, workers=2)
+    report = service.process(burst(pool[:6]), name="failover")
+    assert service.stats.degraded_served == 0
+    assert service.stats.failovers >= 1
+    assert any(
+        replica == 1 for (shard, replica) in service.stats.replica_busy_ms
+    )
+    for row in report.served:
+        assert row.result.ranking == taat_reference[row.text]

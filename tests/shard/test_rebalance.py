@@ -1,0 +1,192 @@
+"""Shard splitting: refinement math, byte-identity, atomic cutover.
+
+A split is only allowed to be *boring*: the refined partitioner must
+send every document to a child of its current shard, the streamed child
+platters must be byte-for-byte what a stop-the-world rebuild at the new
+shard count would produce, and rankings before and after must both be
+the single-disk reference.  The epoch bump is what makes the cutover
+atomic for observers — stale schedulers refuse to run rather than mix
+topologies.
+"""
+
+import pytest
+
+from repro.core import materialize
+from repro.errors import ConfigError, RebalanceInProgressError
+from repro.faults.plan import FaultPlan
+from repro.shard import (
+    make_partitioner,
+    materialize_sharded,
+    measure_sharded_run,
+    split_shards,
+)
+
+
+# -- partitioner refinement ------------------------------------------------
+
+@pytest.mark.parametrize("scheme", ["hash", "range"])
+@pytest.mark.parametrize("factor", [2, 3])
+def test_refinement_preserves_parents(prepared, scheme, factor):
+    old = make_partitioner(scheme, 2, n_docs=len(prepared.doctable.lengths))
+    new = old.refine(factor)
+    assert new.n_shards == 2 * factor
+    for doc_id in prepared.doctable.lengths:
+        child = new.shard_of(doc_id)
+        assert old.parent_of(child, factor) == old.shard_of(doc_id)
+
+
+@pytest.mark.parametrize("scheme", ["hash", "range"])
+def test_children_of_partitions_the_child_space(prepared, scheme):
+    old = make_partitioner(scheme, 2, n_docs=len(prepared.doctable.lengths))
+    seen = sorted(
+        child for parent in range(2) for child in old.children_of(parent, 2)
+    )
+    assert seen == [0, 1, 2, 3]
+
+
+def test_refine_rejects_trivial_factor(prepared):
+    part = make_partitioner("hash", 2, n_docs=len(prepared.doctable.lengths))
+    with pytest.raises(ConfigError):
+        part.refine(1)
+    with pytest.raises(ConfigError):
+        part.parent_of(5, 2)  # child id out of range
+
+
+# -- the split itself ------------------------------------------------------
+
+@pytest.mark.parametrize("scheme", ["hash", "range"])
+def test_split_platters_match_fresh_build(prepared, config, scheme):
+    sharded = materialize_sharded(
+        prepared, config, n_shards=2, partitioner=scheme
+    )
+    report = split_shards(sharded, factor=2)
+    assert (report.old_shards, report.new_shards) == (2, 4)
+    assert sharded.n_shards == 4
+    fresh = materialize_sharded(
+        prepared, config, n_shards=4, partitioner=scheme
+    )
+    for shard_id in range(4):
+        assert (
+            sharded.replica(shard_id, 0).fs.disk._blocks
+            == fresh.shards[shard_id].fs.disk._blocks
+        ), f"child {shard_id} diverged from the stop-the-world build"
+
+
+def test_split_rankings_stay_reference_identical(
+    prepared, config, query_sets, reference_rankings
+):
+    query_set = query_sets[0]
+    sharded = materialize_sharded(prepared, config, n_shards=2)
+    before = measure_sharded_run(
+        sharded, query_set.queries, query_set_name=query_set.name
+    )
+    assert [r.ranking for r in before.results] == (
+        reference_rankings[query_set.name]
+    )
+    split_shards(sharded, factor=2)
+    after = measure_sharded_run(
+        sharded, query_set.queries, query_set_name=query_set.name
+    )
+    assert [r.ranking for r in after.results] == (
+        reference_rankings[query_set.name]
+    )
+
+
+def test_split_preserves_replication(prepared, config):
+    sharded = materialize_sharded(prepared, config, n_shards=2, replicas=1)
+    report = split_shards(sharded, factor=2)
+    assert report.replicas == 1
+    assert report.mirrors_verified == 4  # one mirror per child, verified
+    assert sharded.replicas == 1
+    for group in sharded.replica_groups:
+        assert group[0].fs.disk._blocks == group[1].fs.disk._blocks
+
+
+def test_split_streams_from_a_survivor(prepared, config):
+    """Primary of shard 0 dead: the stream reads replica 1 instead."""
+    from repro.core.metrics import cold_start
+
+    sharded = materialize_sharded(prepared, config, n_shards=2, replicas=1)
+    sharded.fault_shard(0, FaultPlan.dead_disk(label="s0/r0"), replica_id=0)
+    # Purge build-warm buffers so the dead disk is actually read: a warm
+    # machine could stream its whole platter from RAM, dead disk or not.
+    cold_start(sharded.replica(0, 0))
+    report = split_shards(sharded, factor=2)
+    assert report.source_replicas[0] == 1
+    assert report.source_replicas[1] == 0
+    fresh = materialize_sharded(prepared, config, n_shards=4)
+    for shard_id in range(4):
+        assert (
+            sharded.replica(shard_id, 0).fs.disk._blocks
+            == fresh.shards[shard_id].fs.disk._blocks
+        )
+
+
+def test_split_charges_the_source_clock(prepared, config):
+    sharded = materialize_sharded(prepared, config, n_shards=2)
+    before = [shard.clock.time.wall_ms for shard in sharded.shards]
+    old_shards = list(sharded.shards)
+    report = split_shards(sharded, factor=2)
+    for shard_id, old in enumerate(old_shards):
+        charged = old.clock.time.wall_ms - before[shard_id]
+        assert charged > 0.0
+        assert report.stream_ms[shard_id] == pytest.approx(charged)
+
+
+# -- atomicity and the epoch -----------------------------------------------
+
+def test_cutover_bumps_epoch_and_stales_schedulers(
+    prepared, config, query_sets
+):
+    sharded = materialize_sharded(prepared, config, n_shards=2)
+    stale = sharded.scheduler()
+    assert sharded.epoch == 0
+    split_shards(sharded, factor=2)
+    assert sharded.epoch == 1
+    with pytest.raises(RebalanceInProgressError):
+        stale.run_wave(query_sets[0].queries[:2])
+    with pytest.raises(RebalanceInProgressError):
+        stale.run_batch(query_sets[0].queries[:2])
+    # A fresh scheduler against the new topology serves fine.
+    fresh = sharded.scheduler()
+    outcome = fresh.run_wave(query_sets[0].queries[:2])
+    assert len(outcome.results) == 2
+
+
+def test_split_resets_health_state(prepared, config):
+    sharded = materialize_sharded(prepared, config, n_shards=2, replicas=1)
+    sharded.mark_down(1, replica_id=0)
+    split_shards(sharded, factor=2)
+    assert sharded.replicas_down == ()
+    assert sharded.shards_down == ()
+    assert sharded.live_shards == [0, 1, 2, 3]
+
+
+def test_failed_split_leaves_old_topology(prepared, config):
+    sharded = materialize_sharded(prepared, config, n_shards=2)
+    old_part = sharded.partitioner
+    old_groups = sharded.replica_groups
+    with pytest.raises(ConfigError):
+        split_shards(sharded, factor=1)
+    assert sharded.partitioner is old_part
+    assert sharded.replica_groups is old_groups
+    assert sharded.epoch == 0
+    # And the guard was released: a valid split still works afterwards.
+    split_shards(sharded, factor=2)
+    assert sharded.n_shards == 4
+
+
+def test_concurrent_split_is_refused(prepared, config):
+    sharded = materialize_sharded(prepared, config, n_shards=2)
+    sharded.begin_rebalance()
+    with pytest.raises(RebalanceInProgressError):
+        split_shards(sharded, factor=2)
+    sharded.abort_rebalance()
+
+
+def test_rereplicate_refused_during_rebalance(prepared, config):
+    sharded = materialize_sharded(prepared, config, n_shards=2, replicas=1)
+    sharded.begin_rebalance()
+    with pytest.raises(RebalanceInProgressError):
+        sharded.rereplicate(0, 1)
+    sharded.abort_rebalance()
