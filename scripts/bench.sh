@@ -28,6 +28,12 @@
 #                               # writes BENCH_failover.json at the root.
 #                               # Extra args pass through, e.g.
 #                               #   scripts/bench.sh failover --check
+#   scripts/bench.sh ingest     # live-ingest gate: mixed read/write traffic,
+#                               # every epoch bit-identical to a stop-the-world
+#                               # rebuild, compaction invisible; writes
+#                               # BENCH_ingest.json at the root. Extra args
+#                               # pass through, e.g.
+#                               #   scripts/bench.sh ingest --check
 #   scripts/bench.sh prune      # dynamic-pruning invariance + effect gate
 #                               # (pruned top-k bit-identical to exhaustive,
 #                               # documents_scored reduced); writes
@@ -65,6 +71,10 @@ case "${1:-all}" in
     prune)
         shift 2>/dev/null || true
         python -m repro.bench.prune "$@"
+        ;;
+    ingest)
+        shift 2>/dev/null || true
+        python -m repro.bench.ingest "$@"
         ;;
     --check)
         shift

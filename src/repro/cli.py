@@ -19,7 +19,9 @@ self-contained and deterministic):
 * ``saturate`` — overload-control gate: deterministic shedding past capacity;
 * ``prune``    — dynamic-pruning invariance and speedup benchmark;
 * ``failover`` — replication gate: single-replica kills invisible, live
-  re-replication byte-identical, mid-traffic 2→4 shard split.
+  re-replication byte-identical, mid-traffic 2→4 shard split;
+* ``ingest``   — live-ingest gate: mixed read/write traffic, every epoch
+  bit-identical to a stop-the-world rebuild, compaction invisible.
 
 ``demo`` additionally accepts ``--shards N`` (with ``--partitioner``) to
 serve the queries from an N-machine document-partitioned build instead
@@ -32,6 +34,9 @@ result cache) and each answer is annotated with its cache outcome.
 stream instead of one burst, and ``--deadline`` gives each request a
 relative deadline budget — requests the service sheds are printed with
 their verdict instead of a ranking (both require ``--serve``).
+``--ingest N`` applies a live mutation batch first — N fresh documents
+added, N//3 of the lowest live ids tombstone-deleted, one epoch
+published — so the demo queries run against the mutated corpus.
 """
 
 import argparse
@@ -121,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline", type=float, default=0.0, metavar="MS",
         help="with --serve: per-request deadline budget in simulated ms "
              "(default 0 = no deadline; expired requests are shed)",
+    )
+    demo.add_argument(
+        "--ingest", type=int, default=0, metavar="N",
+        help="apply a live ingest batch first: add N documents, "
+             "tombstone-delete N//3, publish one epoch",
     )
 
     compare = commands.add_parser(
@@ -244,6 +254,21 @@ def build_parser() -> argparse.ArgumentParser:
     failover.add_argument("--out", default=None,
                           help="write the JSON report here")
 
+    ingest = commands.add_parser(
+        "ingest", help="live-ingest gate: mixed read/write traffic, every "
+                       "epoch bit-identical to a stop-the-world rebuild"
+    )
+    ingest.add_argument("--profile", action="append", dest="profiles",
+                        help="collection profile (repeatable; default: "
+                             "all four)")
+    ingest.add_argument("--config", default="mneme-linked")
+    ingest.add_argument("--queries", type=int, default=6,
+                        help="queries per wave")
+    ingest.add_argument("--check", action="store_true",
+                        help="gate against the committed BENCH_ingest.json")
+    ingest.add_argument("--out", default=None,
+                        help="write the JSON report here")
+
     return parser
 
 
@@ -263,6 +288,27 @@ def cmd_profiles() -> int:
         rows,
     ))
     return 0
+
+
+def _ingest_batch(profile_name: str, pipeline, count: int):
+    """The demo's deterministic mutation batch: +count docs, -count//3."""
+    from .live import LiveCorpus
+    from .synth import SyntheticCollection
+
+    corpus = LiveCorpus(SyntheticCollection(PROFILES[profile_name]))
+    adds = corpus.new_documents(count, after=corpus.base_count)
+    live = sorted(pipeline.epochs.live_docs())
+    deletes = corpus.documents_for(live[: count // 3])
+    return adds, deletes
+
+
+def _print_ingest_line(report) -> None:
+    shards = ",".join(str(s) for s in report.shards_touched)
+    print(
+        f"Ingest: epoch {report.epoch} published "
+        f"(+{report.docs_added}/-{report.docs_deleted} docs, "
+        f"shards [{shards}], {report.wall_ms:.1f} simulated ms)"
+    )
 
 
 def _print_prune_line(result) -> None:
@@ -290,6 +336,9 @@ def cmd_demo(args) -> int:
     if args.replicas and not (args.shards and args.shards > 1):
         print("--replicas requires --shards N (N > 1)", file=sys.stderr)
         return 2
+    if args.ingest < 0:
+        print("--ingest must be non-negative", file=sys.stderr)
+        return 2
     print(f"Building {args.profile!r} on {args.config!r} ...")
     workload = load_workload(args.profile)
     if args.serve:
@@ -300,6 +349,12 @@ def cmd_demo(args) -> int:
             shards=args.shards, partitioner=args.partitioner,
             replicas=args.replicas,
         )
+        if args.ingest:
+            from .live import IngestPipeline
+
+            pipeline = IngestPipeline(sharded)
+            adds, deletes = _ingest_batch(args.profile, pipeline, args.ingest)
+            _print_ingest_line(pipeline.apply(adds=adds, deletes=deletes))
         scheduler = sharded.scheduler(
             top_k=args.top_k, engine="daat" if args.daat else "taat",
             prune=args.prune,
@@ -339,6 +394,12 @@ def cmd_demo(args) -> int:
                 )
         return 0
     system = materialize(workload.prepared, config_by_name(args.config))
+    if args.ingest:
+        from .live import IngestPipeline
+
+        pipeline = IngestPipeline(system)
+        adds, deletes = _ingest_batch(args.profile, pipeline, args.ingest)
+        _print_ingest_line(pipeline.apply(adds=adds, deletes=deletes))
     if args.daat:
         engine = DocumentAtATimeEngine(
             system.index, top_k=args.top_k, prune=args.prune
@@ -375,6 +436,11 @@ def _demo_serve(args, workload) -> int:
         top_k=args.top_k,
         prune=args.prune,
     )
+    if args.ingest:
+        adds, deletes = _ingest_batch(
+            args.profile, service.ingest_pipeline, args.ingest
+        )
+        _print_ingest_line(service.ingest(adds=adds, deletes=deletes))
     if args.rate > 0:
         # A seeded Poisson spread of the demo queries, so --deadline has
         # queueing to bite on; deterministic for a given query list.
@@ -703,6 +769,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out:
             argv2 += ["--out", args.out]
         return failover_main(argv2)
+    if args.command == "ingest":
+        from .bench.ingest import main as ingest_main
+
+        argv2 = []
+        for profile in args.profiles or []:
+            argv2 += ["--profile", profile]
+        argv2 += ["--config", args.config]
+        argv2 += ["--queries", str(args.queries)]
+        if args.check:
+            argv2 += ["--check"]
+        if args.out:
+            argv2 += ["--out", args.out]
+        return ingest_main(argv2)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -63,6 +63,30 @@ class RecordArrays:
         return out
 
 
+def filter_record_arrays(arrays: "RecordArrays", dead: set) -> "RecordArrays":
+    """Drop tombstoned documents from a decoded record.
+
+    Returns a fresh :class:`RecordArrays` holding only the live
+    documents (the input, which may be cache-shared, is untouched).
+    Equivalent to filtering the reference posting list by doc id.
+    """
+    if not dead or arrays.doc_ids.size == 0:
+        return arrays
+    keep = ~np.isin(arrays.doc_ids, np.fromiter(dead, dtype=np.int64))
+    if keep.all():
+        return arrays
+    doc_ids = arrays.doc_ids[keep]
+    tf = arrays.tf[keep]
+    positions = arrays.positions[np.repeat(keep, arrays.tf)]
+    if tf.size:
+        pos_starts = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(tf[:-1], dtype=np.int64))
+        )
+    else:
+        pos_starts = np.empty(0, dtype=np.int64)
+    return RecordArrays(doc_ids, tf, positions, pos_starts)
+
+
 class DecodeCache:
     """Bounded LRU memo of decoded records.
 

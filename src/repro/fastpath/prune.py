@@ -99,23 +99,51 @@ class PruneOutcome:
     failed: int = 0
 
 
-def _block_decoder(use_fastpath: bool) -> Callable[[bytes], tuple]:
+def _block_decoder(
+    use_fastpath: bool, tombstones: Optional[set] = None
+) -> Callable[[bytes], tuple]:
     """Raw block -> (doc ids, tfs), both ascending by document.
 
     The fast decoder returns the vectorized kernel's numpy columns (the
     fast driver slices them wholesale); the reference decoder returns
     pure-Python lists.  Both carry the same integers, so everything
     downstream — candidate order, bounds, scores, skip counters — is
-    decoder-independent.
+    decoder-independent.  ``tombstones`` drops logically deleted
+    documents at this single choke point; the per-block bound sidecars
+    stay keyed to the physical blocks and remain admissible (a dead
+    document can only make a bound stale-*high*).
     """
     if use_fastpath:
         from .codec import decode_record_arrays
+
+        if tombstones:
+            import numpy as np
+
+            dead_arr = np.fromiter(tombstones, dtype=np.int64)
+
+            def decode_fast_filtered(raw: bytes):
+                arrays = decode_record_arrays(raw)
+                keep = ~np.isin(arrays.doc_ids, dead_arr)
+                if keep.all():
+                    return arrays.doc_ids, arrays.tf
+                return arrays.doc_ids[keep], arrays.tf[keep]
+
+            return decode_fast_filtered
 
         def decode_fast(raw: bytes):
             arrays = decode_record_arrays(raw)
             return arrays.doc_ids, arrays.tf
 
         return decode_fast
+
+    if tombstones:
+        dead = tombstones
+
+        def decode_ref_filtered(raw: bytes):
+            postings = [(d, p) for d, p in decode_record(raw) if d not in dead]
+            return [d for d, _p in postings], [len(p) for _d, p in postings]
+
+        return decode_ref_filtered
 
     def decode_ref(raw: bytes):
         postings = decode_record(raw)
@@ -563,6 +591,10 @@ class _ChunkNE:
         if loaded is None:
             return
         docs, tfs = loaded
+        if not len(docs):
+            # A block left empty by tombstone filtering contributes no
+            # evidence (tf_col already defaults to 0 for its range).
+            return
         lo = bisect_left(blocks, block)
         hi = bisect_right(blocks, block)
         sub = self.chunk[lo:hi]
@@ -727,6 +759,7 @@ def run_pruned(
     clock,
     top_k: int,
     use_fastpath: bool,
+    tombstones: Optional[set] = None,
 ) -> PruneOutcome:
     """Top-k evaluation of one flat #sum/#wsum query with MaxScore.
 
@@ -758,7 +791,8 @@ def run_pruned(
     outcome = PruneOutcome(ranking=[])
     failures = [0]
     evaluator = _Evaluator(
-        _block_decoder(use_fastpath), clock, weights, total_weight, weighted,
+        _block_decoder(use_fastpath, tombstones), clock, weights,
+        total_weight, weighted,
         lambda: failures.__setitem__(0, failures[0] + 1),
     )
 

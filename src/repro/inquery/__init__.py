@@ -31,7 +31,9 @@ from .indexer import (
     IndexBuilder,
     IndexStats,
     add_document_incremental,
+    fold_tombstones,
     remove_document_incremental,
+    tombstone_document_incremental,
 )
 from .invfile import (
     BTreeInvertedFile,
@@ -82,6 +84,7 @@ from .streams import (
     ChunkedRecordStream,
     FaultTolerantStream,
     PostingStream,
+    TombstoneFilterStream,
     WholeRecordStream,
     merge_streams,
 )
@@ -96,6 +99,7 @@ __all__ = [
     "DocumentAtATimeEngine",
     "LinkedMnemeInvertedFile",
     "PostingStream",
+    "TombstoneFilterStream",
     "WholeRecordStream",
     "join_chunk_records",
     "merge_streams",
@@ -146,6 +150,7 @@ __all__ = [
     "encode_record",
     "evaluate_ranking",
     "evaluate_run",
+    "fold_tombstones",
     "format_query",
     "is_stopword",
     "merge_records",
@@ -159,6 +164,7 @@ __all__ = [
     "stem",
     "term_match_positions",
     "tokenize",
+    "tombstone_document_incremental",
     "uncompressed_size",
     "vbyte_decode",
     "vbyte_encode",

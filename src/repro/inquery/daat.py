@@ -29,7 +29,12 @@ from .engine import DEFAULT_TOP_K, QueryResult
 from .indexer import CollectionIndex
 from .network import DEFAULT_BELIEF, inquery_idf
 from .query import OpNode, QueryNode, TermNode, count_nodes, parse_query
-from .streams import FaultTolerantStream, PostingStream, merge_streams
+from .streams import (
+    FaultTolerantStream,
+    PostingStream,
+    TombstoneFilterStream,
+    merge_streams,
+)
 
 
 @dataclass
@@ -163,11 +168,12 @@ class DocumentAtATimeEngine:
                     # record degrades to "term contributes no evidence".
                     failed[0] += 1
                     continue
-                streams.append(
-                    (position, FaultTolerantStream(
-                        inner, lambda _error: failed.__setitem__(0, failed[0] + 1)
-                    ))
+                stream: PostingStream = FaultTolerantStream(
+                    inner, lambda _error: failed.__setitem__(0, failed[0] + 1)
                 )
+                if self.index.tombstones:
+                    stream = TombstoneFilterStream(stream, self.index.tombstones)
+                streams.append((position, stream))
                 lookups += 1
                 idf[position] = inquery_idf(n_docs, entry.df)
                 self.clock.charge_user(
@@ -290,6 +296,7 @@ class DocumentAtATimeEngine:
                 self.clock,
                 self.top_k,
                 self.use_fastpath,
+                tombstones=self.index.tombstones,
             )
         finally:
             self.index.store.release_reservations()

@@ -118,6 +118,12 @@ class _IndexProvider(TermProvider):
         if record is None:
             return None
         postings = decode_record(record)
+        # Tombstoned documents are filtered *before* the per-posting
+        # charge, so a query sees (and pays for) exactly the postings a
+        # fresh build of the live corpus would contain.
+        dead = self._index.tombstones
+        if dead:
+            postings = [(d, p) for d, p in postings if d not in dead]
         self._clock.charge_user(
             self._clock.cost.cpu_ms_per_posting * sum(len(p) for _d, p in postings)
         )
@@ -149,6 +155,14 @@ class _FastIndexProvider(_IndexProvider):
             arrays = decode_record_arrays(record)
             if cache is not None:
                 cache.put(record, arrays)
+        # The cache stays keyed by (and holds) the *unfiltered* decode;
+        # tombstones are dropped after retrieval, before the charge, so
+        # the cost matches the reference path's filtered `sum(len(p))`.
+        dead = self._index.tombstones
+        if dead:
+            from ..fastpath.codec import filter_record_arrays
+
+            arrays = filter_record_arrays(arrays, dead)
         # Identical charge to the reference path: one unit per position
         # (`sum(len(p))` over the decoded postings == ctf).
         self._clock.charge_user(

@@ -61,6 +61,10 @@ class CollectionIndex:
     stats: IndexStats
     stopwords: frozenset = frozenset()
     stem_fn: Callable[[str], str] = default_stem
+    #: Doc ids deleted but not yet folded out of the records.  Engines
+    #: filter these at postings-decode time; compaction rewrites the
+    #: affected records and clears the set (see ``fold_tombstones``).
+    tombstones: set = field(default_factory=set)
 
     def term_entry(self, raw_term: str):
         """Dictionary entry for a raw (unstemmed) term, or ``None``.
@@ -97,6 +101,18 @@ class CollectionIndex:
             self.stats.compressed_bytes,
             self.stats.uncompressed_bytes,
         ))
+        tomb_name = "index.tomb"
+        if self.tombstones or self.fs.exists(tomb_name):
+            tomb_file = (
+                self.fs.open(tomb_name)
+                if self.fs.exists(tomb_name)
+                else self.fs.create(tomb_name)
+            )
+            doc_ids = sorted(self.tombstones)
+            tomb_file.truncate(0)
+            tomb_file.write(
+                0, struct.pack(f"<I{len(doc_ids)}I", len(doc_ids), *doc_ids)
+            )
         self.store.flush()
 
     @classmethod
@@ -122,6 +138,12 @@ class CollectionIndex:
             raw = fs.open("index.stats").read(0, cls._STATS.size)
             (stats.documents, stats.postings, stats.records,
              stats.compressed_bytes, stats.uncompressed_bytes) = cls._STATS.unpack(raw)
+        tombstones: set = set()
+        if fs.exists("index.tomb"):
+            tomb_file = fs.open("index.tomb")
+            raw = tomb_file.read(0, tomb_file.size)
+            (count,) = struct.unpack_from("<I", raw, 0)
+            tombstones = set(struct.unpack_from(f"<{count}I", raw, 4))
         return cls(
             fs=fs,
             dictionary=dictionary,
@@ -130,6 +152,7 @@ class CollectionIndex:
             stats=stats,
             stopwords=frozenset(stopwords),
             stem_fn=stem_fn,
+            tombstones=tombstones,
         )
 
 
@@ -336,6 +359,11 @@ def add_document_incremental(index: CollectionIndex, document: Document) -> None
     """
     if document.doc_id in index.doctable:
         raise IndexError_(f"document id {document.doc_id} already indexed")
+    if document.doc_id in index.tombstones:
+        raise IndexError_(
+            f"document id {document.doc_id} is tombstoned; "
+            "compact before reusing the id"
+        )
     tokens = document.term_stream(tokenize)
     by_term: Dict[str, List[int]] = {}
     kept = 0
@@ -374,6 +402,100 @@ def add_document_incremental(index: CollectionIndex, document: Document) -> None
     # Per-document updates are durable: open segments and tables are
     # written out (through the write-ahead log, when one is attached).
     index.store.flush()
+
+
+def tombstone_document_incremental(index: CollectionIndex, document: Document) -> int:
+    """Delete one document *logically*: mark it dead, touch no records.
+
+    This is the cheap-delete half of the paper's incremental-update
+    story: instead of rewriting every record that mentions the document
+    (``remove_document_incremental``), the doc id joins the index's
+    tombstone set and the engines filter it out at postings-decode time.
+    The caller supplies the :class:`Document` (synthetic corpora can
+    regenerate it deterministically) so the per-term ``df``/``ctf``
+    dictionary statistics — which DAAT and the pruning engine read
+    instead of decoded postings — can be adjusted exactly without a
+    single record fetch.  ``max_tf`` and the chunk-bound sidecars are
+    left stale-*high*, which is admissible: an overestimated ceiling can
+    never over-prune.  Compaction (``fold_tombstones``) later rewrites
+    the records and recomputes exact bounds.
+
+    Returns the number of distinct terms whose statistics were adjusted.
+    """
+    doc_id = document.doc_id
+    if doc_id not in index.doctable:
+        raise IndexError_(f"unknown document id {doc_id}")
+    if doc_id in index.tombstones:
+        raise IndexError_(f"document id {doc_id} already tombstoned")
+    tokens = document.term_stream(tokenize)
+    by_term: Dict[str, int] = {}
+    kept = 0
+    for token in tokens:
+        normalized = normalize_term(token, index.stopwords, index.stem_fn)
+        if normalized is None:
+            continue
+        by_term[normalized] = by_term.get(normalized, 0) + 1
+        kept += 1
+    if kept != index.doctable.length_of(doc_id):
+        raise IndexError_(
+            f"document {doc_id} token stream does not match the indexed "
+            f"length ({kept} != {index.doctable.length_of(doc_id)})"
+        )
+    for term, tf in sorted(by_term.items()):
+        entry = index.dictionary.lookup(term)
+        if entry is None or entry.df == 0:
+            raise IndexError_(
+                f"document {doc_id} mentions {term!r}, which the "
+                "dictionary does not carry — wrong document supplied?"
+            )
+        entry.df -= 1
+        entry.ctf -= tf
+    index.doctable.remove(doc_id)
+    index.tombstones.add(doc_id)
+    index.stats.documents -= 1
+    index.stats.postings -= kept
+    index.store.flush()
+    return len(by_term)
+
+
+def fold_tombstones(index: CollectionIndex) -> int:
+    """Rewrite every record that still carries a tombstoned posting.
+
+    The physical half of the tombstone delete, run at compaction time:
+    records are fetched, filtered, and written back (the same record
+    path as ``remove_document_incremental``), exact ``max_tf`` and chunk
+    bounds are recomputed from the kept postings, and the tombstone set
+    empties — after which the deleted doc ids may be reused.  Returns
+    the number of records rewritten.
+    """
+    if not index.tombstones:
+        return 0
+    from .postings import decode_record
+
+    dead = index.tombstones
+    rewritten = 0
+    for entry in index.dictionary.entries():
+        if entry.storage_key == 0:
+            continue
+        old = index.store.fetch(entry.storage_key)
+        postings = decode_record(old)
+        kept = [(d, p) for d, p in postings if d not in dead]
+        if len(kept) == len(postings):
+            continue
+        entry.storage_key = index.store.update_record(
+            entry.storage_key, encode_record(kept)
+        )
+        # The whole record was just decoded, so the exact ceiling over
+        # the kept postings is free — including for records whose bound
+        # was previously unknown (this *upgrades* them to prunable).
+        entry.max_tf = max((len(p) for _d, p in kept), default=0)
+        entry.bounds_key = index.store.refresh_bounds(
+            entry.storage_key, entry.bounds_key
+        )
+        rewritten += 1
+    index.tombstones = set()
+    index.store.flush()
+    return rewritten
 
 
 def remove_document_incremental(index: CollectionIndex, doc_id: int) -> int:

@@ -181,6 +181,34 @@ class FaultTolerantStream(PostingStream):
         return batch
 
 
+class TombstoneFilterStream(PostingStream):
+    """Drops tombstoned documents from an inner stream's batches.
+
+    Implements only ``_refill`` — deliberately *not* ``_refill_raw`` —
+    so the fast-path scorer's raw-first probe hits the base class's
+    :class:`NotImplementedError` and falls back to consuming decoded
+    batches.  That keeps a single filtering point for both drivers: the
+    postings any consumer sees are exactly what a record rebuilt
+    without the dead documents would decode to.  Refill cadence and
+    ``resident_bytes`` transitions mirror the inner stream's (a batch
+    emptied by filtering is surfaced as an empty batch, which ``peek``
+    skips, exactly as it skips an inner empty batch).
+    """
+
+    def __init__(self, inner: PostingStream, dead: set):
+        super().__init__()
+        self._inner = inner
+        self._dead = dead
+        self.resident_bytes = inner.resident_bytes
+
+    def _refill(self) -> Optional[List[Posting]]:
+        batch = self._inner._refill()
+        self.resident_bytes = self._inner.resident_bytes
+        if batch is None:
+            return None
+        return [(d, p) for d, p in batch if d not in self._dead]
+
+
 def merge_streams(
     streams: List[Tuple[int, PostingStream]]
 ) -> Iterator[Tuple[int, List[Tuple[int, Posting]]]]:

@@ -1,0 +1,25 @@
+"""Live ingest: epoch-isolated continuous mutation of a serving index.
+
+The paper's incremental-update claim, made operational: document adds
+and tombstone deletes interleave with query traffic under snapshot-
+epoch isolation (:mod:`.epoch`), batches apply through the ordinary
+charged Mneme store and publish atomically with WAL epoch-commit
+markers (:mod:`.ingest`), and background compaction folds tombstones
+out with byte-identical post-compaction platters.  See DESIGN.md §11.
+"""
+
+from .corpus import LiveCorpus, RebuiltSystem, fresh_flat_index, reference_rankings
+from .epoch import EpochManager, EpochRecord
+from .ingest import CompactionSummary, IngestPipeline, IngestReport
+
+__all__ = [
+    "CompactionSummary",
+    "EpochManager",
+    "EpochRecord",
+    "IngestPipeline",
+    "IngestReport",
+    "LiveCorpus",
+    "RebuiltSystem",
+    "fresh_flat_index",
+    "reference_rankings",
+]

@@ -1,0 +1,317 @@
+"""The ingest pipeline: continuous mutation under epoch isolation.
+
+The paper's central claim for Mneme over the custom B-tree is cheap
+*incremental update* of a persistent inverted file.  This module turns
+the repo's until-now offline mutation primitives
+(:func:`~repro.inquery.indexer.add_document_incremental`, the new
+tombstone delete) into a serving-time pipeline: batches of document adds
+and deletes apply through the ordinary charged Mneme store — WAL on,
+``max_tf``/bound sidecars refreshed on every mutation so pruning stays
+admissible — and each batch publishes a new
+:class:`~repro.live.epoch.EpochManager` epoch atomically, sealed by a
+WAL epoch-commit marker so crash recovery lands on whole epochs only.
+
+Sharded systems route each mutation to the owning shard's replica group
+(every replica applies the identical operation sequence, so mirrors
+stay byte-identical — verified per published epoch) while every *other*
+shard receives the statistics-only half of the mutation: the global
+document table and the global per-term df/ctf that
+:meth:`~repro.shard.partition.ShardPrepared.serving_view` bakes into
+every shard at build time must keep meaning *global* under mutation, or
+sharded document-at-a-time scoring drifts from a stop-the-world
+rebuild.
+
+Compaction (:func:`IngestPipeline.compact`) folds tombstones out of the
+records (:func:`~repro.inquery.indexer.fold_tombstones`) and then runs
+:func:`repro.mneme.gc.compact` on each machine, concurrently with query
+traffic on the simulated clock; rewrites are deterministic, so
+post-compaction platters are byte-identical across replicas.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError, ReplicaFailedError
+from ..inquery import (
+    Document,
+    add_document_incremental,
+    fold_tombstones,
+    tombstone_document_incremental,
+)
+from ..inquery.normalize import normalize_term
+from ..inquery.text import tokenize
+from .epoch import EpochManager, EpochRecord
+
+
+@dataclass
+class IngestReport:
+    """One applied batch: what changed and what it cost."""
+
+    epoch: int
+    docs_added: int = 0
+    docs_deleted: int = 0
+    shards_touched: Tuple[int, ...] = ()
+    #: Critical-path simulated milliseconds (slowest machine's clock).
+    wall_ms: float = 0.0
+    #: Sum of simulated milliseconds across every machine touched.
+    machine_ms: float = 0.0
+    #: Replica groups whose platters were verified byte-identical.
+    groups_verified: int = 0
+    wal_marked: bool = False
+
+
+@dataclass
+class CompactionSummary:
+    """One concurrent compaction pass across every machine."""
+
+    records_rewritten: int = 0
+    bytes_reclaimed: int = 0
+    segments_copied: int = 0
+    tombstones_folded: int = 0
+    wall_ms: float = 0.0
+    machine_ms: float = 0.0
+    groups_verified: int = 0
+
+
+def _term_stats(document: Document, index) -> Tuple[Dict[str, int], int]:
+    """Per-term frequency of a document under the index's normalization."""
+    by_term: Dict[str, int] = {}
+    kept = 0
+    for token in document.term_stream(tokenize):
+        normalized = normalize_term(token, index.stopwords, index.stem_fn)
+        if normalized is None:
+            continue
+        by_term[normalized] = by_term.get(normalized, 0) + 1
+        kept += 1
+    return by_term, kept
+
+
+class IngestPipeline:
+    """Applies mutation batches to a flat or sharded live system.
+
+    ``backend`` is an :class:`~repro.core.prepared.IRSystem` or a
+    :class:`~repro.shard.system.ShardedIRSystem`; the pipeline detects
+    which by the presence of replica groups.  ``verify_replicas``
+    block-compares every replica group's platter after each published
+    epoch (and after compaction) — the mirrors-stay-byte-identical
+    contract — at the cost of a full in-memory comparison per batch.
+    """
+
+    def __init__(self, backend, verify_replicas: bool = True):
+        self.backend = backend
+        self.sharded = hasattr(backend, "replica_groups")
+        self.verify_replicas = verify_replicas
+        if self.sharded:
+            n_shards = backend.n_shards
+            doc_ids = backend.replica_groups[0][0].index.doctable.doc_ids()
+            # Every shard carries the global document table, so any one
+            # machine names the whole corpus.
+            self.epochs = EpochManager.for_corpus(doc_ids, n_shards=n_shards)
+        else:
+            self.epochs = EpochManager.for_corpus(
+                backend.index.doctable.doc_ids()
+            )
+
+    # -- machine plumbing -----------------------------------------------------
+
+    def _machines(self) -> List[Tuple[int, object]]:
+        """Every (shard id, machine) pair; flat systems are shard 0."""
+        if not self.sharded:
+            return [(0, self.backend)]
+        return [
+            (shard_id, machine)
+            for shard_id, group in enumerate(self.backend.replica_groups)
+            for machine in group
+        ]
+
+    def _global_stats(self, term: str) -> Optional[Tuple[int, int]]:
+        """Current global (df, ctf) of a term, from any dictionary that
+        carries it.  Build-time serving views bake global statistics
+        into every shard that stores the term, and this pipeline keeps
+        them global under mutation, so the first entry found is
+        authoritative."""
+        for _shard_id, machine in self._machines():
+            entry = machine.index.dictionary.lookup(term)
+            if entry is not None:
+                return entry.df, entry.ctf
+        return None
+
+    def _verify_groups(self) -> int:
+        """Block-compare every replica group's platters; returns groups
+        checked.  Divergence means a mutation was applied asymmetrically
+        — a bug, surfaced as :class:`ReplicaFailedError`."""
+        if not self.sharded:
+            return 0
+        verified = 0
+        for shard_id, group in enumerate(self.backend.replica_groups):
+            reference = group[0]
+            for replica_id, mirror in enumerate(group[1:], start=1):
+                if mirror.fs.disk._blocks != reference.fs.disk._blocks:
+                    raise ReplicaFailedError(
+                        shard_id, replica_id,
+                        reason="replica platter diverged after ingest",
+                    )
+            if len(group) > 1:
+                verified += 1
+        return verified
+
+    # -- mutations ------------------------------------------------------------
+
+    def _apply_add(self, document: Document) -> int:
+        """Route one add; returns the owning shard id."""
+        if not self.sharded:
+            add_document_incremental(self.backend.index, document)
+            return 0
+        owner = self.backend.partitioner.shard_of(document.doc_id)
+        by_term, kept = _term_stats(
+            document, self.backend.replica_groups[owner][0].index
+        )
+        # Global df/ctf snapshot *before* the mutation, for terms the
+        # owner has never stored (its dictionary must start from the
+        # global count or document-at-a-time idf drifts from a rebuild).
+        missing: Dict[str, Tuple[int, int]] = {}
+        owner_dict = self.backend.replica_groups[owner][0].index.dictionary
+        for term in by_term:
+            if owner_dict.lookup(term) is None:
+                stats = self._global_stats(term)
+                if stats is not None:
+                    missing[term] = stats
+        for machine in self.backend.replica_groups[owner]:
+            index = machine.index
+            for term, (df, ctf) in sorted(missing.items()):
+                entry = index.dictionary.add(term)
+                entry.df, entry.ctf = df, ctf
+            add_document_incremental(index, document)
+        for shard_id, group in enumerate(self.backend.replica_groups):
+            if shard_id == owner:
+                continue
+            for machine in group:
+                index = machine.index
+                index.doctable.add(document.doc_id, kept, document.name)
+                index.stats.documents += 1
+                index.stats.postings += kept
+                for term, tf in by_term.items():
+                    entry = index.dictionary.lookup(term)
+                    if entry is not None:
+                        entry.df += 1
+                        entry.ctf += tf
+        return owner
+
+    def _apply_delete(self, document: Document) -> int:
+        """Route one tombstone delete; returns the owning shard id."""
+        if not self.sharded:
+            tombstone_document_incremental(self.backend.index, document)
+            return 0
+        owner = self.backend.partitioner.shard_of(document.doc_id)
+        by_term, kept = _term_stats(
+            document, self.backend.replica_groups[owner][0].index
+        )
+        for machine in self.backend.replica_groups[owner]:
+            tombstone_document_incremental(machine.index, document)
+        for shard_id, group in enumerate(self.backend.replica_groups):
+            if shard_id == owner:
+                continue
+            for machine in group:
+                index = machine.index
+                index.doctable.remove(document.doc_id)
+                index.stats.documents -= 1
+                index.stats.postings -= kept
+                for term, tf in by_term.items():
+                    entry = index.dictionary.lookup(term)
+                    if entry is not None:
+                        entry.df -= 1
+                        entry.ctf -= tf
+        return owner
+
+    def apply(
+        self,
+        adds: Sequence[Document] = (),
+        deletes: Sequence[Document] = (),
+    ) -> IngestReport:
+        """Apply one batch (adds first, then deletes) and publish.
+
+        Deletes take full :class:`Document`\\ s, not bare ids: the token
+        stream lets the tombstone delete adjust per-term dictionary
+        statistics exactly without decoding a single record — the cheap
+        delete the tombstone mechanism exists for.  The epoch publishes
+        atomically after the whole batch: indexes saved, WAL
+        epoch-commit markers appended, then the in-memory epoch bumps.
+        A query admitted before this returns sees the previous epoch's
+        corpus exactly; one admitted after sees the new corpus exactly.
+        """
+        machines = self._machines()
+        starts = [(machine, machine.clock.snapshot()) for _s, machine in machines]
+        touched = set()
+        for document in adds:
+            touched.add(self._apply_add(document))
+        for document in deletes:
+            touched.add(self._apply_delete(document))
+
+        next_epoch = self.epochs.epoch + 1
+        wal_marked = False
+        for _shard_id, machine in machines:
+            machine.index.save()
+            mfile = getattr(machine.index.store, "mfile", None)
+            if mfile is not None and mfile.wal is not None:
+                mfile.wal.log_epoch(next_epoch)
+                wal_marked = True
+
+        record: EpochRecord = self.epochs.publish(
+            added=[d.doc_id for d in adds],
+            deleted=[d.doc_id for d in deletes],
+            shards_touched=sorted(touched) if self.sharded else (0,),
+        )
+        assert record.epoch == next_epoch
+
+        groups_verified = self._verify_groups() if self.verify_replicas else 0
+        elapsed = [machine.clock.since(start) for machine, start in starts]
+        return IngestReport(
+            epoch=record.epoch,
+            docs_added=len(adds),
+            docs_deleted=len(deletes),
+            shards_touched=record.shards_touched,
+            wall_ms=max((e.wall_ms for e in elapsed), default=0.0),
+            machine_ms=sum(e.wall_ms for e in elapsed),
+            groups_verified=groups_verified,
+            wal_marked=wal_marked,
+        )
+
+    # -- compaction -----------------------------------------------------------
+
+    def compact(self) -> CompactionSummary:
+        """Fold tombstones out and compact every machine's Mneme file.
+
+        Runs on the machines' simulated clocks, so it contends with
+        query traffic in simulated time exactly as a background thread
+        would.  Rankings are invariant: the postings queries can see do
+        not change (the decode-time filter already hid the dead
+        documents), and the recomputed exact bounds only *tighten*
+        pruning.  Rewrites and the segment-streaming compactor are
+        deterministic, so replica platters stay byte-identical.
+        """
+        machines = self._machines()
+        for _shard_id, machine in machines:
+            if getattr(machine.index.store, "mfile", None) is None:
+                raise ConfigError(
+                    "compaction requires a Mneme backend "
+                    f"(got {machine.config.backend!r})"
+                )
+        summary = CompactionSummary()
+        starts = [(machine, machine.clock.snapshot()) for _s, machine in machines]
+        from ..mneme import compact as gc_compact
+
+        for _shard_id, machine in machines:
+            index = machine.index
+            summary.tombstones_folded += len(index.tombstones)
+            summary.records_rewritten += fold_tombstones(index)
+            index.save()
+            report = gc_compact(index.store.mfile)
+            summary.bytes_reclaimed += report.bytes_reclaimed
+            summary.segments_copied += report.segments_copied
+        summary.groups_verified = (
+            self._verify_groups() if self.verify_replicas else 0
+        )
+        elapsed = [machine.clock.since(start) for machine, start in starts]
+        summary.wall_ms = max((e.wall_ms for e in elapsed), default=0.0)
+        summary.machine_ms = sum(e.wall_ms for e in elapsed)
+        return summary

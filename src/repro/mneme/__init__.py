@@ -41,7 +41,13 @@ from .pool import (
     Pool,
     SmallObjectPool,
 )
-from .recovery import RecoveryReport, RedoLog, recover
+from .recovery import (
+    EPOCH_MARKER_OFFSET,
+    RecoveryReport,
+    RedoLog,
+    recover,
+    recover_to_epoch,
+)
 from .segment import (
     SMALL_OBJECT_MAX,
     SMALL_SEGMENT_BYTES,
@@ -67,6 +73,7 @@ __all__ = [
     "ChunkedLargeObjectPool",
     "CompactionReport",
     "DirectorySegment",
+    "EPOCH_MARKER_OFFSET",
     "EXCLUSIVE",
     "FixedSlotSegment",
     "GCReport",
@@ -112,6 +119,7 @@ __all__ = [
     "reachable",
     "read_linked",
     "recover",
+    "recover_to_epoch",
     "slot_in_segment",
     "split_global",
     "write_linked",

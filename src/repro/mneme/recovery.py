@@ -27,6 +27,12 @@ from ..simdisk import SimFile
 _REC = struct.Struct("<4sQII")  # magic, target offset, length, payload CRC
 _REC_MAGIC = b"MWAL"
 
+#: Sentinel target offset marking an epoch-commit record.  No physical
+#: write can target it (SimFile offsets are far smaller), so ordinary
+#: replay recognises and skips markers unambiguously.
+EPOCH_MARKER_OFFSET = (1 << 64) - 1
+_EPOCH_PAYLOAD = struct.Struct("<Q")
+
 
 @dataclass
 class RecoveryReport:
@@ -35,6 +41,11 @@ class RecoveryReport:
     replayed: int = 0
     torn_tail: bool = False
     bytes_replayed: int = 0
+    #: Highest epoch-commit marker honoured by the replay (0 = none).
+    epoch: int = 0
+    #: Complete records discarded because they follow the last marker
+    #: (only :func:`recover_to_epoch` discards; plain replay leaves 0).
+    discarded: int = 0
 
 
 class RedoLog:
@@ -53,6 +64,13 @@ class RedoLog:
         record = _REC.pack(_REC_MAGIC, target_offset, len(data), zlib.crc32(data))
         self._file.write(self._end, record + data)
         self._end += _REC.size + len(data)
+
+    def log_epoch(self, epoch: int) -> None:
+        """Append an epoch-commit marker: every record before it belongs
+        to a fully published epoch.  Markers ride the ordinary record
+        framing (CRC included) so torn-tail detection covers them too.
+        """
+        self.log_write(EPOCH_MARKER_OFFSET, _EPOCH_PAYLOAD.pack(epoch))
 
     def checkpoint(self) -> None:
         """Discard the log: the main file is durable up to this point."""
@@ -114,6 +132,43 @@ def recover(log: RedoLog, main: SimFile) -> RecoveryReport:
     records, torn = log.records()
     report = RecoveryReport(torn_tail=torn)
     for offset, data in records:
+        if offset == EPOCH_MARKER_OFFSET:
+            (report.epoch,) = _EPOCH_PAYLOAD.unpack(data)
+            continue
+        if offset > main.size:
+            raise RecoveryError(
+                f"redo record targets offset {offset} past EOF {main.size}; "
+                "log does not match this file"
+            )
+        main.write(offset, data)
+        report.replayed += 1
+        report.bytes_replayed += len(data)
+    log.checkpoint()
+    return report
+
+
+def recover_to_epoch(log: RedoLog, main: SimFile) -> RecoveryReport:
+    """Replay only records covered by a complete epoch-commit marker.
+
+    The continuous-ingest crash contract: a batch's segment writes hit
+    the log first, the epoch marker lands after the whole batch, so a
+    crash at *any* byte of the log replays to the last fully published
+    epoch — never a half-published one.  Complete records after the
+    final marker (a batch that was cut mid-publish) are discarded, as
+    is everything after a torn record.  With no marker in the log,
+    nothing replays and the main file stays at the previous epoch.
+    """
+    records, torn = log.records()
+    report = RecoveryReport(torn_tail=torn)
+    committed = 0
+    for i, (offset, data) in enumerate(records):
+        if offset == EPOCH_MARKER_OFFSET:
+            committed = i + 1
+            (report.epoch,) = _EPOCH_PAYLOAD.unpack(data)
+    report.discarded = len(records) - committed
+    for offset, data in records[:committed]:
+        if offset == EPOCH_MARKER_OFFSET:
+            continue
         if offset > main.size:
             raise RecoveryError(
                 f"redo record targets offset {offset} past EOF {main.size}; "

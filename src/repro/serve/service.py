@@ -173,6 +173,8 @@ class ServiceStats:
     shed_deadline: int = 0    #: expired at wave formation
     failovers: int = 0        #: replica failovers absorbed while serving
     rebalances: int = 0       #: live topology cutovers (shard splits)
+    ingests: int = 0          #: mutation batches applied and published
+    compactions: int = 0      #: tombstone fold-out + store compaction passes
     #: Simulated busy milliseconds per shard, summed over every wave
     #: (sharded backends only) — the scheduler's ledger surfaced here.
     shard_busy_ms: Dict[int, float] = field(default_factory=dict)
@@ -419,6 +421,52 @@ class QueryService:
         self.invalidate_cache("rebalance-cutover")
         self.stats.rebalances += 1
         return report
+
+    @property
+    def ingest_pipeline(self):
+        """The lazily-built :class:`~repro.live.IngestPipeline` over this
+        service's backend.  One pipeline per service: the epoch manager
+        must see every mutation batch, or its per-epoch live-document
+        snapshots stop matching the index."""
+        pipeline = getattr(self, "_ingest_pipeline", None)
+        if pipeline is None:
+            from ..live import IngestPipeline
+
+            pipeline = IngestPipeline(self.backend)
+            self._ingest_pipeline = pipeline
+        return pipeline
+
+    def ingest(self, adds: Sequence = (), deletes: Sequence = ()):
+        """Apply one mutation batch between waves and publish its epoch.
+
+        Adds and deletes route through the incremental-update paths
+        (sharded backends route each mutation to the owning shard's
+        replica group), the batch publishes a new index epoch sealed by
+        a WAL epoch-commit marker, and the result cache epoch is bumped
+        exactly once — a request admitted before this call saw the old
+        corpus exactly, one admitted after sees the new corpus exactly.
+        Returns the :class:`~repro.live.IngestReport`.
+        """
+        self._check_open()
+        report = self.ingest_pipeline.apply(adds=adds, deletes=deletes)
+        self.invalidate_cache(f"ingest-epoch-{report.epoch}")
+        self.stats.ingests += 1
+        return report
+
+    def compact(self):
+        """Fold tombstones out and compact every machine's Mneme file.
+
+        Runs concurrently with query traffic on the simulated clocks.
+        Rankings are invariant under compaction — the decode-time
+        tombstone filter already hid the dead documents — so the cache
+        is deliberately *not* invalidated: every cached row is still
+        bit-identical to a cold evaluation.  Returns the
+        :class:`~repro.live.CompactionSummary`.
+        """
+        self._check_open()
+        summary = self.ingest_pipeline.compact()
+        self.stats.compactions += 1
+        return summary
 
     # -- normalization -----------------------------------------------------
 

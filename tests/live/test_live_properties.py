@@ -1,0 +1,114 @@
+"""Property tests: random mutation/query/compaction interleavings.
+
+For any interleaving of document adds, tombstone deletes, compactions,
+and queries — flat or sharded (N ∈ {1, 2}) — every query's rankings
+must be bit-identical to a stop-the-world rebuild of the corpus as of
+the epoch current at that point, and compaction must never change a
+ranking.  Rebuild references are cached by live-document set, since
+many interleavings pass through the same corpus states.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import materialize
+from repro.inquery import DEFAULT_TOP_K, DocumentAtATimeEngine, RetrievalEngine
+from repro.live import IngestPipeline, reference_rankings
+
+#: Queries fixed per run (from the conftest query fixtures, bound lazily
+#: so hypothesis never regenerates them per example).
+_REF_CACHE = {}
+
+ops_st = st.lists(
+    st.sampled_from(["add", "delete", "query", "compact"]),
+    min_size=2,
+    max_size=7,
+)
+
+
+def _reference(config, corpus, live_ids, queries, engine):
+    key = (frozenset(live_ids), tuple(queries), engine)
+    if key not in _REF_CACHE:
+        _REF_CACHE[key] = reference_rankings(
+            config, corpus.documents_for(live_ids), list(queries),
+            engine=engine,
+        )
+    return _REF_CACHE[key]
+
+
+def _live(backend, queries, sharded, engine, prune="off"):
+    if sharded:
+        outcome = backend.scheduler(
+            top_k=DEFAULT_TOP_K, engine=engine, prune=prune
+        ).run_wave(list(queries))
+        return {t: r.ranking for t, r in zip(queries, outcome.results)}
+    if engine == "daat":
+        runner = DocumentAtATimeEngine(
+            backend.index, top_k=DEFAULT_TOP_K, prune=prune
+        )
+    else:
+        runner = RetrievalEngine(backend.index, top_k=DEFAULT_TOP_K)
+    return {t: runner.run_query(t).ranking for t in queries}
+
+
+def run_interleaving(
+    ops, n_shards, prepared, corpus, config, queries, daat_queries
+):
+    if n_shards:
+        backend = materialize(
+            prepared, config, shards=n_shards,
+            replicas=1 if n_shards > 1 else 0,
+        )
+    else:
+        backend = materialize(prepared, config)
+    sharded = bool(n_shards)
+    pipeline = IngestPipeline(backend)
+    next_id = corpus.base_count + 64  # clear of other tests' extra ids
+    for op in ops:
+        if op == "add":
+            pipeline.apply(adds=corpus.new_documents(2, after=next_id))
+            next_id += 2
+        elif op == "delete":
+            live = sorted(pipeline.epochs.live_docs())
+            if len(live) <= 2:
+                continue
+            pipeline.apply(deletes=corpus.documents_for(live[:1]))
+        elif op == "compact":
+            before = _live(backend, queries, sharded, "taat")
+            pipeline.compact()
+            assert _live(backend, queries, sharded, "taat") == before
+        else:  # query: pin the current epoch, compare to its rebuild
+            live_ids = pipeline.epochs.live_docs()
+            assert _live(backend, queries, sharded, "taat") == _reference(
+                config, corpus, live_ids, queries, "taat"
+            )
+            assert _live(
+                backend, daat_queries, sharded, "daat", prune="auto"
+            ) == _reference(config, corpus, live_ids, daat_queries, "daat")
+    # Terminal check: whatever state the interleaving ended in matches.
+    live_ids = pipeline.epochs.live_docs()
+    assert _live(backend, queries, sharded, "taat") == _reference(
+        config, corpus, live_ids, queries, "taat"
+    )
+
+
+@given(ops=ops_st)
+@settings(max_examples=15, deadline=None)
+def test_flat_interleavings_match_rebuilds(
+    ops, prepared, corpus, config, queries, daat_queries
+):
+    run_interleaving(
+        ops, 0, prepared, corpus, config, queries, daat_queries
+    )
+
+
+@pytest.mark.parametrize("n_shards", [1, 2])
+@given(ops=ops_st)
+@settings(max_examples=8, deadline=None)
+def test_sharded_interleavings_match_rebuilds(
+    n_shards, ops, prepared, corpus, config, queries, daat_queries
+):
+    run_interleaving(
+        ops, n_shards, prepared, corpus, config, queries, daat_queries
+    )

@@ -116,3 +116,130 @@ def test_length_field_pointing_past_eof_is_a_torn_tail():
     records, torn = RedoLog(wal_file).records()
     assert records == [(0, b"ok")]
     assert torn
+
+
+# -- whole-epoch recovery: ingest batches sealed by epoch markers ---------
+#
+# The continuous-ingest WAL discipline: every segment write of a batch is
+# logged, then one epoch-commit marker seals the batch.  A crash at any
+# byte must recover to the last *fully published* epoch — a cut after a
+# delete's tombstone write but before its marker discards the whole
+# batch; a cut mid-batch never leaks a partial batch.
+
+from repro.mneme import EPOCH_MARKER_OFFSET, recover_to_epoch
+from repro.mneme.recovery import _EPOCH_PAYLOAD
+
+#: (target offset | "epoch", payload | epoch number) — two adds sealed by
+#: epoch 1, a delete-tombstone write sealed by epoch 2, then a mid-batch
+#: write cut off before its marker could land.
+EPOCH_SCRIPT = (
+    (0, b"add:doc-21"),
+    (16, b"add:doc-22"),
+    ("epoch", 1),
+    (32, b"tombstone:doc-3"),
+    ("epoch", 2),
+    (48, b"add:doc-23-uncommitted"),
+)
+
+
+def _build_epoch_log_image():
+    fs = _fresh_fs()
+    log = RedoLog(fs.create("wal"))
+    boundaries = [0]
+    for target, payload in EPOCH_SCRIPT:
+        if target == "epoch":
+            log.log_epoch(payload)
+            length = _EPOCH_PAYLOAD.size
+        else:
+            log.log_write(target, payload)
+            length = len(payload)
+        boundaries.append(boundaries[-1] + _REC.size + length)
+    return log._file.read(0, log.size), boundaries
+
+
+EPOCH_IMAGE, EPOCH_BOUNDARIES = _build_epoch_log_image()
+
+
+def _expected_epoch_state(cut: int):
+    """(epoch, replayed writes, discarded) for a log cut at ``cut``."""
+    complete = 0
+    while (
+        complete < len(EPOCH_SCRIPT)
+        and EPOCH_BOUNDARIES[complete + 1] <= cut
+    ):
+        complete += 1
+    committed = 0
+    epoch = 0
+    for i in range(complete):
+        if EPOCH_SCRIPT[i][0] == "epoch":
+            committed = i + 1
+            epoch = EPOCH_SCRIPT[i][1]
+    writes = [
+        EPOCH_SCRIPT[i] for i in range(committed)
+        if EPOCH_SCRIPT[i][0] != "epoch"
+    ]
+    return epoch, writes, complete - committed
+
+
+@pytest.mark.parametrize("cut", range(len(EPOCH_IMAGE) + 1))
+def test_every_cut_recovers_to_a_whole_epoch(cut):
+    fs = _fresh_fs()
+    wal_file = fs.create("wal")
+    if cut:
+        wal_file.write(0, EPOCH_IMAGE[:cut])
+    log = RedoLog(wal_file)
+    main = fs.create("main")
+    main.write(0, b"\x00" * 128)
+    before = main.read(0, 128)
+
+    epoch, writes, discarded = _expected_epoch_state(cut)
+    report = recover_to_epoch(log, main)
+    assert report.epoch == epoch
+    assert report.replayed == len(writes)
+    assert report.discarded == discarded
+    assert report.torn_tail == (cut not in EPOCH_BOUNDARIES)
+    for offset, payload in writes:
+        assert main.read(offset, len(payload)) == payload
+    # Nothing beyond the last sealed epoch leaked onto the main file:
+    # bytes outside the committed writes are untouched.
+    touched = {
+        i for offset, payload in writes
+        for i in range(offset, offset + len(payload))
+    }
+    after = main.read(0, 128)
+    for i in range(128):
+        if i not in touched:
+            assert after[i] == before[i]
+    # Recovery checkpointed; a rerun is a no-op at epoch 0.
+    assert log.size == 0
+    again = recover_to_epoch(log, main)
+    assert again.replayed == 0 and again.epoch == 0
+
+
+def test_plain_recover_skips_markers_but_replays_everything():
+    """Ordinary recovery honours markers as metadata only: every complete
+    write replays, and the report carries the last marker's epoch."""
+    fs = _fresh_fs()
+    wal_file = fs.create("wal")
+    wal_file.write(0, EPOCH_IMAGE)
+    main = fs.create("main")
+    main.write(0, b"\x00" * 128)
+    report = recover(RedoLog(wal_file), main)
+    assert report.epoch == 2
+    assert report.replayed == 4  # all writes, markers skipped
+    assert main.read(48, len(b"add:doc-23-uncommitted")) == b"add:doc-23-uncommitted"
+
+
+def test_epoch_marker_offset_is_unreachable_by_physical_writes():
+    """No physical record can alias the sentinel: replay would have to
+    target an offset past any real file, which raises instead."""
+    from repro.errors import RecoveryError
+
+    fs = _fresh_fs()
+    log = RedoLog(fs.create("wal"))
+    log.log_write(EPOCH_MARKER_OFFSET - 1, b"almost")
+    log.log_epoch(1)
+    main = fs.create("main")
+    main.write(0, b"\x00" * 64)
+    with pytest.raises(RecoveryError):
+        recover_to_epoch(log, main)
