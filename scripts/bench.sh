@@ -40,6 +40,13 @@
 #                               # BENCH_prune.json at the root. Extra args
 #                               # pass through, e.g.
 #                               #   scripts/bench.sh prune --profile tipster1-s
+#   scripts/bench.sh termcache  # decoded-term cache gate: cache-on serving
+#                               # bit-identical to cache-off (flat, pruned,
+#                               # sharded), budget respected, zero stale
+#                               # rankings through mixed ingest/query traffic;
+#                               # writes BENCH_termcache.json at the root.
+#                               # Extra args pass through, e.g.
+#                               #   scripts/bench.sh termcache --check
 #
 # Tier-1 tests (`python -m pytest`) never run these: pytest's testpaths
 # points at tests/, and the wall-clock bench is additionally marked tier2.
@@ -76,6 +83,10 @@ case "${1:-all}" in
         shift 2>/dev/null || true
         python -m repro.bench.ingest "$@"
         ;;
+    termcache)
+        shift 2>/dev/null || true
+        python -m repro.bench.termcache "$@"
+        ;;
     --check)
         shift
         python -m repro.bench.wallclock --check "$@"
@@ -84,6 +95,13 @@ case "${1:-all}" in
         python -m pytest benchmarks -q
         ;;
     *)
-        python -m pytest "benchmarks/bench_$1.py" -q
+        if [ -f "benchmarks/bench_$1.py" ]; then
+            python -m pytest "benchmarks/bench_$1.py" -q
+        else
+            echo "bench.sh: unknown gate '$1' (expected wallclock, shards," \
+                 "serve, saturate, failover, prune, ingest, termcache," \
+                 "--check, all, or a benchmarks/bench_<name>.py)" >&2
+            exit 2
+        fi
         ;;
 esac

@@ -42,7 +42,9 @@ from ..errors import QueryError
 from ..fastpath import state as _fastpath
 from ..inquery.daat import DocumentAtATimeEngine
 from ..inquery.daat import _flatten as _daat_flatten
+from ..inquery.engine import DEFAULT_TOP_K, RetrievalEngine
 from ..inquery.query import parse_query, query_terms
+from ..serve.termcache import TermCache
 from ..synth import PROFILES, SyntheticCollection, generate_query_set
 from .runner import PROFILE_ORDER
 
@@ -67,6 +69,8 @@ class PathRun:
     daat_obs: Dict[str, Tuple] = field(default_factory=dict)
     #: Per query set: pruned-vs-exhaustive observables on the linked build.
     prune_obs: Dict[str, dict] = field(default_factory=dict)
+    #: Per query set: term-cache-on observables on a repeat-heavy stream.
+    termcache_obs: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def end_to_end_s(self) -> float:
@@ -124,6 +128,38 @@ def _run_path(
             )
             run.phase_s[f"query:{query_set.name}"] = time.perf_counter() - start
             run.metrics[query_set.name] = metrics
+        # Decoded-term cache on a repeat-heavy stream (two passes over
+        # the query set): rankings must match the cache-off metrics run
+        # on both passes, and the cache counters and simulated clock
+        # must agree between the reference and fast paths.
+        for query_set in query_sets:
+            stream = list(query_set.queries) * 2
+            cold_start(system)
+            engine = RetrievalEngine(
+                system.index, top_k=DEFAULT_TOP_K,
+                use_reservation=config.use_reservation,
+                use_fastpath=fast,
+            )
+            cache = TermCache(1 << 22)
+            engine.term_cache = cache
+            clock_start = system.clock.snapshot()
+            start = time.perf_counter()
+            results = engine.run_batch(stream)
+            run.phase_s[f"termcache:{query_set.name}"] = (
+                time.perf_counter() - start
+            )
+            elapsed = system.clock.since(clock_start)
+            run.termcache_obs[query_set.name] = {
+                "rankings": [r.ranking for r in results],
+                "cache_off": [
+                    r.ranking for r in run.metrics[query_set.name].results
+                ] * 2,
+                "counters": (
+                    cache.stats.hits, cache.stats.misses,
+                    cache.stats.evictions, cache.stats.bytes,
+                ),
+                "clock": (elapsed.wall_ms, elapsed.user_ms, elapsed.system_io_ms),
+            }
         for query_set in query_sets:
             flat = _daat_queries(query_set.queries)
             if not flat:
@@ -287,6 +323,31 @@ def bench_profile(
             row["queries"] = reference[0].metrics[set_name].queries
             row["identical"] = checks
             invariant = invariant and all(checks.values())
+        elif phase.startswith("termcache:"):
+            set_name = phase.split(":", 1)[1]
+            ref_obs = reference[0].termcache_obs[set_name]
+            fast_obs = fast[0].termcache_obs[set_name]
+            checks = {
+                # The cache contract: cache-on rankings equal cache-off
+                # on both passes of the stream, on both paths.
+                "rankings_vs_cache_off": (
+                    ref_obs["rankings"] == ref_obs["cache_off"]
+                    and fast_obs["rankings"] == fast_obs["cache_off"]
+                ),
+                "rankings": ref_obs["rankings"] == fast_obs["rankings"],
+                "cache_counters": ref_obs["counters"] == fast_obs["counters"],
+                "simulated_clock": ref_obs["clock"] == fast_obs["clock"],
+            }
+            row["queries"] = len(ref_obs["rankings"])
+            row["identical"] = checks
+            invariant = invariant and all(checks.values())
+            hits, misses, evictions, resident = fast_obs["counters"]
+            row["termcache"] = {
+                "hits": hits,
+                "misses": misses,
+                "evictions": evictions,
+                "resident_bytes": resident,
+            }
         elif phase.startswith("daat:"):
             set_name = phase.split(":", 1)[1]
             checks = _daat_identical(

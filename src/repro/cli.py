@@ -21,7 +21,9 @@ self-contained and deterministic):
 * ``failover`` — replication gate: single-replica kills invisible, live
   re-replication byte-identical, mid-traffic 2→4 shard split;
 * ``ingest``   — live-ingest gate: mixed read/write traffic, every epoch
-  bit-identical to a stop-the-world rebuild, compaction invisible.
+  bit-identical to a stop-the-world rebuild, compaction invisible;
+* ``termcache`` — decoded-term cache gate: cache-on serving bit-identical
+  to cache-off, budget respected, zero stale rankings.
 
 ``demo`` additionally accepts ``--shards N`` (with ``--partitioner``) to
 serve the queries from an N-machine document-partitioned build instead
@@ -131,6 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--ingest", type=int, default=0, metavar="N",
         help="apply a live ingest batch first: add N documents, "
              "tombstone-delete N//3, publish one epoch",
+    )
+    demo.add_argument(
+        "--term-cache-kb", type=int, default=256, metavar="KB",
+        help="decoded-term cache budget per replica in KB (0 disables; "
+             "rankings are bit-identical either way)",
     )
 
     compare = commands.add_parser(
@@ -269,6 +276,22 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--out", default=None,
                         help="write the JSON report here")
 
+    termcache = commands.add_parser(
+        "termcache", help="decoded-term cache gate: cache-on serving "
+                          "bit-identical to cache-off, zero stale rankings"
+    )
+    termcache.add_argument("--profile", action="append", dest="profiles",
+                           help="collection profile (repeatable; default: "
+                                "all four)")
+    termcache.add_argument("--config", default="mneme-linked")
+    termcache.add_argument("--queries", type=int, default=6,
+                           help="distinct queries in the repeated pool")
+    termcache.add_argument("--check", action="store_true",
+                           help="gate against the committed "
+                                "BENCH_termcache.json")
+    termcache.add_argument("--out", default=None,
+                           help="write the JSON report here")
+
     return parser
 
 
@@ -311,6 +334,17 @@ def _print_ingest_line(report) -> None:
     )
 
 
+def _print_term_cache_line(stats) -> None:
+    """One line of decoded-term cache accounting under a demo run."""
+    if stats is None or stats.lookups == 0:
+        return
+    print(
+        f"\nTerm cache: {stats.hits}/{stats.lookups} hits "
+        f"({stats.hit_rate:.0%}), {stats.bytes} bytes resident "
+        f"(peak {stats.peak_bytes}), {stats.evictions} eviction(s)"
+    )
+
+
 def _print_prune_line(result) -> None:
     """One line of pruning provenance under a demo result."""
     if not getattr(result, "pruned", False):
@@ -339,6 +373,9 @@ def cmd_demo(args) -> int:
     if args.ingest < 0:
         print("--ingest must be non-negative", file=sys.stderr)
         return 2
+    if args.term_cache_kb < 0:
+        print("--term-cache-kb must be non-negative", file=sys.stderr)
+        return 2
     print(f"Building {args.profile!r} on {args.config!r} ...")
     workload = load_workload(args.profile)
     if args.serve:
@@ -358,6 +395,7 @@ def cmd_demo(args) -> int:
         scheduler = sharded.scheduler(
             top_k=args.top_k, engine="daat" if args.daat else "taat",
             prune=args.prune,
+            term_cache_bytes=args.term_cache_kb * 1024,
         )
         outcome = scheduler.run_batch(list(args.queries))
         if args.replicas:
@@ -392,6 +430,12 @@ def cmd_demo(args) -> int:
                     f"{sum(r.blocks_skipped for r in shard_results)} block(s) "
                     "skipped across shards"
                 )
+        if args.term_cache_kb > 0:
+            from .serve.termcache import merge_stats
+
+            _print_term_cache_line(merge_stats(
+                cache for _s, _r, cache in scheduler.term_caches()
+            ))
         return 0
     system = materialize(workload.prepared, config_by_name(args.config))
     if args.ingest:
@@ -406,6 +450,10 @@ def cmd_demo(args) -> int:
         )
     else:
         engine = RetrievalEngine(system.index, top_k=args.top_k)
+    if args.term_cache_kb > 0:
+        from .serve import TermCache
+
+        engine.term_cache = TermCache(args.term_cache_kb * 1024)
     for query in args.queries:
         result = engine.run_query(query)
         print(f"\nQuery: {query}")
@@ -414,6 +462,8 @@ def cmd_demo(args) -> int:
         for rank, (doc_id, belief) in enumerate(result.ranking, start=1):
             print(f"  {rank:>3d}. doc {doc_id:<8d} belief={belief:.4f}")
         _print_prune_line(result)
+    if engine.term_cache is not None:
+        _print_term_cache_line(engine.term_cache.stats)
     return 0
 
 
@@ -435,6 +485,7 @@ def _demo_serve(args, workload) -> int:
         engine="daat" if args.daat else "taat",
         top_k=args.top_k,
         prune=args.prune,
+        term_cache_bytes=args.term_cache_kb * 1024,
     )
     if args.ingest:
         adds, deletes = _ingest_batch(
@@ -477,9 +528,17 @@ def _demo_serve(args, workload) -> int:
     if service.cache is not None:
         stats = service.cache.stats
         print(
-            f"\nService: {report.waves} wave(s), cache "
-            f"{stats.hits}/{stats.lookups} hits, "
+            f"\nService: {report.waves} wave(s), result cache "
+            f"{stats.hits}/{stats.lookups} hits "
+            f"({stats.hit_rate:.0%}), "
             f"{len(service.cache)} entrie(s) resident"
+        )
+    term_stats = service.term_cache_stats()
+    if term_stats.lookups:
+        print(
+            f"Term cache: {term_stats.hits}/{term_stats.lookups} hits "
+            f"({term_stats.hit_rate:.0%}), {term_stats.bytes} bytes "
+            f"resident (peak {term_stats.peak_bytes})"
         )
     if report.shed:
         print(
@@ -782,6 +841,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out:
             argv2 += ["--out", args.out]
         return ingest_main(argv2)
+    if args.command == "termcache":
+        from .bench.termcache import main as termcache_main
+
+        argv2 = []
+        for profile in args.profiles or []:
+            argv2 += ["--profile", profile]
+        argv2 += ["--config", args.config]
+        argv2 += ["--queries", str(args.queries)]
+        if args.check:
+            argv2 += ["--check"]
+        if args.out:
+            argv2 += ["--out", args.out]
+        return termcache_main(argv2)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

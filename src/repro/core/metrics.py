@@ -51,6 +51,14 @@ class RunMetrics:
     documents_skipped: int = 0
     blocks_skipped: int = 0
     prune_threshold_updates: int = 0
+    #: Decoded-term cache counters (zero when no cache was attached).
+    #: Unlike the fields above these are not results-derived: harnesses
+    #: that attach a cache fill them from its
+    #: :class:`~repro.serve.termcache.TermCacheStats` after the run.
+    term_cache_hits: int = 0
+    term_cache_misses: int = 0
+    term_cache_evictions: int = 0
+    term_cache_bytes: int = 0
 
     @property
     def accesses_per_lookup(self) -> float:

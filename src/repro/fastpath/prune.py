@@ -84,6 +84,15 @@ from ..inquery.postings import decode_record
 PRUNE_STRIDE = 512
 
 
+def _entry_bytes(entry) -> int:
+    """Rough record size for the term-cache byte charge (df-proportional,
+    the same estimate the exhaustive engines use for the decode charge).
+    The tape is admitted at full-record size up front even though blocks
+    fill in lazily — conservative, so the budget can never be breached
+    by late fills."""
+    return 2 + entry.df * 4 + entry.ctf * 2
+
+
 @dataclass
 class PruneOutcome:
     """Ranking plus the pruning-effect counters for one query."""
@@ -99,36 +108,19 @@ class PruneOutcome:
     failed: int = 0
 
 
-def _block_decoder(
-    use_fastpath: bool, tombstones: Optional[set] = None
-) -> Callable[[bytes], tuple]:
-    """Raw block -> (doc ids, tfs), both ascending by document.
+def _block_decoder(use_fastpath: bool) -> Callable[[bytes], tuple]:
+    """Raw block -> (doc ids, tfs), both ascending by document, unfiltered.
 
     The fast decoder returns the vectorized kernel's numpy columns (the
     fast driver slices them wholesale); the reference decoder returns
     pure-Python lists.  Both carry the same integers, so everything
     downstream — candidate order, bounds, scores, skip counters — is
-    decoder-independent.  ``tombstones`` drops logically deleted
-    documents at this single choke point; the per-block bound sidecars
-    stay keyed to the physical blocks and remain admissible (a dead
-    document can only make a bound stale-*high*).
+    decoder-independent.  Tombstone filtering is a *separate* step
+    (:func:`_dead_filter`, applied per cursor after decode or after a
+    term-cache hit) so cached payloads stay epoch-raw and reusable.
     """
     if use_fastpath:
         from .codec import decode_record_arrays
-
-        if tombstones:
-            import numpy as np
-
-            dead_arr = np.fromiter(tombstones, dtype=np.int64)
-
-            def decode_fast_filtered(raw: bytes):
-                arrays = decode_record_arrays(raw)
-                keep = ~np.isin(arrays.doc_ids, dead_arr)
-                if keep.all():
-                    return arrays.doc_ids, arrays.tf
-                return arrays.doc_ids[keep], arrays.tf[keep]
-
-            return decode_fast_filtered
 
         def decode_fast(raw: bytes):
             arrays = decode_record_arrays(raw)
@@ -136,20 +128,44 @@ def _block_decoder(
 
         return decode_fast
 
-    if tombstones:
-        dead = tombstones
-
-        def decode_ref_filtered(raw: bytes):
-            postings = [(d, p) for d, p in decode_record(raw) if d not in dead]
-            return [d for d, _p in postings], [len(p) for _d, p in postings]
-
-        return decode_ref_filtered
-
     def decode_ref(raw: bytes):
         postings = decode_record(raw)
         return [d for d, _p in postings], [len(p) for _d, p in postings]
 
     return decode_ref
+
+
+def _dead_filter(use_fastpath: bool, dead) -> Optional[Callable]:
+    """(docs, tfs) -> (docs, tfs) with ``dead`` documents dropped.
+
+    Returns ``None`` when there is nothing to filter (the common case:
+    the decoded columns pass through untouched).  This is the single
+    tombstone choke point of the pruned path; the per-block bound
+    sidecars stay keyed to the physical blocks and remain admissible (a
+    dead document can only make a bound stale-*high*).
+    """
+    if not dead:
+        return None
+    if use_fastpath:
+        import numpy as np
+
+        dead_arr = np.fromiter(sorted(dead), dtype=np.int64)
+
+        def filter_fast(docs, tfs):
+            keep = ~np.isin(docs, dead_arr)
+            if keep.all():
+                return docs, tfs
+            return docs[keep], tfs[keep]
+
+        return filter_fast
+
+    dead_set = dead
+
+    def filter_ref(docs, tfs):
+        kept = [(d, t) for d, t in zip(docs, tfs) if d not in dead_set]
+        return [d for d, _t in kept], [t for _d, t in kept]
+
+    return filter_ref
 
 
 class _TermCursor:
@@ -159,6 +175,7 @@ class _TermCursor:
         "position", "source", "idf", "ub", "block", "offset",
         "docs", "tfs", "block_bytes", "cache_block", "cache_docs",
         "cache_tfs", "cache_bytes", "dead", "ub_table", "last_arr",
+        "tape", "dead_filter",
     )
 
     def __init__(self, position: int, source: PrunableSource, idf: float, ub: float):
@@ -178,6 +195,8 @@ class _TermCursor:
         self.dead = False
         self.ub_table = None         #: fast driver: per-block bound column
         self.last_arr = None         #: fast driver: last-doc fence column
+        self.tape = None             #: term-cache block dict, or None
+        self.dead_filter = None      #: post-decode tombstone filter
 
 
 class _Evaluator:
@@ -199,12 +218,33 @@ class _Evaluator:
     def fetch_decoded(self, cursor: _TermCursor, block: int):
         """Fetch + decode one block, charging decode CPU for the bytes
         actually transferred (exhaustive evaluation charges for whole
-        records; pruned evaluation pays only for what it reads)."""
+        records; pruned evaluation pays only for what it reads).
+
+        With a term-cache tape attached the block may already be
+        resident decoded: the store read and the decode charge are
+        elided, but the block still counts as fetched (it was not
+        pruned) and still reports its recorded raw size so the
+        resident-byte trajectory matches a cache-off run exactly.
+        Tombstone filtering happens *after* the tape, so cached columns
+        stay epoch-raw.
+        """
+        tape = cursor.tape
+        if tape is not None and block in tape:
+            docs, tfs, nbytes = tape[block]
+            cursor.source.mark_fetched(block)
+            if cursor.dead_filter is not None:
+                docs, tfs = cursor.dead_filter(docs, tfs)
+            return (docs, tfs), nbytes
         raw = cursor.source.fetch_block(block)
         self._clock.charge_user(
             self._clock.cost.cpu_ms_per_kb_decode * (len(raw) / 1024.0)
         )
-        return self._decode(raw), len(raw)
+        docs, tfs = self._decode(raw)
+        if tape is not None:
+            tape[block] = (docs, tfs, len(raw))
+        if cursor.dead_filter is not None:
+            docs, tfs = cursor.dead_filter(docs, tfs)
+        return (docs, tfs), len(raw)
 
     def track(self, grew: int) -> None:
         self.resident += grew
@@ -760,6 +800,7 @@ def run_pruned(
     top_k: int,
     use_fastpath: bool,
     tombstones: Optional[set] = None,
+    term_cache=None,
 ) -> PruneOutcome:
     """Top-k evaluation of one flat #sum/#wsum query with MaxScore.
 
@@ -790,11 +831,13 @@ def run_pruned(
     n_positions = len(weights)
     outcome = PruneOutcome(ranking=[])
     failures = [0]
+    dead_now = set(tombstones) if tombstones else set()
     evaluator = _Evaluator(
-        _block_decoder(use_fastpath, tombstones), clock, weights,
+        _block_decoder(use_fastpath), clock, weights,
         total_weight, weighted,
         lambda: failures.__setitem__(0, failures[0] + 1),
     )
+    base_filter = _dead_filter(use_fastpath, dead_now)
 
     cursors: Dict[int, _TermCursor] = {}
     for position, entry in live_entries:
@@ -806,9 +849,33 @@ def run_pruned(
             failures[0] += 1
             continue
         outcome.lookups += 1
-        cursors[position] = _TermCursor(
+        cursor = _TermCursor(
             position, source, idf, belief_bound(entry.max_tf, idf)
         )
+        cursor.dead_filter = base_filter
+        if term_cache is not None:
+            # The tape is tied to the record's physical block layout:
+            # compaction re-splitting the chunks changes the
+            # fingerprint, so the stale tape misses and is replaced.
+            fingerprint = (
+                entry.storage_key, source.n_blocks,
+                tuple(source.last_docs), tuple(source.max_tfs),
+            )
+            clock.charge_user(term_cache.probe_ms)
+            hit = term_cache.get("blocks", entry.term, fingerprint=fingerprint)
+            if hit is not None:
+                cursor.tape = hit.payload
+                cursor.dead_filter = _dead_filter(
+                    use_fastpath, hit.dead | dead_now
+                )
+            else:
+                tape = {}
+                term_cache.put(
+                    "blocks", entry.term, tape, _entry_bytes(entry),
+                    dead=dead_now, fingerprint=fingerprint,
+                )
+                cursor.tape = tape
+        cursors[position] = cursor
 
     # Benefit ordering: how much belief the term can add over an absent
     # term's default contribution.  Ascending, so the non-essential set

@@ -153,10 +153,20 @@ class PrunableSource:
 
     def fetch_block(self, index: int) -> bytes:
         """Raw bytes of block ``index`` (reads the store on first use)."""
+        self.mark_fetched(index)
+        return self._fetchers[index]()
+
+    def mark_fetched(self, index: int) -> None:
+        """Account block ``index`` as fetched without reading the store.
+
+        The serving layer's decoded-term cache replays blocks it already
+        holds decoded; those blocks were *not* skipped by pruning, so
+        ``blocks_fetched`` must count them exactly as a real fetch would
+        — only the store read and the decode are elided.
+        """
         if not self._fetched[index]:
             self._fetched[index] = True
             self.blocks_fetched += 1
-        return self._fetchers[index]()
 
     def block_of_doc(self, doc_id: int) -> int:
         """Index of the block whose document range covers ``doc_id``.

@@ -32,6 +32,8 @@ from .query import OpNode, QueryNode, TermNode, count_nodes, parse_query
 from .streams import (
     FaultTolerantStream,
     PostingStream,
+    RecordingStream,
+    ReplayStream,
     TombstoneFilterStream,
     merge_streams,
 )
@@ -118,6 +120,9 @@ class DocumentAtATimeEngine:
         if prune not in ("off", "auto", "require"):
             raise QueryError(f"unknown prune mode {prune!r}")
         self.prune = prune
+        #: Optional decoded-term cache attached by the serving layer
+        #: (``None`` = the historical path, byte-for-byte).
+        self.term_cache = None
 
     def run_query(self, text: str) -> DAATResult:
         tree = parse_query(text)
@@ -157,10 +162,33 @@ class DocumentAtATimeEngine:
         attempted = 0
         failed = [0]  # list so mid-stream failure callbacks can bump it
         try:
+            cache = self.term_cache
             for position, entry in enumerate(entries):
                 if entry is None or entry.df == 0 or entry.storage_key == 0:
                     continue
                 attempted += 1
+                term = terms[position]
+                hit = None
+                if cache is not None:
+                    self.clock.charge_user(cache.probe_ms)
+                    # The tape is tied to the physical record it
+                    # drained: a storage key reassigned by compaction
+                    # re-homing misses instead of replaying stale data.
+                    hit = cache.get(
+                        "stream", term, fingerprint=(entry.storage_key,)
+                    )
+                if hit is not None:
+                    initial_resident, tape = hit.payload
+                    stream: PostingStream = ReplayStream(tape, initial_resident)
+                    dead = hit.dead | self.index.tombstones
+                    if dead:
+                        stream = TombstoneFilterStream(stream, dead)
+                    streams.append((position, stream))
+                    lookups += 1
+                    idf[position] = inquery_idf(n_docs, entry.df)
+                    # The upfront decode charge is elided: a replay
+                    # decodes nothing (the probe above is the cost).
+                    continue
                 try:
                     inner = self.index.store.stream_postings(entry.storage_key)
                 except BadBlockError:
@@ -168,9 +196,14 @@ class DocumentAtATimeEngine:
                     # record degrades to "term contributes no evidence".
                     failed[0] += 1
                     continue
-                stream: PostingStream = FaultTolerantStream(
+                stream = FaultTolerantStream(
                     inner, lambda _error: failed.__setitem__(0, failed[0] + 1)
                 )
+                if cache is not None:
+                    stream = RecordingStream(
+                        stream,
+                        self._tape_committer(cache, term, entry),
+                    )
                 if self.index.tombstones:
                     stream = TombstoneFilterStream(stream, self.index.tombstones)
                 streams.append((position, stream))
@@ -229,6 +262,21 @@ class DocumentAtATimeEngine:
         return self._finish(
             text, scores, lookups, peak_resident, scored, attempted, failed[0]
         )
+
+    def _tape_committer(self, cache, term: str, entry):
+        """Closure that caches a cleanly drained stream recording."""
+        dead = set(self.index.tombstones)
+        fingerprint = (entry.storage_key,)
+        nbytes = _record_bytes(entry)
+
+        def commit(recording: RecordingStream) -> None:
+            cache.put(
+                "stream", term,
+                (recording.initial_resident, recording.tape),
+                nbytes, dead=dead, fingerprint=fingerprint,
+            )
+
+        return commit
 
     def _finish(
         self,
@@ -297,6 +345,7 @@ class DocumentAtATimeEngine:
                 self.top_k,
                 self.use_fastpath,
                 tombstones=self.index.tombstones,
+                term_cache=self.term_cache,
             )
         finally:
             self.index.store.release_reservations()

@@ -71,6 +71,12 @@ class QueryResult:
 class _IndexProvider(TermProvider):
     """Adapts a :class:`CollectionIndex` to the inference network."""
 
+    #: Optional decoded-term cache (:class:`repro.serve.termcache.TermCache`)
+    #: attached by the owning engine/runner.  ``None`` (the default) is
+    #: the historical path, byte-for-byte.  Duck-typed on purpose: this
+    #: layer never imports the serve package.
+    term_cache = None
+
     def __init__(self, index: CollectionIndex, clock: SimClock, reserve: bool):
         self._index = index
         self._clock = clock
@@ -78,6 +84,23 @@ class _IndexProvider(TermProvider):
         self.lookups = 0
         self.attempts = 0   #: stored-term reads attempted
         self.failures = 0   #: stored-term reads that stayed unreadable
+
+    def _cache_probe(self, kind: str, term: str):
+        """Probe the attached term cache at one read choke point.
+
+        Returns the cache entry or ``None``; either way the probe cost
+        is charged so latency accounting stays honest.  The dictionary
+        guards run first (identically to the cache-off path), so a term
+        with no stored record never reaches the cache at all.
+        """
+        cache = self.term_cache
+        if cache is None:
+            return None
+        entry = self._index.term_entry(term)
+        if entry is None or entry.df == 0 or entry.storage_key == 0:
+            return None
+        self._clock.charge_user(cache.probe_ms)
+        return cache.get(kind, term)
 
     @property
     def doc_count(self) -> int:
@@ -114,10 +137,38 @@ class _IndexProvider(TermProvider):
         return record
 
     def postings(self, term: str) -> Optional[List[Posting]]:
+        hit = self._cache_probe("postings", term)
+        if hit is not None:
+            # The cached payload is the epoch-raw decode: skip the
+            # store fetch, the decode charge, and the per-posting
+            # materialization (the structures already exist; only the
+            # list spine is copied).  Scoring still pays per posting at
+            # combine time.  Rebuilding a tombstone-filtered view is
+            # real per-posting work and is charged as such.
+            self.attempts += 1
+            self.lookups += 1
+            postings = hit.payload
+            dead = hit.dead | self._index.tombstones
+            if dead:
+                postings = [(d, p) for d, p in postings if d not in dead]
+                self._clock.charge_user(
+                    self._clock.cost.cpu_ms_per_posting
+                    * sum(len(p) for _d, p in postings)
+                )
+            else:
+                postings = list(postings)  # isolate the cached list
+            return postings
         record = self._fetch(term)
         if record is None:
             return None
         postings = decode_record(record)
+        if self.term_cache is not None:
+            # Cache an isolated copy of the epoch-raw decode (postings
+            # tuples are immutable; the list spine is per-consumer).
+            self.term_cache.put(
+                "postings", term, list(postings), len(record),
+                dead=self._index.tombstones,
+            )
         # Tombstoned documents are filtered *before* the per-posting
         # charge, so a query sees (and pays for) exactly the postings a
         # fresh build of the live corpus would contain.
@@ -144,6 +195,24 @@ class _FastIndexProvider(_IndexProvider):
     decode_cache = None
 
     def postings_arrays(self, term: str):
+        hit = self._cache_probe("arrays", term)
+        if hit is not None:
+            # Same charge model as the reference provider's hit path:
+            # a clean hit shares the decoded arrays for just the probe
+            # cost; a tombstone-filtered rebuild pays per surviving
+            # position.
+            self.attempts += 1
+            self.lookups += 1
+            arrays = hit.payload
+            dead = hit.dead | self._index.tombstones
+            if dead:
+                from ..fastpath.codec import filter_record_arrays
+
+                arrays = filter_record_arrays(arrays, dead)
+                self._clock.charge_user(
+                    self._clock.cost.cpu_ms_per_posting * arrays.ctf
+                )
+            return arrays
         record = self._fetch(term)
         if record is None:
             return None
@@ -155,6 +224,11 @@ class _FastIndexProvider(_IndexProvider):
             arrays = decode_record_arrays(record)
             if cache is not None:
                 cache.put(record, arrays)
+        if self.term_cache is not None:
+            self.term_cache.put(
+                "arrays", term, arrays, len(record),
+                dead=self._index.tombstones,
+            )
         # The cache stays keyed by (and holds) the *unfiltered* decode;
         # tombstones are dropped after retrieval, before the charge, so
         # the cost matches the reference path's filtered `sum(len(p))`.
@@ -221,6 +295,9 @@ class RetrievalEngine:
             from ..fastpath.codec import DecodeCache
 
             self._decode_cache = DecodeCache()
+        #: Optional decoded-term cache attached by the serving layer
+        #: (``None`` = the historical path, byte-for-byte).
+        self.term_cache = None
 
     def _build_network(self, provider: _IndexProvider) -> InferenceNetwork:
         if self.use_fastpath:
@@ -239,6 +316,7 @@ class RetrievalEngine:
         provider = provider_cls(self.index, self.clock, self.use_reservation)
         if self.use_fastpath:
             provider.decode_cache = self._decode_cache
+        provider.term_cache = self.term_cache
         network = self._build_network(provider)
         try:
             scores, _default = network.evaluate(tree)

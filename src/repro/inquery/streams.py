@@ -209,6 +209,75 @@ class TombstoneFilterStream(PostingStream):
         return [(d, p) for d, p in batch if d not in self._dead]
 
 
+class RecordingStream(PostingStream):
+    """Tape-records an inner stream's decoded refill sequence.
+
+    The serving layer's decoded-term cache replays a full drain of a
+    record's stream without touching the store again.  The recorder
+    sits *inside* any tombstone filter (so the tape is epoch-raw) and
+    proxies the inner stream transparently: refill cadence and
+    ``resident_bytes`` transitions are untouched.  Like
+    :class:`TombstoneFilterStream` it implements only ``_refill``, so
+    the fast-path raw-first probe falls back to decoded batches — the
+    doc-id/tf integers the scorer consumes are identical either way.
+
+    ``on_complete(recording)`` fires once, at clean exhaustion; a
+    recording cut short by a mid-stream fault never fires it (partial
+    tapes must not be cached).
+    """
+
+    def __init__(
+        self,
+        inner: PostingStream,
+        on_complete: Callable[["RecordingStream"], None],
+    ):
+        super().__init__()
+        self._inner = inner
+        self._on_complete = on_complete
+        self.resident_bytes = inner.resident_bytes
+        self.initial_resident = inner.resident_bytes
+        self.tape: List[Tuple[List[Posting], int]] = []
+        self._done = False
+
+    def _refill(self) -> Optional[List[Posting]]:
+        batch = self._inner._refill()
+        self.resident_bytes = self._inner.resident_bytes
+        if batch is None:
+            if not self._done:
+                self._done = True
+                if not getattr(self._inner, "failed", False):
+                    self._on_complete(self)
+            return None
+        self.tape.append((list(batch), self.resident_bytes))
+        return batch
+
+
+class ReplayStream(PostingStream):
+    """Replays a :class:`RecordingStream` tape: no I/O, no decode.
+
+    Batch spines are copied per refill so consumers can never mutate
+    the cached tape; ``resident_bytes`` replays the recorded
+    transitions, keeping the memory high-water mark of a hit equal to
+    the run that produced the tape.
+    """
+
+    def __init__(
+        self, tape: List[Tuple[List[Posting], int]], initial_resident: int
+    ):
+        super().__init__()
+        self._tape = tape
+        self._position = 0
+        self.resident_bytes = initial_resident
+
+    def _refill(self) -> Optional[List[Posting]]:
+        if self._position >= len(self._tape):
+            return None
+        batch, resident = self._tape[self._position]
+        self._position += 1
+        self.resident_bytes = resident
+        return list(batch)
+
+
 def merge_streams(
     streams: List[Tuple[int, PostingStream]]
 ) -> Iterator[Tuple[int, List[Tuple[int, Posting]]]]:

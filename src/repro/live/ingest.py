@@ -58,6 +58,10 @@ class IngestReport:
     #: Replica groups whose platters were verified byte-identical.
     groups_verified: int = 0
     wal_marked: bool = False
+    #: Owning shard -> sorted terms whose records this batch rewrote
+    #: (adds only: deletes are tombstones and rewrite nothing).  This is
+    #: exactly the invalidation set for the decoded-term caches.
+    mutated_terms: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
 
 
 @dataclass
@@ -157,11 +161,13 @@ class IngestPipeline:
 
     # -- mutations ------------------------------------------------------------
 
-    def _apply_add(self, document: Document) -> int:
-        """Route one add; returns the owning shard id."""
+    def _apply_add(self, document: Document) -> Tuple[int, List[str]]:
+        """Route one add; returns (owning shard id, terms whose records
+        the add rewrote) — the term-cache invalidation set."""
         if not self.sharded:
+            by_term, _kept = _term_stats(document, self.backend.index)
             add_document_incremental(self.backend.index, document)
-            return 0
+            return 0, list(by_term)
         owner = self.backend.partitioner.shard_of(document.doc_id)
         by_term, kept = _term_stats(
             document, self.backend.replica_groups[owner][0].index
@@ -195,7 +201,7 @@ class IngestPipeline:
                     if entry is not None:
                         entry.df += 1
                         entry.ctf += tf
-        return owner
+        return owner, list(by_term)
 
     def _apply_delete(self, document: Document) -> int:
         """Route one tombstone delete; returns the owning shard id."""
@@ -242,8 +248,11 @@ class IngestPipeline:
         machines = self._machines()
         starts = [(machine, machine.clock.snapshot()) for _s, machine in machines]
         touched = set()
+        mutated: Dict[int, set] = {}
         for document in adds:
-            touched.add(self._apply_add(document))
+            owner, terms = self._apply_add(document)
+            touched.add(owner)
+            mutated.setdefault(owner, set()).update(terms)
         for document in deletes:
             touched.add(self._apply_delete(document))
 
@@ -274,6 +283,10 @@ class IngestPipeline:
             machine_ms=sum(e.wall_ms for e in elapsed),
             groups_verified=groups_verified,
             wal_marked=wal_marked,
+            mutated_terms={
+                shard: tuple(sorted(terms))
+                for shard, terms in sorted(mutated.items())
+            },
         )
 
     # -- compaction -----------------------------------------------------------

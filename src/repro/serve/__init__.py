@@ -17,7 +17,14 @@ with:
   by the canonical query tree (parse → stop → stem → render), with an
   invalidation epoch bumped on rebuild/compaction.  Hits are
   bit-identical to cold evaluation; degraded results
-  (``completeness < 1``) are never admitted.
+  (``completeness < 1``) are never admitted;
+* a **decoded-term cache** (:class:`~repro.serve.termcache.TermCache`),
+  the middle tier between the block LRU buffers and the result cache: a
+  byte-budgeted per-replica cache of decoded postings that answers the
+  hot-term repeats the paper's record-caching experiment measured,
+  eliding the SimDisk reads *and* the v-byte decode while keeping
+  rankings bit-identical (``term_cache_bytes`` on the service, the
+  scheduler, or the benches; off by default).
 
 Overload is a first-class state rather than an accident: a bounded
 admission queue (``queue_limit``), per-request deadlines expired at
@@ -41,6 +48,7 @@ from .service import (
     ServiceStats,
     ShedRequest,
 )
+from .termcache import TERM_PROBE_MS, TermCache, TermCacheStats, merge_stats
 
 __all__ = [
     "CACHE_PROBE_MS",
@@ -53,5 +61,9 @@ __all__ = [
     "ServiceReport",
     "ServiceStats",
     "ShedRequest",
+    "TERM_PROBE_MS",
+    "TermCache",
+    "TermCacheStats",
     "clone_result",
+    "merge_stats",
 ]

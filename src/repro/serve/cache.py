@@ -34,19 +34,49 @@ from ..errors import CacheInconsistencyError, ConfigError
 from ..inquery.engine import QueryResult
 
 
+def _frozen_copy(value):
+    """Isolated copy of the shapes a result actually carries.
+
+    Results are dataclasses of scalars, strings, and (possibly nested)
+    lists/tuples/dicts of the same — no cycles, no exotic objects — so
+    a structural recursion over exactly those shapes gives the same
+    isolation ``copy.deepcopy`` did without its memo table and
+    per-object dispatch (the cache probes this on every hit and put, a
+    measured hot path).  Scalars and strings are immutable and shared.
+    """
+    if isinstance(value, list):
+        return [_frozen_copy(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_frozen_copy(item) for item in value)
+    if isinstance(value, dict):
+        return {key: _frozen_copy(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return set(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _clone_dataclass(value)
+    return value
+
+
+def _clone_dataclass(obj):
+    duplicate = copy.copy(obj)
+    for spec in dataclasses.fields(obj):
+        setattr(duplicate, spec.name, _frozen_copy(getattr(obj, spec.name)))
+    return duplicate
+
+
 def clone_result(result: QueryResult, query_text: Optional[str] = None) -> QueryResult:
     """An isolated copy of a result, optionally re-labelled.
 
-    ``dataclasses.replace`` keeps the runtime class, so a cached
-    :class:`~repro.inquery.daat.DAATResult` or
+    ``copy.copy`` + per-field copies keep the runtime class, so a
+    cached :class:`~repro.inquery.daat.DAATResult` or
     :class:`~repro.shard.merge.ShardedQueryResult` keeps its extra
     fields — a hit is indistinguishable from the evaluation that
     produced the entry, except for the ``query`` text echoing the
     *requesting* spelling rather than the first spelling cached.
     """
-    duplicate = copy.deepcopy(result)
+    duplicate = _clone_dataclass(result)
     if query_text is not None and query_text != duplicate.query:
-        duplicate = dataclasses.replace(duplicate, query=query_text)
+        duplicate.query = query_text
     return duplicate
 
 

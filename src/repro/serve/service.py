@@ -97,6 +97,7 @@ from ..inquery.query import count_nodes, parse_query
 from ..shard.system import ShardedIRSystem
 from ..synth.traffic import PRIORITY_RANK, ClosedLoopTraffic, TimedRequest
 from .cache import CacheStats, ResultCache, clone_result
+from .termcache import TermCache, TermCacheStats, merge_stats
 
 #: Simulated cost of one cache probe (hash the canonical key, compare).
 CACHE_PROBE_MS = 0.05
@@ -175,6 +176,14 @@ class ServiceStats:
     rebalances: int = 0       #: live topology cutovers (shard splits)
     ingests: int = 0          #: mutation batches applied and published
     compactions: int = 0      #: tombstone fold-out + store compaction passes
+    #: Decoded-term cache counters, merged over every per-replica cache
+    #: this service ever owned (zeros when term caching is off).
+    term_cache_hits: int = 0
+    term_cache_misses: int = 0
+    term_cache_evictions: int = 0
+    term_cache_bytes: int = 0
+    term_cache_peak_bytes: int = 0
+    term_cache_invalidated: int = 0
     #: Simulated busy milliseconds per shard, summed over every wave
     #: (sharded backends only) — the scheduler's ledger surfaced here.
     shard_busy_ms: Dict[int, float] = field(default_factory=dict)
@@ -308,6 +317,7 @@ class QueryService:
         cold: bool = True,
         prune: str = "off",
         queue_limit: int = 0,
+        term_cache_bytes: int = 0,
     ):
         if engine not in ("taat", "daat"):
             raise ConfigError(f"unknown service engine {engine!r}")
@@ -343,9 +353,16 @@ class QueryService:
                 backend.clock.reset()
             else:
                 cold_start(backend)
+        if term_cache_bytes < 0:
+            raise ConfigError("term_cache_bytes must be non-negative (0 = off)")
+        self.term_cache_bytes = term_cache_bytes
+        #: Counters of caches retired by rebalance (their replacements
+        #: start cold, but lifetime stats must not go backwards).
+        self._retired_term_stats = TermCacheStats()
         if self.sharded:
             self._scheduler = backend.scheduler(
-                top_k=top_k, engine=engine, prune=prune
+                top_k=top_k, engine=engine, prune=prune,
+                term_cache_bytes=term_cache_bytes,
             )
             index = backend.shards[0].index
         elif engine == "daat":
@@ -365,6 +382,8 @@ class QueryService:
                 use_fastpath=backend.config.use_fastpath,
             )
             index = backend.index
+        if not self.sharded and term_cache_bytes > 0:
+            self._engine.term_cache = TermCache(term_cache_bytes, shard=0)
         # Normalization must match the backend's: same stop list, same
         # stemmer (every shard shares the global preparation, so shard
         # 0's index speaks for all of them).
@@ -395,6 +414,41 @@ class QueryService:
             return 0
         return self.cache.invalidate(reason)
 
+    # -- the decoded-term cache fleet --------------------------------------
+
+    def term_caches(self) -> List[TermCache]:
+        """Every live per-replica decoded-term cache (empty when off)."""
+        if self.term_cache_bytes <= 0:
+            return []
+        if self.sharded:
+            return [cache for _s, _r, cache in self._scheduler.term_caches()]
+        cache = getattr(self._engine, "term_cache", None)
+        return [cache] if cache is not None else []
+
+    def term_cache_stats(self) -> TermCacheStats:
+        """Lifetime counters: live caches plus rebalance-retired ones."""
+        merged = merge_stats(self.term_caches())
+        retired = self._retired_term_stats
+        merged.lookups += retired.lookups
+        merged.hits += retired.hits
+        merged.misses += retired.misses
+        merged.insertions += retired.insertions
+        merged.evictions += retired.evictions
+        merged.rejected_oversize += retired.rejected_oversize
+        merged.invalidated_terms += retired.invalidated_terms
+        return merged
+
+    def _sync_term_stats(self) -> None:
+        if self.term_cache_bytes <= 0:
+            return
+        merged = self.term_cache_stats()
+        self.stats.term_cache_hits = merged.hits
+        self.stats.term_cache_misses = merged.misses
+        self.stats.term_cache_evictions = merged.evictions
+        self.stats.term_cache_bytes = merged.bytes
+        self.stats.term_cache_peak_bytes = merged.peak_bytes
+        self.stats.term_cache_invalidated = merged.invalidated_terms
+
     def rebalance(self, factor: int = 2):
         """Split every shard into ``factor`` children, live.
 
@@ -412,14 +466,20 @@ class QueryService:
             raise ConfigError("rebalance requires a sharded backend")
         from ..shard.rebalance import split_shards
 
+        # Retire the term caches with the topology that filled them:
+        # post-split records live on different machines with different
+        # storage keys, so the replacements start cold by design.
+        self._retired_term_stats = self.term_cache_stats()
         report = split_shards(self.backend, factor=factor)
         # The old scheduler is epoch-stale by design; build a fresh one
         # against the new topology.
         self._scheduler = self.backend.scheduler(
-            top_k=self.top_k, engine=self.engine, prune=self.prune
+            top_k=self.top_k, engine=self.engine, prune=self.prune,
+            term_cache_bytes=self.term_cache_bytes,
         )
         self.invalidate_cache("rebalance-cutover")
         self.stats.rebalances += 1
+        self._sync_term_stats()
         return report
 
     @property
@@ -450,7 +510,17 @@ class QueryService:
         self._check_open()
         report = self.ingest_pipeline.apply(adds=adds, deletes=deletes)
         self.invalidate_cache(f"ingest-epoch-{report.epoch}")
+        # Term caches are surgical where the result cache is wholesale:
+        # only the owning shard's mutated terms drop (deletes are
+        # tombstones — the post-fetch filter handles them, nothing to
+        # invalidate).
+        for cache in self.term_caches():
+            terms = report.mutated_terms.get(cache.shard, ())
+            if terms:
+                cache.invalidate_terms(terms)
+            cache.note_epoch(report.epoch)
         self.stats.ingests += 1
+        self._sync_term_stats()
         return report
 
     def compact(self):
@@ -464,8 +534,23 @@ class QueryService:
         :class:`~repro.live.CompactionSummary`.
         """
         self._check_open()
+        # Snapshot the tombstones compaction is about to fold: cached
+        # payloads decoded before the fold still contain those documents
+        # and must keep filtering them after the index's own set empties.
+        folded: Dict[int, set] = {}
+        if self.term_caches():
+            if self.sharded:
+                for shard_id, group in enumerate(self.backend.replica_groups):
+                    folded[shard_id] = set(group[0].index.tombstones)
+            else:
+                folded[0] = set(self.backend.index.tombstones)
         summary = self.ingest_pipeline.compact()
+        for cache in self.term_caches():
+            dead = folded.get(cache.shard)
+            if dead:
+                cache.fold_tombstones(dead)
         self.stats.compactions += 1
+        self._sync_term_stats()
         return summary
 
     # -- normalization -----------------------------------------------------
@@ -763,6 +848,7 @@ class QueryService:
                 deadline_ms=request.deadline_ms,
             )
         wave_end = max(row.completion_ms for row in rows) if rows else start_ms
+        self._sync_term_stats()
         return rows, wave_end  # type: ignore[return-value]
 
     def _evaluate(self, texts: List[str]) -> List[Tuple[QueryResult, float]]:

@@ -132,6 +132,7 @@ def measure_sharded_run(
     prune: str = "off",
     replica_policy: str = "primary",
     policy_seed: int = 0,
+    term_cache_bytes: int = 0,
 ) -> ShardRunMetrics:
     """Run a query set through the shard scheduler and measure everything."""
     live = sharded.live_shards
@@ -154,9 +155,17 @@ def measure_sharded_run(
     scheduler = sharded.scheduler(
         top_k=top_k, engine=engine, max_workers=max_workers, prune=prune,
         replica_policy=replica_policy, policy_seed=policy_seed,
+        term_cache_bytes=term_cache_bytes,
     )
     outcome = scheduler.run_batch(queries)
     coordinator = sharded.clock.since(coordinator_start)
+    term_stats = None
+    if term_cache_bytes > 0:
+        from ..serve.termcache import merge_stats
+
+        term_stats = merge_stats(
+            cache for _s, _r, cache in scheduler.term_caches()
+        )
 
     per_shard = []
     for shard_id in live:
@@ -199,6 +208,10 @@ def measure_sharded_run(
         prune_threshold_updates=sum(
             m.prune_threshold_updates for m in per_shard
         ),
+        term_cache_hits=term_stats.hits if term_stats else 0,
+        term_cache_misses=term_stats.misses if term_stats else 0,
+        term_cache_evictions=term_stats.evictions if term_stats else 0,
+        term_cache_bytes=term_stats.bytes if term_stats else 0,
         wall_s_sum=shard_wall_sum + coordinator.wall_ms / 1000.0,
         coordinator_wall_s=coordinator.wall_ms / 1000.0,
         per_shard=per_shard,

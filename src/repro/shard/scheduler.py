@@ -179,6 +179,7 @@ class ShardScheduler:
         prune: str = "off",
         replica_policy: str = "primary",
         policy_seed: int = 0,
+        term_cache_bytes: int = 0,
     ):
         if engine not in ("taat", "daat"):
             raise ConfigError(f"unknown shard engine {engine!r}")
@@ -203,8 +204,58 @@ class ShardScheduler:
         # mirror transparently gets a fresh engine on first use.
         self._taat: Dict[Tuple[int, int], ShardTaatRunner] = {}
         self._daat: Dict[Tuple[int, int], DocumentAtATimeEngine] = {}
+        # Decoded-term caches, one per (shard, replica), validated the
+        # same way: a cache survives failover back to a healthy mirror
+        # (the machine object is unchanged) but a re-replicated or
+        # re-split machine starts cold.  0 bytes = caching off.
+        self.term_cache_bytes = term_cache_bytes
+        self._term_caches: Dict[Tuple[int, int], Tuple[object, object]] = {}
 
     # -- per-replica engines ---------------------------------------------------
+
+    def _term_cache(self, shard_id: int, replica_id: int):
+        if self.term_cache_bytes <= 0:
+            return None
+        machine = self.sharded.replica(shard_id, replica_id)
+        key = (shard_id, replica_id)
+        held = self._term_caches.get(key)
+        if held is None or held[1] is not machine:
+            # Imported lazily: the serve layer imports this module, so a
+            # top-level import would be circular.
+            from ..serve.termcache import TermCache
+
+            held = (TermCache(self.term_cache_bytes, shard=shard_id), machine)
+            self._term_caches[key] = held
+        return held[0]
+
+    def term_caches(self) -> List[Tuple[int, int, object]]:
+        """Every live (shard id, replica id, cache), in id order."""
+        return [
+            (shard, replica, held[0])
+            for (shard, replica), held in sorted(self._term_caches.items())
+            if held[1] is self.sharded.replica(shard, replica)
+        ]
+
+    def invalidate_terms(self, shard_id: int, terms) -> int:
+        """Ingest hook: drop mutated terms on the owning shard's caches."""
+        dropped = 0
+        for shard, _replica, cache in self.term_caches():
+            if shard == shard_id:
+                dropped += cache.invalidate_terms(terms)
+        return dropped
+
+    def note_epoch(self, epoch: int) -> None:
+        """Stamp every cache with the just-published epoch."""
+        for _shard, _replica, cache in self.term_caches():
+            cache.note_epoch(epoch)
+
+    def fold_term_tombstones(self, dead_by_shard: Dict[int, set]) -> None:
+        """Compaction hook: merge each shard's folded tombstone set into
+        its caches' entry snapshots (no entries dropped)."""
+        for shard, _replica, cache in self.term_caches():
+            dead = dead_by_shard.get(shard)
+            if dead:
+                cache.fold_tombstones(dead)
 
     def _taat_runner(self, shard_id: int, replica_id: int) -> ShardTaatRunner:
         machine = self.sharded.replica(shard_id, replica_id)
@@ -213,6 +264,7 @@ class ShardScheduler:
         if runner is None or runner.system is not machine:
             runner = ShardTaatRunner(machine, top_k=self.top_k)
             self._taat[key] = runner
+        runner.term_cache = self._term_cache(shard_id, replica_id)
         return runner
 
     def _daat_engine(self, shard_id: int, replica_id: int) -> DocumentAtATimeEngine:
@@ -228,6 +280,7 @@ class ShardScheduler:
                 prune=self.prune,
             )
             self._daat[key] = engine
+        engine.term_cache = self._term_cache(shard_id, replica_id)
         return engine
 
     # -- replica choice and failover -------------------------------------------

@@ -200,12 +200,14 @@ class ShardedIRSystem:
         prune: str = "off",
         replica_policy: str = "primary",
         policy_seed: int = 0,
+        term_cache_bytes: int = 0,
     ):
         from .scheduler import ShardScheduler
 
         return ShardScheduler(
             self, top_k=top_k, engine=engine, max_workers=max_workers,
             prune=prune, replica_policy=replica_policy, policy_seed=policy_seed,
+            term_cache_bytes=term_cache_bytes,
         )
 
     # -- re-replication -------------------------------------------------------

@@ -169,6 +169,9 @@ class ShardTaatRunner:
     def __init__(self, system: IRSystem, top_k: int = DEFAULT_TOP_K):
         self.system = system
         self.top_k = top_k
+        #: Optional decoded-term cache, attached per replica by the
+        #: scheduler (``None`` = the historical path, byte-for-byte).
+        self.term_cache = None
         self._pending: List[
             Tuple[str, QueryNode, _MemoProvider, List[_LeafSlot]]
         ] = []
@@ -196,6 +199,10 @@ class ShardTaatRunner:
                     except BadBlockError:
                         break
         provider = _MemoProvider(index, clock, self.system.config.use_reservation)
+        # The memo answers repeats within the query; the term cache sits
+        # under it (via the inherited postings fetch) and answers
+        # repeats *across* queries on this replica.
+        provider.term_cache = self.term_cache
         collector = _SlotCollector(provider)
         collector.collect(tree)
         self._pending.append((text, tree, provider, collector.slots))
